@@ -1,0 +1,57 @@
+//! Texture-path microbenchmarks: fetch throughput of the layered-texture
+//! model and cache behaviour under 2-D vs. scattered walks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use defcon_gpusim::cache::Cache;
+use defcon_gpusim::device::DeviceConfig;
+use defcon_gpusim::texture::{FilterMode, LayeredTexture2d};
+
+fn bench_fetch(c: &mut Criterion) {
+    let data: Vec<f32> = (0..256 * 256).map(|v| v as f32).collect();
+    let mut group = c.benchmark_group("texture_fetch");
+    for (name, frac_bits) in [("fp32", 23u32), ("fp16", 8)] {
+        let mut tex = LayeredTexture2d::new(data.clone(), 1, 256, 256, 0, 2048, 32768).unwrap();
+        tex.filter_mode = FilterMode::Linear { frac_bits };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tex, |b, tex| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..1000 {
+                    let y = (i % 250) as f32 + 0.37;
+                    let x = ((i * 7) % 250) as f32 + 0.61;
+                    acc += tex.fetch(0, y, x).value;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_walks(c: &mut Criterion) {
+    let cfg = DeviceConfig::xavier_agx();
+    let mut group = c.benchmark_group("tex_cache_walk");
+    group.bench_function("sequential_2d", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(cfg.tex_cache);
+            for y in 0..64u64 {
+                for x in 0..64u64 {
+                    cache.access_line(y * 8 + x / 8);
+                }
+            }
+            cache.hit_rate()
+        });
+    });
+    group.bench_function("scattered", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(cfg.tex_cache);
+            for i in 0..4096u64 {
+                cache.access_line((i * 2654435761) % 100_000);
+            }
+            cache.hit_rate()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch, bench_cache_walks);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Reproduces **Fig. 7**: layer-wise speedup of the deformable operation on
+//! the Xavier model — `tex2D` and `tex2D++` relative to the PyTorch
+//! baseline, per Table II layer shape.
+//!
+//! Paper reference: geometric-mean speedups ≈ 1.27× (tex2D) and ≈ 1.39×
+//! (tex2D++), roughly flat across layer shapes with a dip at the largest
+//! feature map.
+
+use defcon_bench::{speedup, Table};
+use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
+use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
+use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_tensor::sample::OffsetTransform;
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    println!("# Fig. 7 — deformable operation speedup over PyTorch on {}\n", gpu.config().name);
+
+    let mut table = Table::new(&["Layer (In,Out,H,W)", "tex2D", "tex2D++"]);
+    let mut geo2 = 1.0f64;
+    let mut geopp = 1.0f64;
+    let n = paper_layer_sweep().len() as f64;
+    for shape in paper_layer_sweep() {
+        let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);
+        let time = |method: SamplingMethod| {
+            DeformConvOp {
+                shape,
+                tile: TileConfig::default16(),
+                method,
+                offset_predictor: OffsetPredictorKind::Standard,
+                offset_transform: OffsetTransform::Identity,
+            }
+            .simulate_total(&gpu, &x, &offsets)
+            .0
+        };
+        let sw = time(SamplingMethod::SoftwareBilinear);
+        let s2 = sw / time(SamplingMethod::Tex2d);
+        let spp = sw / time(SamplingMethod::Tex2dPlusPlus);
+        geo2 *= s2.powf(1.0 / n);
+        geopp *= spp.powf(1.0 / n);
+        table.row(&[
+            format!("{},{},{},{}", shape.c_in, shape.c_out, shape.h, shape.w),
+            speedup(s2),
+            speedup(spp),
+        ]);
+    }
+    table.row(&["geo-mean".into(), speedup(geo2), speedup(geopp)]);
+    table.print();
+}

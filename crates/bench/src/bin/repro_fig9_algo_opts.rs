@@ -1,0 +1,69 @@
+//! Reproduces **Fig. 9**: per-layer speedup of the algorithmic
+//! optimizations on Xavier — for each Table II layer shape, the deformable
+//! operation under {interval-search baseline, +bounded, +lightweight} ×
+//! {PyTorch, tex2D, tex2D++}.
+//!
+//! Paper findings reproduced here: (1) texture kernels speed up every
+//! configuration; (2) the lightweight offset predictor delivers the largest
+//! jump (>2×); (3) *bounded offsets do not speed up the GPU* (unlike on
+//! FPGA accelerators) — bounding changes access locality slightly but the
+//! texture cache already absorbs it.
+
+use defcon_bench::{speedup, Table};
+use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
+use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
+use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_tensor::sample::OffsetTransform;
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    println!("# Fig. 9 — speedup of algorithmic optimizations on {} (baseline = PyTorch, unbounded, standard offset conv; per layer)\n", gpu.config().name);
+
+    let variants: [(&str, Option<f32>, OffsetPredictorKind); 3] = [
+        ("search", None, OffsetPredictorKind::Standard),
+        ("bounded", Some(7.0), OffsetPredictorKind::Standard),
+        ("light", None, OffsetPredictorKind::Lightweight),
+    ];
+    let methods =
+        [SamplingMethod::SoftwareBilinear, SamplingMethod::Tex2d, SamplingMethod::Tex2dPlusPlus];
+
+    let mut headers = vec!["Layer".to_string()];
+    for (vname, _, _) in &variants {
+        for m in &methods {
+            headers.push(format!("{vname}+{}", m.name()));
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    for shape in paper_layer_sweep() {
+        let baseline = {
+            let (x, offsets) = synthetic_inputs(&shape, 8.0, 99);
+            DeformConvOp::baseline(shape).simulate_total(&gpu, &x, &offsets).0
+        };
+        let mut row = vec![format!("{},{},{},{}", shape.c_in, shape.c_out, shape.h, shape.w)];
+        for (_, bounded, predictor) in &variants {
+            for method in &methods {
+                // Bounding constrains the learned offsets the kernel sees.
+                let spread = bounded.unwrap_or(8.0).min(8.0);
+                let (x, offsets) = synthetic_inputs(&shape, spread, 99);
+                let transform = match bounded {
+                    Some(p) => OffsetTransform::Bounded(*p),
+                    None => OffsetTransform::Identity,
+                };
+                let ms = DeformConvOp {
+                    shape,
+                    tile: TileConfig::default16(),
+                    method: *method,
+                    offset_predictor: *predictor,
+                    offset_transform: transform,
+                }
+                .simulate_total(&gpu, &x, &offsets)
+                .0;
+                row.push(speedup(baseline / ms));
+            }
+        }
+        table.row(&row);
+    }
+    table.print();
+}

@@ -1,0 +1,51 @@
+//! Reproduces **Table II** (and the timing series behind **Fig. 7**):
+//! per-layer deformable-operation latency on the Jetson AGX Xavier for the
+//! PyTorch baseline, `tex2D`, and `tex2D++`.
+//!
+//! Paper reference rows (In, Out, H, W → PyTorch / tex2D / tex2D++ ms):
+//! `128,128,138 → 6.87/6.01/4.89`, …, `512,512,18 → 97.0/72.33/69.48`,
+//! speedups 1.33–1.41×. We reproduce the *shape*: tex2D < PyTorch,
+//! tex2D++ ≤ tex2D, speedups in the same band.
+
+use defcon_bench::{f2, speedup, Table};
+use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
+use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
+use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_tensor::sample::OffsetTransform;
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    println!("# Table II — deformable operation latency on {}", gpu.config().name);
+    println!("# (offset conv + deformable sampling + GEMM, batch 1, 3x3, G=1)\n");
+
+    let mut table = Table::new(&[
+        "In ch", "Out ch", "H", "W", "PyTorch (ms)", "tex2D (ms)", "tex2D++ (ms)", "Speedup w.r. Torch",
+    ]);
+    for shape in paper_layer_sweep() {
+        let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);
+        let time = |method: SamplingMethod| {
+            let op = DeformConvOp {
+                shape,
+                tile: TileConfig::default16(),
+                method,
+                offset_predictor: OffsetPredictorKind::Standard,
+                offset_transform: OffsetTransform::Identity,
+            };
+            op.simulate_total(&gpu, &x, &offsets).0
+        };
+        let sw = time(SamplingMethod::SoftwareBilinear);
+        let t2 = time(SamplingMethod::Tex2d);
+        let tpp = time(SamplingMethod::Tex2dPlusPlus);
+        table.row(&[
+            shape.c_in.to_string(),
+            shape.c_out.to_string(),
+            shape.h.to_string(),
+            shape.w.to_string(),
+            f2(sw),
+            f2(t2),
+            f2(tpp),
+            speedup(sw / tpp),
+        ]);
+    }
+    table.print();
+}

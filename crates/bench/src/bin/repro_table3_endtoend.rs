@@ -1,0 +1,100 @@
+//! Reproduces the latency side of **Table III**: end-to-end YOLACT++
+//! (ResNet-101, 550×550) time on the Xavier model under the DEFCON
+//! optimization lattice, with speedups over the YOLACT++ hand-placed
+//! interval-3 baseline.
+//!
+//! Paper reference: baseline 478 ms; interval search alone 1.25×; search +
+//! tex2D 1.44×; + boundary 1.45×; + lightweight 2.79×; everything 2.80×.
+//! Accuracy columns of Table III are reproduced by `repro_table1` /
+//! `repro_table5` on the trainable mini models (the full-size network is
+//! latency-only on the simulator).
+
+use defcon_bench::{f2, speedup, Table};
+use defcon_core::pipeline::{DefconConfig, TileChoice};
+use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_kernels::{SamplingMethod, TileConfig};
+use defcon_models::zoo::{num_dcn, resnet_3x3_slots, simulate_network, DcnLayout};
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    println!("# Table III — end-to-end YOLACT++ (R101 @ 550) on {}", gpu.config().name);
+    println!("# baseline = hand-placed interval-3 DCNs (10 layers), PyTorch kernels\n");
+
+    let baseline_slots = resnet_3x3_slots(101, DcnLayout::Interval(3));
+    let searched_slots = resnet_3x3_slots(101, DcnLayout::Searched);
+
+    let sw = |bounded: Option<f32>, light: bool| DefconConfig {
+        interval_search: true,
+        bounded,
+        lightweight: light,
+        method: SamplingMethod::SoftwareBilinear,
+        tile: TileChoice::Fixed(TileConfig::default16()),
+    };
+    let tex = |method: SamplingMethod, bounded: Option<f32>, light: bool| DefconConfig {
+        interval_search: true,
+        bounded,
+        lightweight: light,
+        method,
+        tile: TileChoice::Fixed(TileConfig::default16()),
+    };
+
+    let baseline_ms = simulate_network(&gpu, &baseline_slots, &DefconConfig::baseline());
+    println!(
+        "YOLACT++ baseline: {} ms ({} DCN layers)\n",
+        f2(baseline_ms),
+        num_dcn(&baseline_slots)
+    );
+
+    let mut table = Table::new(&[
+        "Search", "Boundary", "Light", "tex2D", "B.L. (ms)", "tex2D (ms)", "tex2D++ (ms)", "Speedup over YOLACT++",
+    ]);
+    let check = |b: bool| if b { "x".to_string() } else { String::new() };
+
+    // Row: baseline itself.
+    table.row(&[
+        check(false),
+        check(false),
+        check(false),
+        check(false),
+        f2(baseline_ms),
+        "-".into(),
+        "-".into(),
+        speedup(1.0),
+    ]);
+
+    // Rows over the searched placement.
+    for (bounded, light, use_tex) in [
+        (None, false, false),
+        (None, false, true),
+        (Some(7.0f32), false, true),
+        (None, true, true),
+        (Some(7.0), true, true),
+    ] {
+        let bl_ms = simulate_network(&gpu, &searched_slots, &sw(bounded, light));
+        let (t2_ms, tpp_ms) = if use_tex {
+            (
+                simulate_network(&gpu, &searched_slots, &tex(SamplingMethod::Tex2d, bounded, light)),
+                simulate_network(&gpu, &searched_slots, &tex(SamplingMethod::Tex2dPlusPlus, bounded, light)),
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        let best = if use_tex { tpp_ms } else { bl_ms };
+        table.row(&[
+            check(true),
+            check(bounded.is_some()),
+            check(light),
+            check(use_tex),
+            f2(bl_ms),
+            if use_tex { f2(t2_ms) } else { "-".into() },
+            if use_tex { f2(tpp_ms) } else { "-".into() },
+            speedup(baseline_ms / best),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(searched placement uses {} DCN layers vs {} in the baseline)",
+        num_dcn(&searched_slots),
+        num_dcn(&baseline_slots)
+    );
+}

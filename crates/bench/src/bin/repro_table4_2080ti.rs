@@ -1,0 +1,51 @@
+//! Reproduces **Table IV** (and the timing series behind **Fig. 7**):
+//! per-layer deformable-operation latency on the RTX 2080 Ti (PyTorch 2.1
+//! in the paper) for the PyTorch baseline, `tex2D`, and `tex2D++`.
+//!
+//! Paper reference rows: speedups 1.10-1.30x, smaller than on Xavier
+//! because the discrete GPU's bandwidth and SM count hide more of the
+//! sampling inefficiency. We reproduce the shape: tex2D < PyTorch,
+//! tex2D++ <= tex2D, with a thinner margin than Table II.
+
+use defcon_bench::{f2, speedup, Table};
+use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
+use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
+use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_tensor::sample::OffsetTransform;
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::rtx2080ti());
+    println!("# Table IV — deformable operation latency on {}", gpu.config().name);
+    println!("# (offset conv + deformable sampling + GEMM, batch 1, 3x3, G=1)\n");
+
+    let mut table = Table::new(&[
+        "In ch", "Out ch", "H", "W", "PyTorch (ms)", "tex2D (ms)", "tex2D++ (ms)", "Speedup w.r. Torch",
+    ]);
+    for shape in paper_layer_sweep() {
+        let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);
+        let time = |method: SamplingMethod| {
+            let op = DeformConvOp {
+                shape,
+                tile: TileConfig::default16(),
+                method,
+                offset_predictor: OffsetPredictorKind::Standard,
+                offset_transform: OffsetTransform::Identity,
+            };
+            op.simulate_total(&gpu, &x, &offsets).0
+        };
+        let sw = time(SamplingMethod::SoftwareBilinear);
+        let t2 = time(SamplingMethod::Tex2d);
+        let tpp = time(SamplingMethod::Tex2dPlusPlus);
+        table.row(&[
+            shape.c_in.to_string(),
+            shape.c_out.to_string(),
+            shape.h.to_string(),
+            shape.w.to_string(),
+            f2(sw),
+            f2(t2),
+            f2(tpp),
+            speedup(sw / tpp),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,90 @@
+//! # defcon-bench
+//!
+//! The reproduction harness: shared table formatting plus one `repro_*`
+//! binary per table and figure of the paper (see DESIGN.md §5 for the
+//! experiment index). Criterion microbenchmarks live in `benches/`.
+
+use std::fmt::Write as _;
+
+/// A minimal fixed-width table printer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:>w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i == widths.len() - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a speedup as `1.23x`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| bbbb |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,209 @@
+//! The on-device latency lookup table.
+//!
+//! Paper §III-A-a: the interval search constrains inference latency through
+//! a penalty `t(w_n)` looked up per candidate layer. "It is trivial to
+//! collect their latency with all possible configurations" — here the
+//! "device" is the gpusim model, and the LUT maps a layer configuration to
+//! the **extra** milliseconds choosing the deformable operator costs over
+//! the regular one.
+
+use defcon_gpusim::Gpu;
+use defcon_kernels::op::simulate_regular_conv_ms;
+use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
+use defcon_kernels::{DeformLayerShape, TileConfig};
+use defcon_tensor::sample::OffsetTransform;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// LUT key: the latency-relevant coordinates of a 3×3 convolution slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LatencyKey {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Stride (1 or 2 in ResNet-style backbones).
+    pub stride: usize,
+}
+
+impl LatencyKey {
+    /// The key of a layer shape.
+    pub fn of(shape: &DeformLayerShape) -> Self {
+        LatencyKey { c_in: shape.c_in, c_out: shape.c_out, h: shape.h, w: shape.w, stride: shape.stride }
+    }
+
+    /// Reconstructs the layer shape (batch 1, 3×3, pad 1, one deformable
+    /// group — the configuration backbones use).
+    pub fn shape(&self) -> DeformLayerShape {
+        DeformLayerShape {
+            n: 1,
+            c_in: self.c_in,
+            c_out: self.c_out,
+            h: self.h,
+            w: self.w,
+            kernel: 3,
+            stride: self.stride,
+            pad: 1,
+            deform_groups: 1,
+        }
+    }
+}
+
+/// One LUT entry: measured latencies of the operator choices at a key.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencyEntry {
+    /// Regular 3×3 convolution, milliseconds.
+    pub regular_ms: f64,
+    /// Deformable operator (offset conv + sampling + conv), milliseconds.
+    pub deform_ms: f64,
+}
+
+impl LatencyEntry {
+    /// The quantity `t(w_n)` the search penalizes: the *additional* cost of
+    /// going deformable at this slot.
+    pub fn dcn_overhead_ms(&self) -> f64 {
+        (self.deform_ms - self.regular_ms).max(0.0)
+    }
+}
+
+/// Latency lookup table built by timing both operator choices on a
+/// simulated device.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyLut {
+    /// Device name the table was collected on.
+    pub device: String,
+    entries: HashMap<LatencyKey, LatencyEntry>,
+}
+
+impl LatencyLut {
+    /// Builds a LUT on `gpu` for every key in `keys`, timing the deformable
+    /// operator in the given configuration (the search should penalize the
+    /// operator it will actually deploy).
+    pub fn build(
+        gpu: &Gpu,
+        keys: &[LatencyKey],
+        method: SamplingMethod,
+        predictor: OffsetPredictorKind,
+    ) -> Self {
+        let mut entries = HashMap::with_capacity(keys.len());
+        for key in keys {
+            let shape = key.shape();
+            let (x, offsets) = synthetic_inputs(&shape, 4.0, 0xDEFC);
+            let op = DeformConvOp {
+                shape,
+                tile: TileConfig::default16(),
+                method,
+                offset_predictor: predictor,
+                offset_transform: OffsetTransform::Identity,
+            };
+            let deform_ms = op.simulate_total(gpu, &x, &offsets).0;
+            let regular_ms = simulate_regular_conv_ms(gpu, &shape);
+            entries.insert(*key, LatencyEntry { regular_ms, deform_ms });
+        }
+        LatencyLut { device: gpu.config().name.clone(), entries }
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &LatencyKey) -> Option<&LatencyEntry> {
+        self.entries.get(key)
+    }
+
+    /// `t(w_n)` for the search penalty; panics if the key was not collected
+    /// (the search must not silently treat an unmeasured layer as free).
+    pub fn dcn_overhead_ms(&self, key: &LatencyKey) -> f64 {
+        self.entries
+            .get(key)
+            .unwrap_or_else(|| panic!("latency LUT missing key {key:?} (collected on {})", self.device))
+            .dcn_overhead_ms()
+    }
+
+    /// Number of collected keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to JSON (the paper's workflow collects the table offline).
+    pub fn to_json(&self) -> String {
+        // HashMap with struct keys can't serialize to a JSON map directly;
+        // emit as a list of pairs.
+        let pairs: Vec<(&LatencyKey, &LatencyEntry)> = self.entries.iter().collect();
+        serde_json::to_string(&(&self.device, pairs)).expect("LUT serialization cannot fail")
+    }
+
+    /// Deserializes from [`LatencyLut::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let (device, pairs): (String, Vec<(LatencyKey, LatencyEntry)>) = serde_json::from_str(s)?;
+        Ok(LatencyLut { device, entries: pairs.into_iter().collect() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_gpusim::DeviceConfig;
+
+    fn tiny_keys() -> Vec<LatencyKey> {
+        vec![
+            LatencyKey { c_in: 16, c_out: 16, h: 16, w: 16, stride: 1 },
+            LatencyKey { c_in: 16, c_out: 32, h: 16, w: 16, stride: 2 },
+        ]
+    }
+
+    #[test]
+    fn build_measures_both_choices() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let lut =
+            LatencyLut::build(&gpu, &tiny_keys(), SamplingMethod::SoftwareBilinear, OffsetPredictorKind::Standard);
+        assert_eq!(lut.len(), 2);
+        for key in tiny_keys() {
+            let e = lut.get(&key).unwrap();
+            assert!(e.deform_ms > e.regular_ms, "DCN must cost more than regular conv at {key:?}");
+            assert!(lut.dcn_overhead_ms(&key) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lightweight_predictor_shrinks_overhead() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let keys = [LatencyKey { c_in: 64, c_out: 64, h: 32, w: 32, stride: 1 }];
+        let std =
+            LatencyLut::build(&gpu, &keys, SamplingMethod::SoftwareBilinear, OffsetPredictorKind::Standard);
+        let lw = LatencyLut::build(
+            &gpu,
+            &keys,
+            SamplingMethod::Tex2dPlusPlus,
+            OffsetPredictorKind::Lightweight,
+        );
+        assert!(lw.dcn_overhead_ms(&keys[0]) < std.dcn_overhead_ms(&keys[0]));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let lut =
+            LatencyLut::build(&gpu, &tiny_keys(), SamplingMethod::Tex2d, OffsetPredictorKind::Lightweight);
+        let s = lut.to_json();
+        let back = LatencyLut::from_json(&s).unwrap();
+        assert_eq!(back.len(), lut.len());
+        assert_eq!(back.device, lut.device);
+        for key in tiny_keys() {
+            assert!((back.dcn_overhead_ms(&key) - lut.dcn_overhead_ms(&key)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latency LUT missing key")]
+    fn missing_key_panics() {
+        let lut = LatencyLut::default();
+        lut.dcn_overhead_ms(&LatencyKey { c_in: 1, c_out: 1, h: 1, w: 1, stride: 1 });
+    }
+}

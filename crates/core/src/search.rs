@@ -1,0 +1,333 @@
+//! Gradient-based interval search (paper Algorithm 1).
+//!
+//! The search trains a *dual-path supernet* — every candidate 3×3 slot
+//! holds both a regular convolution and a DCN, mixed by Gumbel-Softmax over
+//! a two-element architecture parameter `[α⁰, α¹]` (Eq. 5) — while adding
+//! the latency penalty `β · |Σ ⌈α¹>α⁰⌋ · α¹ · t(w) − T|²` (Eq. 6). After
+//! the search epochs, each slot is frozen to the operator with the larger
+//! α, and the resulting architecture is fine-tuned.
+//!
+//! The driver is generic over [`SearchModel`] so the same algorithm runs on
+//! the real detector supernet in `defcon-models` and on small synthetic
+//! models in tests.
+
+use crate::lut::{LatencyKey, LatencyLut};
+use defcon_nn::graph::{ParamId, ParamStore, Tape, Var};
+use defcon_nn::gumbel::TemperatureSchedule;
+use defcon_nn::modules::LayerChoice;
+use defcon_nn::ops;
+use defcon_nn::optim::Sgd;
+
+/// What the search needs from a supernet.
+pub trait SearchModel {
+    /// Number of dual-path slots.
+    fn num_slots(&self) -> usize;
+
+    /// Architecture parameter of slot `i` (shape `[2]`: `[α⁰, α¹]`).
+    fn alpha(&self, i: usize) -> ParamId;
+
+    /// Latency-LUT key of slot `i`.
+    fn latency_key(&self, i: usize) -> LatencyKey;
+
+    /// Sets the Gumbel-Softmax temperature for the coming epoch.
+    fn set_temperature(&mut self, tau: f32);
+
+    /// Records one training forward pass for mini-batch `batch` and returns
+    /// the task loss Var. The model must register its α parameters on the
+    /// tape (they are when the dual-path layers run un-frozen).
+    fn forward_loss(&mut self, tape: &mut Tape, store: &ParamStore, batch: usize) -> Var;
+
+    /// Freezes every slot to its current α decision; returns the choices.
+    fn freeze(&mut self, store: &ParamStore) -> Vec<LayerChoice>;
+}
+
+/// Search hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Search epochs (supernet training with the latency penalty).
+    pub search_epochs: usize,
+    /// Fine-tuning epochs after freezing.
+    pub finetune_epochs: usize,
+    /// Mini-batches per epoch.
+    pub iters_per_epoch: usize,
+    /// Penalty weight β (Eq. 4).
+    pub beta: f32,
+    /// Target latency `T` in milliseconds (Eq. 6).
+    pub target_latency_ms: f32,
+    /// Temperature annealing for the Gumbel-Softmax.
+    pub temperature: TemperatureSchedule,
+    /// Optimizer learning rate.
+    pub lr: f32,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            search_epochs: 6,
+            finetune_epochs: 4,
+            iters_per_epoch: 8,
+            beta: 1.0,
+            target_latency_ms: 0.0,
+            temperature: TemperatureSchedule::standard(),
+            lr: 0.05,
+        }
+    }
+}
+
+/// The outcome of a search run.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Per-slot operator decision.
+    pub choices: Vec<LayerChoice>,
+    /// Task loss measured on the last fine-tuning iteration.
+    pub final_loss: f32,
+    /// Estimated DCN latency overhead of the chosen architecture (Σ t(w)
+    /// over deformable slots), milliseconds.
+    pub dcn_overhead_ms: f64,
+    /// Task-loss trajectory (one value per epoch, search then fine-tune).
+    pub loss_history: Vec<f32>,
+}
+
+impl SearchOutcome {
+    /// Number of slots that chose the deformable operator.
+    pub fn num_dcn(&self) -> usize {
+        self.choices.iter().filter(|&&c| c == LayerChoice::Deformable).count()
+    }
+
+    /// Compact layout string, e.g. `".D..D"` (Fig. 6 style).
+    pub fn layout(&self) -> String {
+        self.choices
+            .iter()
+            .map(|c| if *c == LayerChoice::Deformable { 'D' } else { '.' })
+            .collect()
+    }
+}
+
+/// The interval-search driver.
+pub struct IntervalSearch {
+    /// Hyper-parameters.
+    pub config: SearchConfig,
+    /// Latency table providing `t(w_n)`.
+    pub lut: LatencyLut,
+}
+
+impl IntervalSearch {
+    /// Builds a driver from a config and a pre-collected LUT.
+    pub fn new(config: SearchConfig, lut: LatencyLut) -> Self {
+        IntervalSearch { config, lut }
+    }
+
+    /// Runs Algorithm 1 on `model`, updating `store` in place.
+    pub fn run<M: SearchModel>(&self, model: &mut M, store: &mut ParamStore) -> SearchOutcome {
+        let lat: Vec<f32> =
+            (0..model.num_slots()).map(|i| self.lut.dcn_overhead_ms(&model.latency_key(i)) as f32).collect();
+        let mut opt = Sgd::new(self.config.lr, 0.9, 0.0);
+        let mut loss_history = Vec::new();
+
+        // --- Interval search phase (Algorithm 1, top loop). ---
+        for epoch in 0..self.config.search_epochs {
+            model.set_temperature(self.config.temperature.at(epoch));
+            let mut epoch_loss = 0.0f32;
+            for iter in 0..self.config.iters_per_epoch {
+                store.zero_grads();
+                let mut tape = Tape::new();
+                let task = model.forward_loss(&mut tape, store, epoch * self.config.iters_per_epoch + iter);
+                let alphas: Vec<Var> = (0..model.num_slots()).map(|i| tape.param(store, model.alpha(i))).collect();
+                let penalty = ops::latency_penalty(&mut tape, &alphas, &lat, self.config.target_latency_ms);
+                let weighted = ops::scale(&mut tape, penalty, self.config.beta);
+                let total = ops::add(&mut tape, task, weighted);
+                epoch_loss += tape.value(task).data()[0];
+                tape.backward(total);
+                tape.write_param_grads(store);
+                opt.step(store);
+            }
+            loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
+        }
+
+        // --- Select layer type by the magnitude of α. ---
+        let choices = model.freeze(store);
+        let dcn_overhead_ms: f64 = choices
+            .iter()
+            .zip(lat.iter())
+            .filter(|(c, _)| **c == LayerChoice::Deformable)
+            .map(|(_, &t)| t as f64)
+            .sum();
+
+        // --- Fine-tune the result architecture (Algorithm 1, bottom loop). ---
+        let mut final_loss = f32::NAN;
+        for epoch in 0..self.config.finetune_epochs {
+            let mut epoch_loss = 0.0f32;
+            for iter in 0..self.config.iters_per_epoch {
+                store.zero_grads();
+                let mut tape = Tape::new();
+                let task = model.forward_loss(&mut tape, store, epoch * self.config.iters_per_epoch + iter);
+                final_loss = tape.value(task).data()[0];
+                epoch_loss += final_loss;
+                tape.backward(task);
+                tape.write_param_grads(store);
+                opt.step(store);
+            }
+            loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
+        }
+
+        SearchOutcome { choices, final_loss, dcn_overhead_ms, loss_history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_gpusim::{DeviceConfig, Gpu};
+    use defcon_kernels::op::{OffsetPredictorKind, SamplingMethod};
+    use defcon_nn::loss;
+    use defcon_nn::modules::{DualPathConv, Module};
+    use defcon_tensor::sample::DeformConv2dParams;
+    use defcon_tensor::Tensor;
+
+    /// A 2-slot synthetic supernet on a task where *deformation helps*:
+    /// the target is the input sampled at a constant spatial shift, which a
+    /// DCN can express exactly and a rigid 3×3 conv cannot.
+    struct ToyNet {
+        slots: Vec<DualPathConv>,
+        data: Vec<(Tensor, Tensor)>,
+    }
+
+    impl ToyNet {
+        fn new(store: &mut ParamStore) -> Self {
+            let p = DeformConv2dParams::same3x3();
+            let slots = vec![
+                DualPathConv::new(store, "s0", 1, 1, p, true, 1),
+                DualPathConv::new(store, "s1", 1, 1, p, true, 2),
+            ];
+            // Target: identity shifted by (2, 1) — outside a 3x3 receptive
+            // field for a single layer.
+            let mut data = Vec::new();
+            for seed in 0..4u64 {
+                let x = Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, 100 + seed);
+                let mut y = Tensor::zeros(&[1, 1, 8, 8]);
+                for yy in 0..8usize {
+                    for xx in 0..8usize {
+                        let (sy, sx) = (yy + 2, xx + 1);
+                        if sy < 8 && sx < 8 {
+                            *y.at4_mut(0, 0, yy, xx) = x.at4(0, 0, sy, sx);
+                        }
+                    }
+                }
+                data.push((x, y));
+            }
+            ToyNet { slots, data }
+        }
+    }
+
+    impl SearchModel for ToyNet {
+        fn num_slots(&self) -> usize {
+            self.slots.len()
+        }
+        fn alpha(&self, i: usize) -> ParamId {
+            self.slots[i].alpha
+        }
+        fn latency_key(&self, _i: usize) -> LatencyKey {
+            LatencyKey { c_in: 16, c_out: 16, h: 16, w: 16, stride: 1 }
+        }
+        fn set_temperature(&mut self, tau: f32) {
+            for s in &mut self.slots {
+                s.tau = tau;
+            }
+        }
+        fn forward_loss(&mut self, tape: &mut Tape, store: &ParamStore, batch: usize) -> Var {
+            let (x, y) = &self.data[batch % self.data.len()];
+            let mut h = tape.input(x.clone());
+            for s in &mut self.slots {
+                h = s.forward(tape, store, h);
+            }
+            loss::mse(tape, h, y)
+        }
+        fn freeze(&mut self, store: &ParamStore) -> Vec<LayerChoice> {
+            self.slots.iter_mut().map(|s| s.freeze(store)).collect()
+        }
+    }
+
+    fn tiny_lut() -> LatencyLut {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        LatencyLut::build(
+            &gpu,
+            &[LatencyKey { c_in: 16, c_out: 16, h: 16, w: 16, stride: 1 }],
+            SamplingMethod::SoftwareBilinear,
+            OffsetPredictorKind::Standard,
+        )
+    }
+
+    #[test]
+    fn search_runs_and_freezes() {
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let cfg = SearchConfig { search_epochs: 3, finetune_epochs: 2, iters_per_epoch: 4, ..Default::default() };
+        let search = IntervalSearch::new(cfg, tiny_lut());
+        let out = search.run(&mut net, &mut store);
+        assert_eq!(out.choices.len(), 2);
+        assert_eq!(out.loss_history.len(), 5);
+        assert_eq!(out.layout().len(), 2);
+        // After freezing, the DCN overhead is the sum over chosen slots.
+        let per_slot = search.lut.dcn_overhead_ms(&net.latency_key(0));
+        assert!((out.dcn_overhead_ms - per_slot * out.num_dcn() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_improves_over_search() {
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let cfg = SearchConfig {
+            search_epochs: 6,
+            finetune_epochs: 6,
+            iters_per_epoch: 8,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let search = IntervalSearch::new(cfg, tiny_lut());
+        let out = search.run(&mut net, &mut store);
+        let first = out.loss_history[0];
+        let last = *out.loss_history.last().unwrap();
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn tight_latency_budget_suppresses_dcns() {
+        // With a zero-latency target and a huge β, the penalty should push
+        // α¹ below α⁰ everywhere → no deformable layers survive.
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let cfg = SearchConfig {
+            search_epochs: 8,
+            finetune_epochs: 1,
+            iters_per_epoch: 6,
+            // β must dominate the task gradient given the small per-layer
+            // t(w) of this toy LUT (the penalty scales with t²).
+            beta: 1e7,
+            target_latency_ms: 0.0,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let search = IntervalSearch::new(cfg, tiny_lut());
+        let out = search.run(&mut net, &mut store);
+        assert_eq!(out.num_dcn(), 0, "layout {}", out.layout());
+    }
+
+    #[test]
+    fn loose_budget_lets_dcns_win_on_deformed_task() {
+        // With no pressure (β=0) on a task built around spatial shift, at
+        // least one slot should pick the deformable path.
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let cfg = SearchConfig {
+            search_epochs: 10,
+            finetune_epochs: 1,
+            iters_per_epoch: 8,
+            beta: 0.0,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let search = IntervalSearch::new(cfg, tiny_lut());
+        let out = search.run(&mut net, &mut store);
+        assert!(out.num_dcn() >= 1, "expected DCN to win somewhere, layout {}", out.layout());
+    }
+}

@@ -1,0 +1,198 @@
+//! Set-associative LRU cache model.
+
+use crate::device::CacheGeometry;
+
+/// Result of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Line present.
+    Hit,
+    /// Line filled from the next level.
+    Miss,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tags are full line addresses; timestamps implement LRU. The model tracks
+/// hits and misses only — data never moves through it (numerics live on the
+/// CPU side of each kernel).
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: usize,
+    /// `tags[set * ways + way]`, `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Per-line last-use stamps for LRU.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache from a geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.num_sets();
+        Cache {
+            geometry,
+            sets,
+            tags: vec![u64::MAX; sets * geometry.ways],
+            stamps: vec![0; sets * geometry.ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.geometry.line_bytes
+    }
+
+    /// Maps a byte address to its line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.geometry.line_bytes as u64
+    }
+
+    /// Accesses one byte address; loads the containing line on miss.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.access_line(self.line_of(addr))
+    }
+
+    /// Accesses one *line* address directly (the coalescer works in lines).
+    pub fn access_line(&mut self, line: u64) -> Access {
+        self.clock += 1;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.geometry.ways;
+        let ways = &mut self.tags[base..base + self.geometry.ways];
+
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            self.hits += 1;
+            return Access::Hit;
+        }
+        // Miss: replace LRU way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.geometry.ways {
+            let s = self.stamps[base + w];
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if s < oldest {
+                oldest = s;
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        self.misses += 1;
+        Access::Miss
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Invalidates all lines but keeps the statistics (used between thread
+    /// blocks for per-SM caches).
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::CacheGeometry;
+
+    fn tiny() -> Cache {
+        // 4 sets * 2 ways * 64B lines = 512 B
+        Cache::new(CacheGeometry { size_bytes: 512, line_bytes: 64, ways: 2, hit_latency: 1 })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(4), Access::Hit); // same line
+        assert_eq!(c.access(64), Access::Miss); // next line
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines in the same set (stride = sets * line = 256B).
+        c.access(0);
+        c.access(256);
+        c.access(512); // evicts line 0
+        assert_eq!(c.access(256), Access::Hit);
+        assert_eq!(c.access(0), Access::Miss);
+    }
+
+    #[test]
+    fn lru_refresh_on_hit() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(256);
+        c.access(0); // refresh line 0
+        c.access(512); // should evict 256, not 0
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(256), Access::Miss);
+    }
+
+    #[test]
+    fn flush_clears_contents_not_stats() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_on_second_pass() {
+        let mut c = tiny();
+        for i in 0..8 {
+            c.access(i * 64);
+        }
+        c.reset_stats();
+        for i in 0..8 {
+            assert_eq!(c.access(i * 64), Access::Hit, "line {i}");
+        }
+    }
+}

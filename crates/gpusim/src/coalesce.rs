@@ -1,0 +1,110 @@
+//! The memory coalescing unit.
+//!
+//! A warp's 32 lane addresses are merged into the minimal set of 32-byte
+//! *sectors* (the granularity NVIDIA's LSU requests from L1/L2 since
+//! Pascal). `gld_transactions` counts sectors; `gld_efficiency` is the ratio
+//! of bytes the program asked for to bytes the memory system had to move —
+//! exactly the two derived metrics Fig. 10 of the paper plots.
+
+/// Sector size in bytes (NVIDIA global-memory transaction granularity).
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Result of coalescing one warp-wide memory instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoalesceResult {
+    /// Unique 32-byte sector addresses (sector index, not byte address),
+    /// sorted ascending.
+    pub sectors: Vec<u64>,
+    /// Bytes actually requested by active lanes.
+    pub requested_bytes: u64,
+}
+
+impl CoalesceResult {
+    /// Number of memory transactions this instruction generated.
+    pub fn transactions(&self) -> u64 {
+        self.sectors.len() as u64
+    }
+
+    /// Bytes moved by the memory system.
+    pub fn moved_bytes(&self) -> u64 {
+        self.transactions() * SECTOR_BYTES
+    }
+
+    /// `requested / moved`, the per-instruction load efficiency.
+    pub fn efficiency(&self) -> f64 {
+        if self.sectors.is_empty() {
+            1.0
+        } else {
+            self.requested_bytes as f64 / self.moved_bytes() as f64
+        }
+    }
+}
+
+/// Coalesces a warp's lane addresses (each lane reads `access_bytes`,
+/// typically 4 for `f32`). Inactive lanes are simply absent from `addrs`.
+pub fn coalesce(addrs: &[u64], access_bytes: u64) -> CoalesceResult {
+    let mut sectors: Vec<u64> = Vec::with_capacity(addrs.len());
+    for &a in addrs {
+        // An access may straddle a sector boundary; cover all touched sectors.
+        let first = a / SECTOR_BYTES;
+        let last = (a + access_bytes - 1) / SECTOR_BYTES;
+        for s in first..=last {
+            sectors.push(s);
+        }
+    }
+    sectors.sort_unstable();
+    sectors.dedup();
+    CoalesceResult { sectors, requested_bytes: addrs.len() as u64 * access_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_is_four_sectors() {
+        // 32 lanes * 4B contiguous = 128B = 4 sectors; efficiency 1.0.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        let r = coalesce(&addrs, 4);
+        assert_eq!(r.transactions(), 4);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_access_wastes_bandwidth() {
+        // Stride-32B: every lane lands in its own sector.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        let r = coalesce(&addrs, 4);
+        assert_eq!(r.transactions(), 32);
+        assert!((r.efficiency() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_access_is_one_sector() {
+        let addrs = vec![100u64; 32];
+        let r = coalesce(&addrs, 4);
+        assert_eq!(r.transactions(), 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_sectors() {
+        let r = coalesce(&[30], 4); // bytes 30..34 cross the 32B boundary
+        assert_eq!(r.transactions(), 2);
+    }
+
+    #[test]
+    fn partial_warp_counts_only_active_lanes() {
+        let addrs: Vec<u64> = (0..8).map(|i| i * 4).collect();
+        let r = coalesce(&addrs, 4);
+        assert_eq!(r.requested_bytes, 32);
+        assert_eq!(r.transactions(), 1);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_warp_is_free() {
+        let r = coalesce(&[], 4);
+        assert_eq!(r.transactions(), 0);
+        assert_eq!(r.efficiency(), 1.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The launch engine: drives block traces through the memory system and
+//! integrates time with a roofline-plus-latency model.
+
+use crate::cache::Cache;
+use crate::device::DeviceConfig;
+use crate::report::{Counters, KernelReport};
+use crate::trace::{BlockCost, BlockTrace, TraceSink};
+
+/// Block-sampling policy for large grids.
+///
+/// Simulating every thread block of a 550×550 feature map is unnecessary:
+/// blocks of a convolution grid are statistically interchangeable. The
+/// engine simulates a deterministic stratified sample (every `k`-th block,
+/// covering the whole grid) and scales both time and counters by the
+/// sampling factor.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplePolicy {
+    /// Maximum number of blocks to simulate.
+    pub max_blocks: usize,
+}
+
+impl Default for SamplePolicy {
+    fn default() -> Self {
+        SamplePolicy { max_blocks: 96 }
+    }
+}
+
+impl SamplePolicy {
+    /// Simulate every block, no sampling.
+    pub fn exhaustive() -> Self {
+        SamplePolicy { max_blocks: usize::MAX }
+    }
+
+    /// The stratified block indices to simulate for a `grid`-block launch.
+    pub fn select(&self, grid: usize) -> Vec<usize> {
+        if grid <= self.max_blocks {
+            (0..grid).collect()
+        } else {
+            // Even stride over the grid; always includes block 0.
+            let stride = grid as f64 / self.max_blocks as f64;
+            (0..self.max_blocks).map(|i| ((i as f64 * stride) as usize).min(grid - 1)).collect()
+        }
+    }
+}
+
+/// Average outstanding memory requests a warp can keep in flight — scales
+/// how much latency the warp scheduler can hide.
+const MLP_PER_WARP: f64 = 4.0;
+
+/// The simulated GPU.
+pub struct Gpu {
+    cfg: DeviceConfig,
+    policy: SamplePolicy,
+}
+
+impl Gpu {
+    /// A GPU with the default sampling policy.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Gpu { cfg, policy: SamplePolicy::default() }
+    }
+
+    /// Overrides the sampling policy.
+    pub fn with_policy(cfg: DeviceConfig, policy: SamplePolicy) -> Self {
+        Gpu { cfg, policy }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Simulates one kernel launch and returns its report.
+    ///
+    /// Per-SM caches (L1, texture) are flushed between blocks — blocks are
+    /// independent CTAs and, under sampling, generally not neighbours on the
+    /// same SM. The L2 persists across the launch.
+    pub fn launch(&self, kernel: &dyn BlockTrace) -> KernelReport {
+        let grid = kernel.grid_blocks();
+        assert!(grid > 0, "empty grid");
+        let threads = kernel.block_threads();
+        let warps = threads.div_ceil(self.cfg.warp_size);
+
+        let mut l1 = Cache::new(self.cfg.l1);
+        let mut tex = Cache::new(self.cfg.tex_cache);
+        let mut l2 = Cache::new(self.cfg.l2);
+
+        let sample = self.policy.select(grid);
+        let scale = grid as f64 / sample.len() as f64;
+
+        let mut counters = Counters::default();
+        let mut sm_cycles_total = 0.0f64;
+        for &b in &sample {
+            l1.flush();
+            tex.flush();
+            let mut sink = TraceSink::new(&self.cfg, &mut l1, &mut tex, &mut l2, warps);
+            kernel.trace_block(b, &mut sink);
+            sm_cycles_total += self.block_cycles(&sink.cost);
+            counters.merge(&sink.counters);
+        }
+        let counters = counters.scale(scale);
+
+        // Kernel cycles: SM work spread over all SMs, but never faster than
+        // DRAM can feed the chip.
+        let sm_term = sm_cycles_total * scale / self.cfg.num_sms as f64;
+        let dram_bytes = (counters.dram_read_bytes + counters.dram_write_bytes) as f64;
+        let dram_term = dram_bytes / self.cfg.dram_bytes_per_cycle();
+        // A grid smaller than the SM count cannot use the whole chip.
+        let usable_sms = grid.min(self.cfg.num_sms) as f64;
+        let sm_term = sm_term * (self.cfg.num_sms as f64 / usable_sms);
+        let cycles = sm_term.max(dram_term);
+
+        let time_ms = self.cfg.cycles_to_ms(cycles) + self.cfg.launch_overhead_us * 1e-3;
+        KernelReport {
+            device: self.cfg.name.clone(),
+            kernel: kernel.label(),
+            time_ms,
+            cycles,
+            grid_blocks: grid,
+            simulated_blocks: sample.len(),
+            counters,
+        }
+    }
+
+    /// Time for one block on one SM.
+    ///
+    /// Each pipe's occupancy is computed independently; the busiest pipe
+    /// sets the floor and a configurable fraction of the other pipes' work
+    /// hides beneath it (`overlap_efficiency`). Exposed memory latency
+    /// (scaled down by warp-level parallelism) bounds the result from below
+    /// when occupancy is poor.
+    fn block_cycles(&self, c: &BlockCost) -> f64 {
+        // An FMA retires per lane per cycle; flop_units counts scalar flops
+        // where an FMA contributed 2, so peak is 2×lanes per cycle.
+        let compute = c.flop_units as f64 / (2.0 * self.cfg.fp32_lanes_per_sm as f64);
+        let alu = c.alu_units as f64 / self.cfg.alu_lanes_per_sm as f64;
+        // LSU: one 128B line (4 sectors) per cycle.
+        let lsu = c.lsu_sectors as f64 / 4.0;
+        let texp = c.tex_fetches_fp32 as f64 / self.cfg.tex_filter_rate_fp32
+            + c.tex_fetches_fp16 as f64 / self.cfg.tex_filter_rate_fp16;
+        let pipes = [compute, alu, lsu, texp];
+        let busiest = pipes.iter().copied().fold(0.0f64, f64::max);
+        let total: f64 = pipes.iter().sum();
+        let throughput = busiest + (1.0 - self.cfg.overlap_efficiency) * (total - busiest);
+        let parallelism = (c.warps.min(self.cfg.max_warps_per_sm) as f64 * MLP_PER_WARP).max(1.0);
+        let latency = c.latency_cycles as f64 / parallelism;
+        throughput.max(latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::texture::LayeredTexture2d;
+    use crate::trace::TraceSink;
+
+    /// A toy kernel: every block streams `loads_per_thread` coalesced loads
+    /// and does `fma_per_thread` FMAs.
+    struct StreamKernel {
+        blocks: usize,
+        threads: usize,
+        loads_per_thread: usize,
+        fma_per_thread: usize,
+    }
+
+    impl BlockTrace for StreamKernel {
+        fn grid_blocks(&self) -> usize {
+            self.blocks
+        }
+        fn block_threads(&self) -> usize {
+            self.threads
+        }
+        fn trace_block(&self, block: usize, sink: &mut TraceSink) {
+            let warps = self.threads / 32;
+            for w in 0..warps {
+                for l in 0..self.loads_per_thread {
+                    let base = ((block * warps + w) * self.loads_per_thread + l) as u64 * 128;
+                    let addrs: Vec<u64> = (0..32).map(|i| base + i * 4).collect();
+                    sink.global_load(&addrs);
+                }
+                sink.fma((32 * self.fma_per_thread) as u64);
+            }
+        }
+        fn label(&self) -> String {
+            "stream".into()
+        }
+    }
+
+    #[test]
+    fn more_work_takes_more_time() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let small = gpu.launch(&StreamKernel { blocks: 16, threads: 256, loads_per_thread: 4, fma_per_thread: 16 });
+        let big = gpu.launch(&StreamKernel { blocks: 64, threads: 256, loads_per_thread: 4, fma_per_thread: 16 });
+        assert!(big.time_ms > small.time_ms);
+    }
+
+    #[test]
+    fn faster_device_is_faster() {
+        let k = StreamKernel { blocks: 256, threads: 256, loads_per_thread: 8, fma_per_thread: 64 };
+        let xavier = Gpu::new(DeviceConfig::xavier_agx()).launch(&k);
+        let turing = Gpu::new(DeviceConfig::rtx2080ti()).launch(&k);
+        assert!(
+            turing.time_ms < xavier.time_ms,
+            "2080Ti {} vs Xavier {}",
+            turing.time_ms,
+            xavier.time_ms
+        );
+    }
+
+    #[test]
+    fn sampling_preserves_scale_of_counters() {
+        let k = StreamKernel { blocks: 1000, threads: 64, loads_per_thread: 2, fma_per_thread: 4 };
+        let exhaustive = Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy::exhaustive()).launch(&k);
+        let sampled = Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy { max_blocks: 50 }).launch(&k);
+        assert_eq!(sampled.simulated_blocks, 50);
+        let ratio = sampled.counters.gld_requests as f64 / exhaustive.counters.gld_requests as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "counter extrapolation off by {ratio}");
+        let t_ratio = sampled.time_ms / exhaustive.time_ms;
+        assert!((t_ratio - 1.0).abs() < 0.15, "time extrapolation off by {t_ratio}");
+    }
+
+    #[test]
+    fn sample_policy_covers_grid() {
+        let p = SamplePolicy { max_blocks: 10 };
+        let idx = p.select(1000);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx[0], 0);
+        assert!(*idx.last().unwrap() >= 900);
+        // No sampling when the grid is small.
+        assert_eq!(p.select(5), vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Texture-heavy vs. scattered-global kernels: the texture path must be
+    /// faster — this is the microarchitectural core of the whole paper.
+    struct BilinearKernel {
+        use_texture: bool,
+        tex: LayeredTexture2d,
+        blocks: usize,
+    }
+
+    impl BlockTrace for BilinearKernel {
+        fn grid_blocks(&self) -> usize {
+            self.blocks
+        }
+        fn block_threads(&self) -> usize {
+            128
+        }
+        fn trace_block(&self, block: usize, sink: &mut TraceSink) {
+            // Each warp's 32 lanes cover consecutive output pixels; every
+            // tap is one warp instruction.
+            let mut out = Vec::with_capacity(32);
+            for w in 0..4usize {
+                let lane_pos: Vec<(f32, f32)> = (0..32)
+                    .map(|lane| {
+                        let t = (block * 128 + w * 32 + lane) % (56 * 56);
+                        ((t / 56) as f32 + 0.37, (t % 56) as f32 + 0.61)
+                    })
+                    .collect();
+                for tap in 0..9usize {
+                    // Deformable sampling: each lane's tap lands at its own
+                    // learned offset — lanes diverge by a few pixels, which
+                    // is what wrecks coalescing in the software kernel.
+                    let jitter = |lane: usize| {
+                        let dy = ((lane * 7 + tap * 3) % 9) as f32 - 4.0 + 0.4;
+                        let dx = ((lane * 5 + tap * 11) % 9) as f32 - 4.0 + 0.7;
+                        (dy, dx)
+                    };
+                    if self.use_texture {
+                        let coords: Vec<(f32, f32)> = lane_pos
+                            .iter()
+                            .enumerate()
+                            .map(|(lane, &(y, x))| {
+                                let (dy, dx) = jitter(lane);
+                                (y + dy, x + dx)
+                            })
+                            .collect();
+                        out.clear();
+                        sink.tex_fetch_warp(&self.tex, 0, &coords, &mut out);
+                        sink.fma(32);
+                    } else {
+                        // Software bilinear: 4 warp loads (one per
+                        // neighbour), scattered per lane, + ~8 flops/lane.
+                        for (oy, ox) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+                            let addrs: Vec<u64> = lane_pos
+                                .iter()
+                                .enumerate()
+                                .map(|(lane, &(y, x))| {
+                                    let (dy, dx) = jitter(lane);
+                                    let yy = (y + dy).max(0.0) as u64 + oy;
+                                    let xx = (x + dx).max(0.0) as u64 + ox;
+                                    (yy * 64 + xx) * 4
+                                })
+                                .collect();
+                            sink.global_load(&addrs);
+                        }
+                        sink.flop(8 * 32);
+                        sink.fma(32);
+                        sink.alu(6 * 32); // boundary branches + address math
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn texture_bilinear_beats_software_bilinear() {
+        let data = vec![1.0f32; 64 * 64];
+        let mk = |use_texture| BilinearKernel {
+            use_texture,
+            tex: LayeredTexture2d::new(data.clone(), 1, 64, 64, 1 << 32, 2048, 32768).unwrap(),
+            blocks: 64,
+        };
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let sw = gpu.launch(&mk(false));
+        let hw = gpu.launch(&mk(true));
+        assert!(
+            hw.time_ms < sw.time_ms,
+            "texture path ({} ms) should beat software path ({} ms)",
+            hw.time_ms,
+            sw.time_ms
+        );
+        assert!(sw.counters.flops > 3 * hw.counters.flops, "software path should burn ~4x flops");
+        assert_eq!(hw.counters.gld_requests, 0);
+        assert!(hw.counters.tex_requests > 0);
+        assert!(sw.counters.gld_efficiency() < 100.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Mipmapped arrays — the *other* layered texture type (paper §III-B).
+//!
+//! CUDA offers two layered texture storages: layered textures and
+//! mipmapped arrays. A mipmap is a pre-computed pyramid of progressively
+//! half-resolution images, filtered trilinearly between adjacent levels.
+//! The paper examines and **rejects** mipmaps for deformable convolution:
+//! "due to the pyramidal structure of mipmaps, each layer must be loaded
+//! and computed using the previous layer. Since this functionality is
+//! inconsistent with our desired behavior, we use a layered texture."
+//!
+//! This module implements the mipmapped array anyway — pyramid
+//! construction, LOD selection and trilinear filtering — both for
+//! completeness of the texture-unit model and to *demonstrate* the paper's
+//! argument in a test: sampling a feature map through any LOD > 0 is a
+//! low-pass operation that destroys the exact-pixel semantics deformable
+//! convolution needs (level 0 of a mipmap is just a layered texture with
+//! extra memory).
+
+use crate::texture::{AddressMode, FilterMode, LayeredTexture2d, TextureLimitError};
+
+/// A mipmapped 2-D array: a pyramid of [`LayeredTexture2d`]s, level 0 at
+/// full resolution, each subsequent level half the extent (floor, min 1),
+/// built with a 2×2 box filter as GPU runtimes do.
+pub struct MipmappedArray2d {
+    levels: Vec<LayeredTexture2d>,
+}
+
+impl MipmappedArray2d {
+    /// Builds the full pyramid from row-major layer data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        data: Vec<f32>,
+        layers: usize,
+        height: usize,
+        width: usize,
+        base_addr: u64,
+        max_layers: usize,
+        max_dim: usize,
+    ) -> Result<Self, TextureLimitError> {
+        let mut levels = Vec::new();
+        let mut cur = data;
+        let (mut h, mut w) = (height, width);
+        let mut addr = base_addr;
+        loop {
+            let tex = LayeredTexture2d::new(cur.clone(), layers, h, w, addr, max_layers, max_dim)?;
+            addr += tex.size_bytes() as u64;
+            levels.push(tex);
+            if h == 1 && w == 1 {
+                break;
+            }
+            // 2x2 box-filter downsample (clamping at odd edges).
+            let (nh, nw) = ((h / 2).max(1), (w / 2).max(1));
+            let mut next = vec![0.0f32; layers * nh * nw];
+            for l in 0..layers {
+                for y in 0..nh {
+                    for x in 0..nw {
+                        let mut acc = 0.0f32;
+                        let mut cnt = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (sy, sx) = (2 * y + dy, 2 * x + dx);
+                                if sy < h && sx < w {
+                                    acc += cur[(l * h + sy) * w + sx];
+                                    cnt += 1;
+                                }
+                            }
+                        }
+                        next[(l * nh + y) * nw + x] = acc / cnt as f32;
+                    }
+                }
+            }
+            cur = next;
+            h = nh;
+            w = nw;
+        }
+        Ok(MipmappedArray2d { levels })
+    }
+
+    /// Number of pyramid levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Immutable access to one level.
+    pub fn level(&self, lod: usize) -> &LayeredTexture2d {
+        &self.levels[lod]
+    }
+
+    /// Total memory footprint — strictly larger than a plain layered
+    /// texture of the same base image (the pyramid costs ≈ 1/3 extra).
+    pub fn size_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.size_bytes()).sum()
+    }
+
+    /// Sets addressing/filtering on every level.
+    pub fn configure(&mut self, address: AddressMode, filter: FilterMode) {
+        for l in &mut self.levels {
+            l.address_mode = address;
+            l.filter_mode = filter;
+        }
+    }
+
+    /// Trilinear fetch: bilinear samples at `floor(lod)` and `ceil(lod)`,
+    /// linearly blended by the LOD fraction. Coordinates are given in
+    /// level-0 texel space and scaled per level.
+    pub fn fetch_trilinear(&self, layer: usize, y: f32, x: f32, lod: f32) -> f32 {
+        let lod = lod.clamp(0.0, (self.levels.len() - 1) as f32);
+        let l0 = lod.floor() as usize;
+        let l1 = (l0 + 1).min(self.levels.len() - 1);
+        let frac = lod - l0 as f32;
+        let sample = |lvl: usize| {
+            let scale = (1u32 << lvl) as f32;
+            self.levels[lvl].fetch(layer, y / scale, x / scale).value
+        };
+        let v0 = sample(l0);
+        if frac == 0.0 || l0 == l1 {
+            v0
+        } else {
+            (1.0 - frac) * v0 + frac * sample(l1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image(h: usize, w: usize) -> Vec<f32> {
+        (0..h * w).map(|i| (i % w) as f32).collect()
+    }
+
+    #[test]
+    fn pyramid_has_log2_levels() {
+        let m = MipmappedArray2d::new(gradient_image(64, 64), 1, 64, 64, 0, 2048, 32768).unwrap();
+        assert_eq!(m.num_levels(), 7); // 64,32,16,8,4,2,1
+        assert_eq!(m.level(6).height(), 1);
+    }
+
+    #[test]
+    fn level0_is_exact_and_higher_levels_are_filtered() {
+        let m = MipmappedArray2d::new(gradient_image(8, 8), 1, 8, 8, 0, 2048, 32768).unwrap();
+        // LOD 0 at texel centers = raw data (layered-texture semantics).
+        assert_eq!(m.fetch_trilinear(0, 2.0, 3.0, 0.0), 3.0);
+        // LOD 1 is a 2x2 box filter: texel (1,1) of level 1 = mean of
+        // columns 2,3 = 2.5.
+        assert!((m.level(1).texel(0, 1, 1) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pyramid_costs_about_a_third_extra() {
+        let m = MipmappedArray2d::new(vec![0.0; 64 * 64], 1, 64, 64, 0, 2048, 32768).unwrap();
+        let base = m.level(0).size_bytes() as f64;
+        let total = m.size_bytes() as f64;
+        assert!(total / base > 1.25 && total / base < 1.6, "pyramid overhead {}", total / base);
+    }
+
+    #[test]
+    fn trilinear_blends_between_levels() {
+        // Constant-per-level check: build an image whose level-1 mean
+        // differs from level-0 values at a probe point.
+        let mut img = vec![0.0f32; 16];
+        img[0] = 4.0; // level1 texel(0,0) = 1.0, level0 texel(0,0) = 4.0
+        let m = MipmappedArray2d::new(img, 1, 4, 4, 0, 2048, 32768).unwrap();
+        let v0 = m.fetch_trilinear(0, 0.0, 0.0, 0.0);
+        let v1 = m.fetch_trilinear(0, 0.0, 0.0, 1.0);
+        let vh = m.fetch_trilinear(0, 0.0, 0.0, 0.5);
+        assert_eq!(v0, 4.0);
+        assert!((v1 - 1.0).abs() < 1e-6);
+        assert!((vh - 2.5).abs() < 1e-6, "halfway blend {vh}");
+    }
+
+    /// The paper's §III-B argument, as a test: deformable convolution needs
+    /// exact per-pixel values; any LOD > 0 low-passes the feature map and
+    /// changes the sampled values, so a mipmap buys nothing over its level
+    /// 0 (a plain layered texture) while costing extra memory and
+    /// level-by-level construction.
+    #[test]
+    fn mipmaps_are_unsuitable_for_deformable_sampling() {
+        let data: Vec<f32> = (0..256).map(|i| ((i * 37) % 19) as f32).collect();
+        let m = MipmappedArray2d::new(data.clone(), 1, 16, 16, 0, 2048, 32768).unwrap();
+        let flat = LayeredTexture2d::new(data, 1, 16, 16, 1 << 20, 2048, 32768).unwrap();
+        let mut max_err_l0 = 0.0f32;
+        let mut max_err_l1 = 0.0f32;
+        for i in 0..50 {
+            let y = (i as f32 * 0.29) % 14.0;
+            let x = (i as f32 * 0.53) % 14.0;
+            let exact = flat.fetch(0, y, x).value;
+            max_err_l0 = max_err_l0.max((m.fetch_trilinear(0, y, x, 0.0) - exact).abs());
+            max_err_l1 = max_err_l1.max((m.fetch_trilinear(0, y, x, 1.0) - exact).abs());
+        }
+        assert!(max_err_l0 < 1e-6, "level 0 must equal the layered texture");
+        assert!(max_err_l1 > 0.5, "LOD 1 should visibly low-pass the features (err {max_err_l1})");
+    }
+}

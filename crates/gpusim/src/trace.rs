@@ -1,0 +1,318 @@
+//! The trace interface between kernels and the timing engine.
+//!
+//! A kernel implements [`BlockTrace`]; the engine calls
+//! [`BlockTrace::trace_block`] once per simulated thread block, handing it a
+//! [`TraceSink`]. The sink processes every event *immediately* — coalescing
+//! warp loads, walking the cache hierarchy, bumping counters and
+//! accumulating pipe occupancies — so traces never materialize in memory.
+
+use crate::cache::{Access, Cache};
+use crate::coalesce::{coalesce, SECTOR_BYTES};
+use crate::device::DeviceConfig;
+use crate::report::Counters;
+use crate::texture::{FilterMode, LayeredTexture2d};
+
+/// A kernel, from the simulator's point of view: a grid of identical thread
+/// blocks, each able to describe its own work.
+pub trait BlockTrace {
+    /// Number of thread blocks in the grid.
+    fn grid_blocks(&self) -> usize;
+    /// Threads per block.
+    fn block_threads(&self) -> usize;
+    /// Emits block `block`'s instruction stream into the sink.
+    fn trace_block(&self, block: usize, sink: &mut TraceSink);
+    /// Label used in reports.
+    fn label(&self) -> String {
+        "kernel".into()
+    }
+}
+
+/// Per-block pipe occupancies, in *scalar operation* units; converted to
+/// cycles by the engine.
+#[derive(Clone, Debug, Default)]
+pub struct BlockCost {
+    /// Scalar FP ops (an FMA contributes 2).
+    pub flop_units: u64,
+    /// Scalar integer/address ops.
+    pub alu_units: u64,
+    /// Sectors through the LSU (L1 path).
+    pub lsu_sectors: u64,
+    /// Texture fetches at fp32 filter precision.
+    pub tex_fetches_fp32: u64,
+    /// Texture fetches at reduced filter precision.
+    pub tex_fetches_fp16: u64,
+    /// Sum of exposed memory latencies (cycles) over warp instructions.
+    pub latency_cycles: u64,
+    /// Warps in the block (for latency-hiding capacity).
+    pub warps: usize,
+}
+
+/// The event sink handed to kernels.
+///
+/// Owns the per-SM caches for the current block (L1 and texture cache are
+/// flushed between blocks by the engine) and borrows the launch-wide L2.
+pub struct TraceSink<'a> {
+    cfg: &'a DeviceConfig,
+    l1: &'a mut Cache,
+    tex: &'a mut Cache,
+    l2: &'a mut Cache,
+    /// Counters for the current block.
+    pub counters: Counters,
+    /// Pipe occupancies for the current block.
+    pub cost: BlockCost,
+}
+
+impl<'a> TraceSink<'a> {
+    /// Builds a sink over the engine's cache state.
+    pub fn new(cfg: &'a DeviceConfig, l1: &'a mut Cache, tex: &'a mut Cache, l2: &'a mut Cache, warps: usize) -> Self {
+        TraceSink {
+            cfg,
+            l1,
+            tex,
+            l2,
+            counters: Counters::default(),
+            cost: BlockCost { warps, ..Default::default() },
+        }
+    }
+
+    /// Records `n` scalar fused multiply-adds (2 flops each).
+    #[inline]
+    pub fn fma(&mut self, n: u64) {
+        self.counters.flops += 2 * n;
+        self.cost.flop_units += n;
+    }
+
+    /// Records `n` scalar non-FMA floating-point ops.
+    #[inline]
+    pub fn flop(&mut self, n: u64) {
+        self.counters.flops += n;
+        self.cost.flop_units += n;
+    }
+
+    /// Records `n` scalar integer/addressing ops.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.counters.alu_ops += n;
+        self.cost.alu_units += n;
+    }
+
+    /// One warp-level global **load** instruction over the given lane byte
+    /// addresses (4-byte accesses). Coalesces into sectors, walks
+    /// L1 → L2 → DRAM, accumulates latency of the slowest sector.
+    pub fn global_load(&mut self, lane_addrs: &[u64]) {
+        if lane_addrs.is_empty() {
+            return;
+        }
+        let r = coalesce(lane_addrs, 4);
+        self.counters.gld_requests += 1;
+        self.counters.gld_transactions += r.transactions();
+        self.counters.gld_requested_bytes += r.requested_bytes;
+        let mut worst = 0u32;
+        for &sector in &r.sectors {
+            // Sectors are 32B; the caches track 128B lines.
+            let line = sector * SECTOR_BYTES / self.l1.line_bytes() as u64;
+            let lat = self.global_line_access(line);
+            worst = worst.max(lat);
+        }
+        self.cost.lsu_sectors += r.transactions();
+        self.cost.latency_cycles += worst as u64;
+    }
+
+    /// One warp-level global **store** instruction. Stores are modelled as
+    /// write-through to DRAM (no allocate), which matches how NVIDIA L1s
+    /// treat global writes.
+    pub fn global_store(&mut self, lane_addrs: &[u64]) {
+        if lane_addrs.is_empty() {
+            return;
+        }
+        let r = coalesce(lane_addrs, 4);
+        self.counters.gst_requests += 1;
+        self.counters.gst_transactions += r.transactions();
+        self.counters.gst_requested_bytes += r.requested_bytes;
+        self.counters.dram_write_bytes += r.moved_bytes();
+        self.cost.lsu_sectors += r.transactions();
+    }
+
+    fn global_line_access(&mut self, line: u64) -> u32 {
+        self.counters.l1_accesses += 1;
+        if self.l1.access_line(line) == Access::Hit {
+            self.counters.l1_hits += 1;
+            return self.cfg.l1.hit_latency;
+        }
+        self.counters.l2_accesses += 1;
+        if self.l2.access_line(line) == Access::Hit {
+            self.counters.l2_hits += 1;
+            return self.cfg.l2.hit_latency;
+        }
+        self.counters.dram_read_bytes += SECTOR_BYTES;
+        self.cfg.dram_latency
+    }
+
+    /// One warp-level texture instruction: every lane fetches a
+    /// hardware-filtered sample of `tex` in `layer` at its own fractional
+    /// coordinates. Filtered values are written to `out` (one per
+    /// coordinate). All cache traffic and filter-pipe occupancy is
+    /// accounted here; the warp stalls once on the slowest footprint line,
+    /// mirroring how a `TLD` instruction retires. Border handling costs
+    /// nothing — that is the point of the texture path.
+    pub fn tex_fetch_warp(
+        &mut self,
+        tex: &LayeredTexture2d,
+        layer: usize,
+        coords: &[(f32, f32)],
+        out: &mut Vec<f32>,
+    ) {
+        debug_assert!(coords.len() <= self.cfg.warp_size);
+        if coords.is_empty() {
+            return;
+        }
+        self.counters.tex_requests += 1;
+        match tex.filter_mode {
+            FilterMode::Linear { frac_bits } if frac_bits <= 10 => {
+                self.cost.tex_fetches_fp16 += coords.len() as u64
+            }
+            _ => self.cost.tex_fetches_fp32 += coords.len() as u64,
+        }
+        let mut worst = 0u32;
+        for &(y, x) in coords {
+            let f = tex.fetch(layer, y, x);
+            out.push(f.value);
+            // Unique lines in this lane's footprint go through the texture
+            // cache (the quad almost always stays within 1–2 block-linear
+            // lines).
+            let mut lines = [u64::MAX; 4];
+            let mut n_lines = 0usize;
+            for &a in &f.addresses[..f.len as usize] {
+                let line = a / self.tex.line_bytes() as u64;
+                if !lines[..n_lines].contains(&line) {
+                    lines[n_lines] = line;
+                    n_lines += 1;
+                }
+            }
+            for &line in &lines[..n_lines] {
+                self.counters.tex_line_accesses += 1;
+                let lat = if self.tex.access_line(line) == Access::Hit {
+                    self.counters.tex_hits += 1;
+                    self.cfg.tex_hit_latency
+                } else {
+                    self.counters.l2_accesses += 1;
+                    if self.l2.access_line(line) == Access::Hit {
+                        self.counters.l2_hits += 1;
+                        self.cfg.l2.hit_latency
+                    } else {
+                        self.counters.dram_read_bytes += self.tex.line_bytes() as u64;
+                        self.cfg.dram_latency
+                    }
+                };
+                worst = worst.max(lat);
+            }
+        }
+        self.cost.latency_cycles += worst as u64;
+    }
+
+    /// Single-lane convenience wrapper over [`TraceSink::tex_fetch_warp`].
+    pub fn tex_fetch(&mut self, tex: &LayeredTexture2d, layer: usize, y: f32, x: f32) -> f32 {
+        let mut out = Vec::with_capacity(1);
+        self.tex_fetch_warp(tex, layer, &[(y, x)], &mut out);
+        out[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn harness() -> (DeviceConfig, Cache, Cache, Cache) {
+        let cfg = DeviceConfig::xavier_agx();
+        let l1 = Cache::new(cfg.l1);
+        let tex = Cache::new(cfg.tex_cache);
+        let l2 = Cache::new(cfg.l2);
+        (cfg, l1, tex, l2)
+    }
+
+    #[test]
+    fn coalesced_load_counts_four_sectors() {
+        let (cfg, mut l1, mut tex, mut l2) = harness();
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut tex, &mut l2, 8);
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        sink.global_load(&addrs);
+        assert_eq!(sink.counters.gld_requests, 1);
+        assert_eq!(sink.counters.gld_transactions, 4);
+        assert!((sink.counters.gld_efficiency() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scattered_load_hurts_efficiency_and_latency() {
+        let (cfg, mut l1, mut tex, mut l2) = harness();
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut tex, &mut l2, 8);
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+        sink.global_load(&addrs);
+        assert_eq!(sink.counters.gld_transactions, 32);
+        assert!(sink.counters.gld_efficiency() < 13.0);
+        assert!(sink.cost.latency_cycles >= cfg.dram_latency as u64);
+    }
+
+    #[test]
+    fn repeated_load_hits_l1_and_is_fast() {
+        let (cfg, mut l1, mut tex, mut l2) = harness();
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut tex, &mut l2, 8);
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        sink.global_load(&addrs);
+        let lat_cold = sink.cost.latency_cycles;
+        sink.global_load(&addrs);
+        let lat_warm = sink.cost.latency_cycles - lat_cold;
+        assert!(lat_warm < lat_cold, "warm {lat_warm} vs cold {lat_cold}");
+        assert!(sink.counters.l1_hits > 0);
+    }
+
+    #[test]
+    fn tex_fetch_returns_value_and_counts_requests() {
+        let (cfg, mut l1, mut texc, mut l2) = harness();
+        let data: Vec<f32> = (0..64).map(|v| v as f32).collect();
+        let t = LayeredTexture2d::new(data, 1, 8, 8, 1 << 30, 2048, 32768).unwrap();
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut texc, &mut l2, 8);
+        let v = sink.tex_fetch(&t, 0, 3.0, 4.0);
+        assert_eq!(v, 28.0);
+        assert_eq!(sink.counters.tex_requests, 1);
+        assert_eq!(sink.cost.tex_fetches_fp32, 1);
+        assert_eq!(sink.counters.gld_requests, 0, "texture path must not touch global-load counters");
+    }
+
+    #[test]
+    fn reduced_precision_fetch_uses_fp16_pipe() {
+        let (cfg, mut l1, mut texc, mut l2) = harness();
+        let data = vec![1.0f32; 64];
+        let mut t = LayeredTexture2d::new(data, 1, 8, 8, 1 << 30, 2048, 32768).unwrap();
+        t.filter_mode = FilterMode::Linear { frac_bits: 8 };
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut texc, &mut l2, 8);
+        sink.tex_fetch(&t, 0, 2.5, 2.5);
+        assert_eq!(sink.cost.tex_fetches_fp16, 1);
+        assert_eq!(sink.cost.tex_fetches_fp32, 0);
+    }
+
+    #[test]
+    fn tex_locality_hits_texture_cache() {
+        let (cfg, mut l1, mut texc, mut l2) = harness();
+        let data = vec![0.5f32; 64 * 64];
+        let t = LayeredTexture2d::new(data, 1, 64, 64, 1 << 30, 2048, 32768).unwrap();
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut texc, &mut l2, 8);
+        // A tight 2-D walk: overwhelmingly texture-cache hits after warmup.
+        for y in 0..8 {
+            for x in 0..8 {
+                sink.tex_fetch(&t, 0, y as f32 + 0.3, x as f32 + 0.3);
+            }
+        }
+        assert!(sink.counters.tex_hit_rate() > 0.8, "rate {}", sink.counters.tex_hit_rate());
+    }
+
+    #[test]
+    fn fma_counts_two_flops() {
+        let (cfg, mut l1, mut tex, mut l2) = harness();
+        let mut sink = TraceSink::new(&cfg, &mut l1, &mut tex, &mut l2, 1);
+        sink.fma(10);
+        sink.flop(5);
+        assert_eq!(sink.counters.flops, 25);
+        assert_eq!(sink.cost.flop_units, 15);
+    }
+}

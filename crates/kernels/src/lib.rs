@@ -1,0 +1,39 @@
+//! # defcon-kernels
+//!
+//! GPU kernel implementations of the deformable convolution operator, in the
+//! three flavours the paper compares, each with **two interpretations**:
+//!
+//! 1. **Numeric** — compute the actual output tensor on the CPU, so every
+//!    variant can be validated against the reference implementation in
+//!    `defcon-tensor` (and `tex2D++`'s reduced filter precision can be
+//!    measured, not assumed);
+//! 2. **Trace** — describe the kernel's per-thread-block work (FLOPs, warp
+//!    loads with real addresses, texture fetches with real coordinates) to
+//!    the `defcon-gpusim` engine, which times it and produces
+//!    nvprof-style counters.
+//!
+//! The three flavours:
+//!
+//! * [`SamplingMethod::SoftwareBilinear`] — the PyTorch/mmcv baseline: an
+//!   im2col kernel whose sampling taps issue **4 scattered global loads**
+//!   plus ~10 FLOPs of software interpolation and boundary branching per
+//!   tap (paper §II-B);
+//! * [`SamplingMethod::Tex2d`] — DEFCON's layered-texture kernel: 1 texture
+//!   fetch per tap, hardware bilinear filter, boundary handling absorbed by
+//!   the border addressing mode (paper §III-B);
+//! * [`SamplingMethod::Tex2dPlusPlus`] — same, with reduced-precision
+//!   filter arithmetic (the `tex2D++` variant), which doubles filter-pipe
+//!   throughput and is shown not to affect accuracy.
+//!
+//! All flavours share the same downstream GEMM stage (filter matrix ×
+//! column matrix) — the speedups of Fig. 7 / Tables II & IV come entirely
+//! from the sampling stage, which is exactly how the paper frames them.
+
+pub mod fused;
+pub mod gemm_kernel;
+pub mod im2col;
+pub mod layer;
+pub mod op;
+
+pub use layer::{paper_layer_sweep, DeformLayerShape, TileConfig};
+pub use op::{DeformConvOp, SamplingMethod};

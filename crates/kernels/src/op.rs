@@ -1,0 +1,412 @@
+//! The complete deformable operation: offset prediction → deformable
+//! sampling (im2col) → GEMM, composable in every configuration the paper
+//! evaluates, with numeric execution and simulator timing.
+
+use crate::gemm_kernel::{DepthwiseConvKernel, GemmKernel, RegularConvKernel};
+use crate::im2col::{im2col_deform_numeric, Im2colDeformKernel, Sampling};
+use crate::layer::{DeformLayerShape, TileConfig};
+use defcon_gpusim::{Gpu, KernelReport};
+use defcon_tensor::sample::OffsetTransform;
+use defcon_tensor::{gemm, Tensor};
+
+/// The three sampling implementations of the paper's comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingMethod {
+    /// PyTorch-style software bilinear interpolation from global memory.
+    SoftwareBilinear,
+    /// Layered-texture hardware bilinear (`tex2D`).
+    Tex2d,
+    /// Layered-texture hardware bilinear with reduced-precision filter
+    /// arithmetic (`tex2D++`).
+    Tex2dPlusPlus,
+}
+
+impl SamplingMethod {
+    /// The im2col sampling configuration for this method.
+    pub fn sampling(&self) -> Sampling {
+        match self {
+            SamplingMethod::SoftwareBilinear => Sampling::Software,
+            SamplingMethod::Tex2d => Sampling::Texture { frac_bits: 23 },
+            SamplingMethod::Tex2dPlusPlus => Sampling::Texture { frac_bits: 8 },
+        }
+    }
+
+    /// Display name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplingMethod::SoftwareBilinear => "PyTorch",
+            SamplingMethod::Tex2d => "tex2D",
+            SamplingMethod::Tex2dPlusPlus => "tex2D++",
+        }
+    }
+}
+
+/// Which offset-predicting convolution precedes the deformable kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OffsetPredictorKind {
+    /// Regular `k×k` convolution producing `2·G·k²` channels (the original
+    /// DCN design).
+    Standard,
+    /// DEFCON's lightweight depthwise-3×3 + pointwise-1×1 pair (§III-A-b).
+    Lightweight,
+}
+
+/// A fully-configured deformable convolution operator.
+#[derive(Clone, Debug)]
+pub struct DeformConvOp {
+    /// Layer shape.
+    pub shape: DeformLayerShape,
+    /// Thread-block tile for the sampling stage (the Fig. 8 knob).
+    pub tile: TileConfig,
+    /// Sampling implementation.
+    pub method: SamplingMethod,
+    /// Offset predictor flavour.
+    pub offset_predictor: OffsetPredictorKind,
+    /// Offset post-processing (bounding / rounding).
+    pub offset_transform: OffsetTransform,
+}
+
+impl DeformConvOp {
+    /// A baseline operator: standard offset conv, software bilinear,
+    /// 16×16 tiles, unbounded offsets.
+    pub fn baseline(shape: DeformLayerShape) -> Self {
+        DeformConvOp {
+            shape,
+            tile: TileConfig::default16(),
+            method: SamplingMethod::SoftwareBilinear,
+            offset_predictor: OffsetPredictorKind::Standard,
+            offset_transform: OffsetTransform::Identity,
+        }
+    }
+
+    /// Numeric execution of the deformable convolution proper (offsets are
+    /// given, not predicted): column materialization with this operator's
+    /// sampling semantics, then GEMM against `weight`.
+    ///
+    /// For `SoftwareBilinear` and `Tex2d` this is exactly
+    /// `deform_conv2d_ref`; for `Tex2dPlusPlus` it reflects the reduced
+    /// filter precision.
+    pub fn execute(&self, x: &Tensor, offsets: &Tensor, weight: &Tensor, gpu: &Gpu) -> Tensor {
+        let s = self.shape;
+        let (oh, ow) = s.out_hw();
+        let cfg = gpu.config();
+        let kernel = Im2colDeformKernel::new(
+            s,
+            self.tile,
+            x,
+            offsets,
+            self.offset_transform,
+            self.method.sampling(),
+            cfg.max_texture_layers,
+            cfg.max_texture_dim,
+        )
+        .expect("texture limits exceeded");
+        let krows = s.c_in * s.kernel * s.kernel;
+        let cols_n = oh * ow;
+        let mut out = Tensor::zeros(&[s.n, s.c_out, oh, ow]);
+        for ni in 0..s.n {
+            let cols = im2col_deform_numeric(&kernel, ni);
+            let dst = &mut out.data_mut()[ni * s.c_out * cols_n..(ni + 1) * s.c_out * cols_n];
+            gemm::gemm(weight.data(), &cols, dst, s.c_out, krows, cols_n);
+        }
+        out
+    }
+
+    /// Simulates the deformable stage on `gpu`, returning one report per
+    /// kernel launch.
+    ///
+    /// The software baseline runs as PyTorch ships it — an im2col sampling
+    /// kernel followed by a GEMM over the materialized column matrix. The
+    /// texture variants run DEFCON's **fused** kernel (sampling feeds the
+    /// convolution accumulators directly; no column buffer).
+    pub fn simulate_deform(&self, gpu: &Gpu, x: &Tensor, offsets: &Tensor) -> Vec<KernelReport> {
+        let cfg = gpu.config();
+        match self.method {
+            SamplingMethod::SoftwareBilinear => {
+                let im2col = Im2colDeformKernel::new(
+                    self.shape,
+                    self.tile,
+                    x,
+                    offsets,
+                    self.offset_transform,
+                    self.method.sampling(),
+                    cfg.max_texture_layers,
+                    cfg.max_texture_dim,
+                )
+                .expect("texture limits exceeded");
+                let gemm_stage = GemmKernel::for_conv(&self.shape);
+                vec![gpu.launch(&im2col), gpu.launch(&gemm_stage)]
+            }
+            SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus => {
+                let frac_bits = match self.method.sampling() {
+                    Sampling::Texture { frac_bits } => frac_bits,
+                    Sampling::Software => unreachable!(),
+                };
+                let mut fused = crate::fused::FusedTexDeformKernel::new(
+                    self.shape,
+                    self.tile,
+                    x,
+                    offsets,
+                    self.offset_transform,
+                    frac_bits,
+                    cfg.max_texture_layers,
+                    cfg.max_texture_dim,
+                )
+                .expect("texture limits exceeded");
+                fused.co_blocks =
+                    crate::fused::FusedTexDeformKernel::pick_co_blocks(&self.shape, self.tile, cfg);
+                vec![gpu.launch(&fused)]
+            }
+        }
+    }
+
+    /// Simulates the offset-predicting convolution on `gpu`.
+    pub fn simulate_offset_conv(&self, gpu: &Gpu) -> Vec<KernelReport> {
+        let s = self.shape;
+        match self.offset_predictor {
+            OffsetPredictorKind::Standard => {
+                let shape = DeformLayerShape { c_out: s.offset_channels(), ..s };
+                vec![gpu.launch(&RegularConvKernel::new(shape, "offset_conv"))]
+            }
+            OffsetPredictorKind::Lightweight => {
+                // Depthwise 3×3 keeps channels; pointwise 1×1 projects to
+                // 2Gk² channels.
+                let dw_shape = DeformLayerShape { c_out: s.c_in, ..s };
+                let (oh, ow) = s.out_hw();
+                let pw = GemmKernel {
+                    m: s.offset_channels(),
+                    k: s.c_in,
+                    n: oh * ow,
+                    batch: s.n,
+                    a_base: crate::im2col::address_map::WEIGHTS,
+                    b_base: crate::im2col::address_map::INPUT,
+                    c_base: crate::im2col::address_map::OFFSETS,
+                    name: "offset_pointwise".into(),
+                };
+                vec![gpu.launch(&DepthwiseConvKernel { shape: dw_shape }), gpu.launch(&pw)]
+            }
+        }
+    }
+
+    /// Simulates the complete deformable operation (offset prediction +
+    /// sampling + GEMM). Returns total milliseconds and per-kernel reports.
+    pub fn simulate_total(&self, gpu: &Gpu, x: &Tensor, offsets: &Tensor) -> (f64, Vec<KernelReport>) {
+        let mut reports = self.simulate_offset_conv(gpu);
+        reports.extend(self.simulate_deform(gpu, x, offsets));
+        let total = reports.iter().map(|r| r.time_ms).sum();
+        (total, reports)
+    }
+}
+
+/// Simulated latency of a plain (rigid) convolution at `shape`, timed as
+/// an implicit GEMM — the same matrix engine the deformable op's epilogue
+/// uses, so "replace this conv with a DCN" comparisons are apples to
+/// apples.
+pub fn simulate_regular_conv_ms(gpu: &Gpu, shape: &DeformLayerShape) -> f64 {
+    gpu.launch(&GemmKernel::for_conv(shape)).time_ms
+}
+
+/// Deterministic synthetic inputs for latency experiments: an activation
+/// tensor and an offset field with components in `[-spread, spread]`.
+/// (Trained DCN offsets concentrate within a few pixels; `spread` models
+/// how diffuse the learned deformation is, which is what offset bounding
+/// changes at the memory-system level.)
+pub fn synthetic_inputs(shape: &DeformLayerShape, spread: f32, seed: u64) -> (Tensor, Tensor) {
+    let (oh, ow) = shape.out_hw();
+    let x = Tensor::randn(&[shape.n, shape.c_in, shape.h, shape.w], 0.0, 1.0, seed);
+    let offsets =
+        Tensor::rand_uniform(&[shape.n, shape.offset_channels(), oh, ow], -spread, spread, seed ^ 0x5eed);
+    (x, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_gpusim::DeviceConfig;
+    use defcon_tensor::sample::deform_conv2d_ref;
+
+    fn small() -> (DeformLayerShape, Tensor, Tensor, Tensor) {
+        let shape = DeformLayerShape::same3x3(4, 6, 10, 10);
+        let (x, offsets) = synthetic_inputs(&shape, 2.0, 42);
+        let w = Tensor::randn(&[6, 4, 3, 3], 0.0, 0.3, 43);
+        (shape, x, offsets, w)
+    }
+
+    #[test]
+    fn software_execute_matches_reference() {
+        let (shape, x, offsets, w) = small();
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let op = DeformConvOp::baseline(shape);
+        let got = op.execute(&x, &offsets, &w, &gpu);
+        let expect = deform_conv2d_ref(&x, &offsets, &w, None, &shape.deform_params(), OffsetTransform::Identity);
+        defcon_tensor::assert_close(&got, &expect, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn tex2d_execute_matches_reference() {
+        let (shape, x, offsets, w) = small();
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let op = DeformConvOp { method: SamplingMethod::Tex2d, ..DeformConvOp::baseline(shape) };
+        let got = op.execute(&x, &offsets, &w, &gpu);
+        let expect = deform_conv2d_ref(&x, &offsets, &w, None, &shape.deform_params(), OffsetTransform::Identity);
+        defcon_tensor::assert_close(&got, &expect, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn tex2dpp_execute_close_to_reference() {
+        let (shape, x, offsets, w) = small();
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let op = DeformConvOp { method: SamplingMethod::Tex2dPlusPlus, ..DeformConvOp::baseline(shape) };
+        let got = op.execute(&x, &offsets, &w, &gpu);
+        let expect = deform_conv2d_ref(&x, &offsets, &w, None, &shape.deform_params(), OffsetTransform::Identity);
+        // Reduced filter precision: small relative error, never wild.
+        defcon_tensor::assert_close(&got, &expect, 0.05, 0.02);
+    }
+
+    #[test]
+    fn texture_methods_beat_software_on_xavier() {
+        // One of the paper's Table II rows (texture wins grow with channel
+        // count; tiny layers are launch-overhead bound either way).
+        let shape = DeformLayerShape::same3x3(128, 128, 69, 69);
+        let (x, offsets) = synthetic_inputs(&shape, 4.0, 7);
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let time = |method| {
+            let op = DeformConvOp { method, ..DeformConvOp::baseline(shape) };
+            op.simulate_total(&gpu, &x, &offsets).0
+        };
+        let sw = time(SamplingMethod::SoftwareBilinear);
+        let t2 = time(SamplingMethod::Tex2d);
+        let tpp = time(SamplingMethod::Tex2dPlusPlus);
+        assert!(t2 < sw, "tex2D {t2} !< PyTorch {sw}");
+        assert!(tpp <= t2, "tex2D++ {tpp} !<= tex2D {t2}");
+    }
+
+    #[test]
+    fn lightweight_offset_conv_is_faster() {
+        let shape = DeformLayerShape::same3x3(128, 128, 35, 35);
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let t = |kind| {
+            let op = DeformConvOp { offset_predictor: kind, ..DeformConvOp::baseline(shape) };
+            op.simulate_offset_conv(&gpu).iter().map(|r| r.time_ms).sum::<f64>()
+        };
+        let std = t(OffsetPredictorKind::Standard);
+        let lw = t(OffsetPredictorKind::Lightweight);
+        assert!(lw < std, "lightweight {lw} !< standard {std}");
+    }
+
+    #[test]
+    fn simulate_total_composes_kernels() {
+        let (shape, x, offsets, _) = small();
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let op = DeformConvOp::baseline(shape);
+        let (total, reports) = op.simulate_total(&gpu, &x, &offsets);
+        assert_eq!(reports.len(), 3); // offset conv + im2col + gemm (software baseline)
+        assert!((total - reports.iter().map(|r| r.time_ms).sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_inputs_respect_spread() {
+        let shape = DeformLayerShape::same3x3(2, 2, 8, 8);
+        let (_, off) = synthetic_inputs(&shape, 3.0, 1);
+        assert!(off.data().iter().all(|v| v.abs() <= 3.0));
+        assert!(off.data().iter().any(|v| v.abs() > 2.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mini-batch partitioning over the layered-texture limit (paper §III-B's
+// "future work": when batch × channels exceeds the 2048-layer limit, load
+// a subset of mini-batches at a time and pay the extra kernel launches)
+// ---------------------------------------------------------------------------
+
+impl DeformConvOp {
+    /// Like [`DeformConvOp::simulate_deform`], but transparently partitions
+    /// the batch when `N × C_in` exceeds the device's layered-texture limit
+    /// (paper §III-B): each partition is uploaded and launched separately,
+    /// which "results in the overhead associated with multiple invocations
+    /// of the GPU kernel". Returns the per-launch reports (one partition ⇒
+    /// identical to `simulate_deform`).
+    pub fn simulate_deform_partitioned(&self, gpu: &Gpu, x: &Tensor, offsets: &Tensor) -> Vec<KernelReport> {
+        let max_layers = gpu.config().max_texture_layers;
+        let s = self.shape;
+        let needs_partition =
+            matches!(self.method, SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus)
+                && s.n * s.c_in > max_layers;
+        if !needs_partition {
+            return self.simulate_deform(gpu, x, offsets);
+        }
+        assert!(
+            s.c_in <= max_layers,
+            "a single image's channels ({}) exceed the texture layer limit ({max_layers})",
+            s.c_in
+        );
+        let per_chunk = max_layers / s.c_in;
+        let (oh, ow) = s.out_hw();
+        let mut reports = Vec::new();
+        let mut n0 = 0usize;
+        while n0 < s.n {
+            let n_here = per_chunk.min(s.n - n0);
+            let chunk_shape = DeformLayerShape { n: n_here, ..s };
+            // Slice the batch range out of x and offsets.
+            let x_stride = s.c_in * s.h * s.w;
+            let o_stride = s.offset_channels() * oh * ow;
+            let x_chunk = Tensor::from_vec(
+                x.data()[n0 * x_stride..(n0 + n_here) * x_stride].to_vec(),
+                &[n_here, s.c_in, s.h, s.w],
+            );
+            let o_chunk = Tensor::from_vec(
+                offsets.data()[n0 * o_stride..(n0 + n_here) * o_stride].to_vec(),
+                &[n_here, s.offset_channels(), oh, ow],
+            );
+            let op = DeformConvOp { shape: chunk_shape, ..self.clone() };
+            reports.extend(op.simulate_deform(gpu, &x_chunk, &o_chunk));
+            n0 += n_here;
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use defcon_gpusim::DeviceConfig;
+
+    #[test]
+    fn small_batches_are_single_launch() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let shape = DeformLayerShape::same3x3(16, 16, 12, 12);
+        let (x, off) = synthetic_inputs(&shape, 2.0, 1);
+        let op = DeformConvOp { method: SamplingMethod::Tex2d, ..DeformConvOp::baseline(shape) };
+        let reports = op.simulate_deform_partitioned(&gpu, &x, &off);
+        assert_eq!(reports.len(), 1, "fused kernel, one launch");
+    }
+
+    #[test]
+    fn oversized_batch_partitions_and_pays_launches() {
+        // 8 images × 512 channels = 4096 layers > 2048 → two partitions.
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let shape = DeformLayerShape { n: 8, ..DeformLayerShape::same3x3(512, 16, 6, 6) };
+        let (x, off) = synthetic_inputs(&shape, 2.0, 2);
+        let op = DeformConvOp { method: SamplingMethod::Tex2dPlusPlus, ..DeformConvOp::baseline(shape) };
+        let reports = op.simulate_deform_partitioned(&gpu, &x, &off);
+        assert_eq!(reports.len(), 2, "expected two texture partitions");
+        // Each partition carries its own launch overhead — the cost the
+        // paper predicts for partitioned training batches.
+        let total: f64 = reports.iter().map(|r| r.time_ms).sum();
+        let single_overhead = gpu.config().launch_overhead_us * 1e-3;
+        assert!(total > 2.0 * single_overhead);
+    }
+
+    #[test]
+    fn software_path_never_partitions() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let shape = DeformLayerShape { n: 8, ..DeformLayerShape::same3x3(512, 16, 6, 6) };
+        let (x, off) = synthetic_inputs(&shape, 2.0, 3);
+        let op = DeformConvOp::baseline(shape);
+        // Software bilinear reads global memory; the texture limit is
+        // irrelevant (2 launches = im2col + GEMM, not partitions).
+        let reports = op.simulate_deform_partitioned(&gpu, &x, &off);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().any(|r| r.kernel == "deform_im2col_sw"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Residual backbone with per-layer operator slots.
+//!
+//! Every residual block carries exactly one 3×3 convolution — the *slot*
+//! the paper's interval search decides on. A slot is either a regular
+//! convolution, a (fixed) deformable convolution, or a searchable dual-path
+//! layer. The first block of each stage downsamples (stride 2), mirroring
+//! where the paper finds DCNs most beneficial.
+
+use defcon_core::lut::LatencyKey;
+use defcon_nn::graph::{ParamId, ParamStore, Tape, Var};
+use defcon_nn::modules::{
+    BatchNorm2d, Conv2d, ConvBnRelu, DeformConv2d, DualPathConv, LayerChoice, Module,
+};
+use defcon_nn::ops;
+use defcon_tensor::conv::Conv2dParams;
+use defcon_tensor::sample::{DeformConv2dParams, OffsetTransform};
+
+/// What occupies a 3×3 slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Rigid 3×3 convolution.
+    Regular,
+    /// Deformable 3×3 convolution (fixed choice).
+    Deformable,
+    /// Dual-path searchable layer (interval search decides).
+    Searchable,
+}
+
+/// Backbone configuration.
+#[derive(Clone, Debug)]
+pub struct BackboneConfig {
+    /// Input image channels.
+    pub in_channels: usize,
+    /// Input image side (needed to derive per-slot latency keys).
+    pub input_size: usize,
+    /// Stem output channels (stem is a stride-1 3×3).
+    pub stem_channels: usize,
+    /// Channels per stage.
+    pub stage_channels: Vec<usize>,
+    /// Residual blocks per stage (first block of each stage has stride 2).
+    pub blocks_per_stage: Vec<usize>,
+    /// One slot kind per block, flattened over stages; length must equal
+    /// `blocks_per_stage.iter().sum()`.
+    pub slots: Vec<SlotKind>,
+    /// Use the lightweight offset predictor in deformable slots.
+    pub lightweight_offsets: bool,
+    /// Offset transform for deformable slots (bounding / rounding).
+    pub offset_transform: OffsetTransform,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl BackboneConfig {
+    /// A small 3-stage backbone (for trainable experiments) with the given
+    /// slot layout.
+    pub fn mini(input_size: usize, slots: Vec<SlotKind>) -> Self {
+        let cfg = BackboneConfig {
+            in_channels: 1,
+            input_size,
+            stem_channels: 8,
+            stage_channels: vec![8, 16, 32],
+            blocks_per_stage: vec![1, 2, 2],
+            slots,
+            lightweight_offsets: true,
+            offset_transform: OffsetTransform::Identity,
+            seed: 0xB0B,
+        };
+        assert_eq!(cfg.slots.len(), cfg.num_blocks(), "one slot kind per block");
+        cfg
+    }
+
+    /// Total residual blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks_per_stage.iter().sum()
+    }
+
+    /// A uniform layout (all blocks the same kind).
+    pub fn uniform_slots(n: usize, kind: SlotKind) -> Vec<SlotKind> {
+        vec![kind; n]
+    }
+
+    /// YOLACT++-style hand placement: deformable every `interval`-th block,
+    /// counted from the last block backwards (the paper's "interval of 3"
+    /// in the last stages).
+    pub fn interval_slots(n: usize, interval: usize) -> Vec<SlotKind> {
+        let mut v = vec![SlotKind::Regular; n];
+        let mut i = n as isize - 1;
+        while i >= 0 {
+            v[i as usize] = SlotKind::Deformable;
+            i -= interval as isize;
+        }
+        v
+    }
+}
+
+/// One slot's operator.
+enum SlotLayer {
+    Regular(Conv2d),
+    Deformable(DeformConv2d),
+    Dual(DualPathConv),
+}
+
+/// One residual block: slot conv → BN (→ +skip) → ReLU.
+struct ResBlock {
+    slot: SlotLayer,
+    bn: BatchNorm2d,
+    /// 1×1 projection when the shape changes across the block.
+    proj: Option<(Conv2d, BatchNorm2d)>,
+    key: LatencyKey,
+}
+
+/// The backbone network.
+pub struct Backbone {
+    /// Configuration it was built from.
+    pub config: BackboneConfig,
+    stem: ConvBnRelu,
+    blocks: Vec<ResBlock>,
+    /// Block indices that end a stage (their outputs are the feature maps).
+    stage_ends: Vec<usize>,
+}
+
+impl Backbone {
+    /// Builds the backbone, registering parameters in `store`.
+    pub fn new(store: &mut ParamStore, cfg: BackboneConfig) -> Self {
+        assert_eq!(cfg.slots.len(), cfg.num_blocks());
+        let stem = ConvBnRelu::new(
+            store,
+            "stem",
+            cfg.in_channels,
+            cfg.stem_channels,
+            Conv2dParams::same(3),
+            true,
+            cfg.seed,
+        );
+        let mut blocks = Vec::with_capacity(cfg.num_blocks());
+        let mut stage_ends = Vec::new();
+        let mut c_in = cfg.stem_channels;
+        let mut hw = cfg.input_size;
+        let mut slot_idx = 0usize;
+        for (stage, (&c_out, &n_blocks)) in
+            cfg.stage_channels.iter().zip(cfg.blocks_per_stage.iter()).enumerate()
+        {
+            for b in 0..n_blocks {
+                let stride = if b == 0 { 2 } else { 1 };
+                let name = format!("s{stage}b{b}");
+                let conv_p = Conv2dParams { kernel: 3, stride, pad: 1, dilation: 1 };
+                let deform_p = DeformConv2dParams { conv: conv_p, deform_groups: 1 };
+                let kind = cfg.slots[slot_idx];
+                let seed = cfg.seed.wrapping_add(slot_idx as u64 * 7919);
+                let slot = match kind {
+                    SlotKind::Regular => {
+                        SlotLayer::Regular(Conv2d::new(store, &format!("{name}.conv"), c_in, c_out, conv_p, false, seed))
+                    }
+                    SlotKind::Deformable => {
+                        let mut d = if cfg.lightweight_offsets {
+                            DeformConv2d::new_lightweight(store, &format!("{name}.dcn"), c_in, c_out, deform_p, seed)
+                        } else {
+                            DeformConv2d::new_standard(store, &format!("{name}.dcn"), c_in, c_out, deform_p, seed)
+                        };
+                        d.transform = cfg.offset_transform;
+                        SlotLayer::Deformable(d)
+                    }
+                    SlotKind::Searchable => {
+                        let mut d = DualPathConv::new(
+                            store,
+                            &format!("{name}.dual"),
+                            c_in,
+                            c_out,
+                            deform_p,
+                            cfg.lightweight_offsets,
+                            seed,
+                        );
+                        d.deform.transform = cfg.offset_transform;
+                        SlotLayer::Dual(d)
+                    }
+                };
+                let key = LatencyKey { c_in, c_out, h: hw, w: hw, stride };
+                let proj = if stride != 1 || c_in != c_out {
+                    let p = Conv2dParams { kernel: 1, stride, pad: 0, dilation: 1 };
+                    Some((
+                        Conv2d::new(store, &format!("{name}.proj"), c_in, c_out, p, false, seed ^ 0xFF),
+                        BatchNorm2d::new(store, &format!("{name}.proj_bn"), c_out),
+                    ))
+                } else {
+                    None
+                };
+                blocks.push(ResBlock { slot, bn: BatchNorm2d::new(store, &format!("{name}.bn"), c_out), proj, key });
+                hw = defcon_tensor::shape::conv_out_dim(hw, 3, stride, 1, 1);
+                c_in = c_out;
+                slot_idx += 1;
+            }
+            stage_ends.push(blocks.len() - 1);
+        }
+        Backbone { config: cfg, stem, blocks, stage_ends }
+    }
+
+    /// Forward pass; returns one feature Var per stage.
+    pub fn forward(&mut self, tape: &mut Tape, store: &ParamStore, x: Var) -> Vec<Var> {
+        let mut h = self.stem.forward(tape, store, x);
+        let mut outs = Vec::with_capacity(self.stage_ends.len());
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            let conv = match &mut block.slot {
+                SlotLayer::Regular(c) => c.forward(tape, store, h),
+                SlotLayer::Deformable(d) => d.forward(tape, store, h),
+                SlotLayer::Dual(d) => d.forward(tape, store, h),
+            };
+            let normed = block.bn.forward(tape, store, conv);
+            let skip = match &mut block.proj {
+                Some((proj, proj_bn)) => {
+                    let p = proj.forward(tape, store, h);
+                    proj_bn.forward(tape, store, p)
+                }
+                None => h,
+            };
+            let sum = ops::add(tape, normed, skip);
+            h = ops::relu(tape, sum);
+            if self.stage_ends.contains(&i) {
+                outs.push(h);
+            }
+        }
+        outs
+    }
+
+    /// Train/eval switch for every BN in the backbone.
+    pub fn set_training(&mut self, training: bool) {
+        self.stem.set_training(training);
+        for b in &mut self.blocks {
+            b.bn.training = training;
+            if let Some((_, pbn)) = &mut b.proj {
+                pbn.training = training;
+            }
+            match &mut b.slot {
+                SlotLayer::Deformable(d) => d.set_training(training),
+                SlotLayer::Dual(d) => {
+                    d.deform.set_training(training);
+                }
+                SlotLayer::Regular(_) => {}
+            }
+        }
+    }
+
+    /// Indices of searchable slots.
+    pub fn searchable_slots(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b.slot, SlotLayer::Dual(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// α parameter of searchable slot `i` (backbone block index).
+    pub fn alpha_of(&self, block: usize) -> ParamId {
+        match &self.blocks[block].slot {
+            SlotLayer::Dual(d) => d.alpha,
+            _ => panic!("block {block} is not searchable"),
+        }
+    }
+
+    /// Latency key of any block.
+    pub fn latency_key_of(&self, block: usize) -> LatencyKey {
+        self.blocks[block].key
+    }
+
+    /// Latency keys of every block (for LUT collection).
+    pub fn all_latency_keys(&self) -> Vec<LatencyKey> {
+        self.blocks.iter().map(|b| b.key).collect()
+    }
+
+    /// Sets the Gumbel temperature on every dual-path slot.
+    pub fn set_temperature(&mut self, tau: f32) {
+        for b in &mut self.blocks {
+            if let SlotLayer::Dual(d) = &mut b.slot {
+                d.tau = tau;
+            }
+        }
+    }
+
+    /// Freezes every dual-path slot to its α decision; returns the choices
+    /// in block order.
+    pub fn freeze(&mut self, store: &ParamStore) -> Vec<LayerChoice> {
+        let mut out = Vec::new();
+        for b in &mut self.blocks {
+            if let SlotLayer::Dual(d) = &mut b.slot {
+                out.push(d.freeze(store));
+            }
+        }
+        out
+    }
+
+    /// Number of blocks currently running a deformable operator (fixed DCN
+    /// slots plus dual slots frozen to deformable).
+    pub fn num_dcn(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| match &b.slot {
+                SlotLayer::Deformable(_) => true,
+                SlotLayer::Dual(d) => d.frozen == Some(LayerChoice::Deformable),
+                SlotLayer::Regular(_) => false,
+            })
+            .count()
+    }
+
+    /// The offset Vars produced by every active deformable slot in the most
+    /// recent forward pass (for offset regularization, paper Table V).
+    pub fn dcn_offsets(&self) -> Vec<Var> {
+        self.blocks
+            .iter()
+            .filter_map(|b| match &b.slot {
+                SlotLayer::Deformable(d) => d.last_offsets,
+                SlotLayer::Dual(dp) => dp.deform.last_offsets,
+                SlotLayer::Regular(_) => None,
+            })
+            .collect()
+    }
+
+    /// Sets the offset transform on every deformable slot (bounding /
+    /// rounding sweeps re-use one trained architecture).
+    pub fn set_offset_transform(&mut self, tr: OffsetTransform) {
+        for b in &mut self.blocks {
+            match &mut b.slot {
+                SlotLayer::Deformable(d) => d.transform = tr,
+                SlotLayer::Dual(dp) => dp.deform.transform = tr,
+                SlotLayer::Regular(_) => {}
+            }
+        }
+    }
+
+    /// Fig. 6-style layout string: `D` deformable, `.` regular, `?`
+    /// undecided dual-path.
+    pub fn layout(&self) -> String {
+        self.blocks
+            .iter()
+            .map(|b| match &b.slot {
+                SlotLayer::Regular(_) => '.',
+                SlotLayer::Deformable(_) => 'D',
+                SlotLayer::Dual(d) => match d.frozen {
+                    Some(LayerChoice::Deformable) => 'D',
+                    Some(LayerChoice::Regular) => '.',
+                    None => '?',
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_tensor::Tensor;
+
+    #[test]
+    fn forward_shapes_per_stage() {
+        let mut store = ParamStore::new();
+        let cfg = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+        let mut bb = Backbone::new(&mut store, cfg);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, 1, 48, 48], 0.0, 1.0, 1));
+        let feats = bb.forward(&mut tape, &store, x);
+        assert_eq!(feats.len(), 3);
+        assert_eq!(tape.value(feats[0]).dims(), &[2, 8, 24, 24]);
+        assert_eq!(tape.value(feats[1]).dims(), &[2, 16, 12, 12]);
+        assert_eq!(tape.value(feats[2]).dims(), &[2, 32, 6, 6]);
+    }
+
+    #[test]
+    fn interval_slots_counted_from_the_back() {
+        let v = BackboneConfig::interval_slots(7, 3);
+        // Blocks 6, 3, 0 deformable.
+        let expect = [
+            SlotKind::Deformable,
+            SlotKind::Regular,
+            SlotKind::Regular,
+            SlotKind::Deformable,
+            SlotKind::Regular,
+            SlotKind::Regular,
+            SlotKind::Deformable,
+        ];
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn deformable_backbone_forward_and_layout() {
+        let mut store = ParamStore::new();
+        let slots = BackboneConfig::interval_slots(5, 3);
+        let cfg = BackboneConfig::mini(32, slots);
+        let mut bb = Backbone::new(&mut store, cfg);
+        assert_eq!(bb.layout(), ".D..D");
+        assert_eq!(bb.num_dcn(), 2);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[1, 1, 32, 32], 0.0, 1.0, 2));
+        let feats = bb.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(feats[2]).dims(), &[1, 32, 4, 4]);
+    }
+
+    #[test]
+    fn searchable_backbone_exposes_alphas_and_freezes() {
+        let mut store = ParamStore::new();
+        let cfg = BackboneConfig::mini(32, BackboneConfig::uniform_slots(5, SlotKind::Searchable));
+        let mut bb = Backbone::new(&mut store, cfg);
+        let slots = bb.searchable_slots();
+        assert_eq!(slots.len(), 5);
+        for &s in &slots {
+            let _ = bb.alpha_of(s);
+            let key = bb.latency_key_of(s);
+            assert!(key.c_in >= 8);
+        }
+        assert_eq!(bb.layout(), "?????");
+        let choices = bb.freeze(&store);
+        assert_eq!(choices.len(), 5);
+        assert!(!bb.layout().contains('?'));
+    }
+
+    #[test]
+    fn latency_keys_track_downsampling() {
+        let mut store = ParamStore::new();
+        let cfg = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+        let bb = Backbone::new(&mut store, cfg);
+        let keys = bb.all_latency_keys();
+        assert_eq!(keys[0], LatencyKey { c_in: 8, c_out: 8, h: 48, w: 48, stride: 2 });
+        assert_eq!(keys[1], LatencyKey { c_in: 8, c_out: 16, h: 24, w: 24, stride: 2 });
+        assert_eq!(keys[2], LatencyKey { c_in: 16, c_out: 16, h: 12, w: 12, stride: 1 });
+    }
+
+    #[test]
+    fn backbone_trains() {
+        // Tiny regression: mean of last feature should fit a target.
+        let mut store = ParamStore::new();
+        let cfg = BackboneConfig::mini(16, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+        let mut bb = Backbone::new(&mut store, cfg);
+        let x_data = Tensor::rand_uniform(&[2, 1, 16, 16], 0.0, 1.0, 3);
+        let mut last = f32::MAX;
+        for _ in 0..25 {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.input(x_data.clone());
+            let feats = bb.forward(&mut tape, &store, x);
+            let g = defcon_nn::ops::global_avg_pool_op(&mut tape, feats[2]);
+            let l = defcon_nn::loss::mse(&mut tape, g, &Tensor::full(&[2, 32], 0.5));
+            last = tape.value(l).data()[0];
+            tape.backward(l);
+            tape.write_param_grads(&mut store);
+            store.sgd_step(0.1, 0.9, 0.0);
+        }
+        assert!(last < 0.05, "backbone failed to fit: {last}");
+    }
+}

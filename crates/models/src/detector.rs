@@ -1,0 +1,890 @@
+//! `YolactLite`: a single-shot instance segmenter in the YOLACT mould.
+//!
+//! Architecture (input `[B, 1, S, S]`, default `S = 48`):
+//!
+//! ```text
+//! backbone (3 stages) ──► S2 (16ch, S/4) ── lateral 1×1 ─┐
+//!                         S3 (32ch, S/8) ── lateral 1×1 ─ upsample ─ + ─► P (F ch, S/4)
+//! P ──► protonet (3×3,3×3,1×1) ─► M prototype masks  (S/4)
+//! P ──► head 3×3 ─► { class map  A·(K+1)
+//!                   { box map    A·4
+//!                   { coeff map  A·M (tanh)
+//! ```
+//!
+//! One detection level at stride 4 with `A` square anchor scales. Training
+//! uses softmax CE with OHEM-style negative selection (3:1), smooth-L1 box
+//! regression on positives, and YOLACT's mask loss: BCE between the ground
+//! truth and `sigmoid(Σ coeffₖ · protoₖ)` inside the GT box.
+
+use crate::backbone::{Backbone, BackboneConfig};
+use crate::dataset::Sample;
+use defcon_nn::graph::{ParamStore, Tape, Var};
+use defcon_nn::modules::{Conv2d, ConvBnRelu, Module};
+use defcon_nn::ops;
+use defcon_tensor::conv::Conv2dParams;
+use defcon_tensor::Tensor;
+
+/// Number of object classes (background is an extra logit).
+pub const NUM_CLASSES: usize = 3;
+/// Prototype masks.
+pub const NUM_PROTOS: usize = 4;
+/// Anchor scales (square anchors, pixels).
+pub const ANCHOR_SCALES: [f32; 2] = [16.0, 32.0];
+/// Detection stride.
+pub const STRIDE: usize = 4;
+
+/// One decoded detection.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// Class id (0-based, no background).
+    pub class: usize,
+    /// Confidence in `[0, 1]`.
+    pub score: f32,
+    /// Box `(y0, x0, y1, x1)` in image pixels.
+    pub bbox: [f32; 4],
+    /// Instance mask at image resolution (row-major booleans).
+    pub mask: Vec<bool>,
+}
+
+/// An anchor's box `(cy, cx, h, w)` in image pixels.
+#[derive(Clone, Copy, Debug)]
+pub struct Anchor {
+    /// Center y.
+    pub cy: f32,
+    /// Center x.
+    pub cx: f32,
+    /// Height.
+    pub h: f32,
+    /// Width.
+    pub w: f32,
+}
+
+impl Anchor {
+    /// Corner form `(y0, x0, y1, x1)`.
+    pub fn corners(&self) -> [f32; 4] {
+        [self.cy - self.h / 2.0, self.cx - self.w / 2.0, self.cy + self.h / 2.0, self.cx + self.w / 2.0]
+    }
+}
+
+/// IoU of two corner-form boxes.
+pub fn box_iou(a: &[f32; 4], b: &[f32; 4]) -> f32 {
+    let iy0 = a[0].max(b[0]);
+    let ix0 = a[1].max(b[1]);
+    let iy1 = a[2].min(b[2]);
+    let ix1 = a[3].min(b[3]);
+    let inter = (iy1 - iy0).max(0.0) * (ix1 - ix0).max(0.0);
+    let area_a = (a[2] - a[0]).max(0.0) * (a[3] - a[1]).max(0.0);
+    let area_b = (b[2] - b[0]).max(0.0) * (b[3] - b[1]).max(0.0);
+    let union = area_a + area_b - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// The anchor grid of one detection level.
+pub fn build_anchors(feat_h: usize, feat_w: usize) -> Vec<Anchor> {
+    let mut anchors = Vec::with_capacity(ANCHOR_SCALES.len() * feat_h * feat_w);
+    for &scale in &ANCHOR_SCALES {
+        for y in 0..feat_h {
+            for x in 0..feat_w {
+                anchors.push(Anchor {
+                    cy: (y as f32 + 0.5) * STRIDE as f32,
+                    cx: (x as f32 + 0.5) * STRIDE as f32,
+                    h: scale,
+                    w: scale,
+                });
+            }
+        }
+    }
+    anchors
+}
+
+/// Encodes a GT corner box against an anchor → regression target
+/// `(ty, tx, th, tw)`.
+pub fn encode_box(anchor: &Anchor, gt: &[f32; 4]) -> [f32; 4] {
+    let gh = (gt[2] - gt[0]).max(1e-3);
+    let gw = (gt[3] - gt[1]).max(1e-3);
+    let gcy = (gt[0] + gt[2]) / 2.0;
+    let gcx = (gt[1] + gt[3]) / 2.0;
+    [(gcy - anchor.cy) / anchor.h, (gcx - anchor.cx) / anchor.w, (gh / anchor.h).ln(), (gw / anchor.w).ln()]
+}
+
+/// Decodes a regression vector against an anchor → corner box.
+pub fn decode_box(anchor: &Anchor, t: &[f32; 4]) -> [f32; 4] {
+    let cy = anchor.cy + t[0] * anchor.h;
+    let cx = anchor.cx + t[1] * anchor.w;
+    let h = anchor.h * t[2].clamp(-4.0, 4.0).exp();
+    let w = anchor.w * t[3].clamp(-4.0, 4.0).exp();
+    [cy - h / 2.0, cx - w / 2.0, cy + h / 2.0, cx + w / 2.0]
+}
+
+/// Raw head outputs for one batch (Vars on the current tape).
+pub struct DetOutputs {
+    /// Class logits `[B, A·(K+1), Hf, Wf]`.
+    pub cls: Var,
+    /// Box regressions `[B, A·4, Hf, Wf]`.
+    pub boxes: Var,
+    /// Mask coefficients `[B, A·M, Hf, Wf]` (tanh-activated).
+    pub coeffs: Var,
+    /// Prototype masks `[B, M, Hf, Wf]` (ReLU-activated).
+    pub protos: Var,
+    /// Feature extent.
+    pub feat_hw: (usize, usize),
+}
+
+/// Anchor-to-GT assignment for one image.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// Per-anchor label: `None` = ignore, `Some(0)` = background,
+    /// `Some(c+1)` = class `c`.
+    pub labels: Vec<Option<usize>>,
+    /// Per-anchor GT index (valid where label is a foreground class).
+    pub gt_index: Vec<usize>,
+}
+
+/// Computes the anchor assignment for one image (IoU ≥ 0.5 positive,
+/// < 0.4 negative, best anchor per GT forced positive).
+pub fn assign_anchors(anchors: &[Anchor], sample: &Sample) -> Assignment {
+    let mut labels: Vec<Option<usize>> = vec![Some(0); anchors.len()];
+    let mut gt_index = vec![usize::MAX; anchors.len()];
+    let mut best_iou = vec![0.0f32; anchors.len()];
+    for (gi, obj) in sample.objects.iter().enumerate() {
+        let mut best_anchor = 0usize;
+        let mut best = -1.0f32;
+        for (ai, a) in anchors.iter().enumerate() {
+            let iou = box_iou(&a.corners(), &obj.bbox);
+            if iou > best {
+                best = iou;
+                best_anchor = ai;
+            }
+            if iou >= 0.5 && iou > best_iou[ai] {
+                labels[ai] = Some(obj.class + 1);
+                gt_index[ai] = gi;
+                best_iou[ai] = iou;
+            } else if iou >= 0.4 && labels[ai] == Some(0) {
+                labels[ai] = None; // ignore band
+            }
+        }
+        // Force-match the best anchor so every GT has a positive.
+        labels[best_anchor] = Some(obj.class + 1);
+        gt_index[best_anchor] = gi;
+        best_iou[best_anchor] = best.max(best_iou[best_anchor]);
+    }
+    Assignment { labels, gt_index }
+}
+
+/// The detector.
+pub struct YolactLite {
+    /// Feature extractor.
+    pub backbone: Backbone,
+    lat2: Conv2d,
+    lat3: Conv2d,
+    smooth: ConvBnRelu,
+    proto1: ConvBnRelu,
+    proto2: Conv2d,
+    head_shared: ConvBnRelu,
+    head_cls: Conv2d,
+    head_box: Conv2d,
+    head_coeff: Conv2d,
+    /// Neck feature channels.
+    pub feat_channels: usize,
+}
+
+impl YolactLite {
+    /// Builds the detector over a backbone config.
+    pub fn new(store: &mut ParamStore, backbone_cfg: BackboneConfig) -> Self {
+        let f = 24usize;
+        let chans = backbone_cfg.stage_channels.clone();
+        let backbone = Backbone::new(store, backbone_cfg);
+        let c2 = chans[chans.len() - 2];
+        let c3 = chans[chans.len() - 1];
+        let k1 = Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 };
+        let a = ANCHOR_SCALES.len();
+        YolactLite {
+            backbone,
+            lat2: Conv2d::new(store, "neck.lat2", c2, f, k1, true, 0xA1),
+            lat3: Conv2d::new(store, "neck.lat3", c3, f, k1, true, 0xA2),
+            smooth: ConvBnRelu::new(store, "neck.smooth", f, f, Conv2dParams::same(3), true, 0xA3),
+            proto1: ConvBnRelu::new(store, "proto.c1", f, f, Conv2dParams::same(3), true, 0xA4),
+            proto2: Conv2d::new(store, "proto.c2", f, NUM_PROTOS, k1, true, 0xA5),
+            head_shared: ConvBnRelu::new(store, "head.shared", f, f, Conv2dParams::same(3), true, 0xA6),
+            head_cls: Conv2d::new(store, "head.cls", f, a * (NUM_CLASSES + 1), k1, true, 0xA7),
+            head_box: Conv2d::new(store, "head.box", f, a * 4, k1, true, 0xA8),
+            head_coeff: Conv2d::new(store, "head.coeff", f, a * NUM_PROTOS, k1, true, 0xA9),
+            feat_channels: f,
+        }
+    }
+
+    /// Train/eval switch.
+    pub fn set_training(&mut self, training: bool) {
+        self.backbone.set_training(training);
+        self.smooth.set_training(training);
+        self.proto1.set_training(training);
+        self.head_shared.set_training(training);
+    }
+
+    /// Records the forward pass for an image batch.
+    pub fn forward(&mut self, tape: &mut Tape, store: &ParamStore, images: Var) -> DetOutputs {
+        let feats = self.backbone.forward(tape, store, images);
+        let n = feats.len();
+        let s2 = feats[n - 2];
+        let s3 = feats[n - 1];
+        let l2 = self.lat2.forward(tape, store, s2);
+        let l3 = self.lat3.forward(tape, store, s3);
+        let up = ops::upsample2x_op(tape, l3);
+        let merged = ops::add(tape, l2, up);
+        let p = self.smooth.forward(tape, store, merged);
+        let dims = tape.value(p).dims().to_vec();
+        let feat_hw = (dims[2], dims[3]);
+
+        let pr = self.proto1.forward(tape, store, p);
+        let pr = self.proto2.forward(tape, store, pr);
+        let protos = ops::relu(tape, pr);
+
+        let h = self.head_shared.forward(tape, store, p);
+        let cls = self.head_cls.forward(tape, store, h);
+        let boxes = self.head_box.forward(tape, store, h);
+        let coeff_raw = self.head_coeff.forward(tape, store, h);
+        let coeffs = ops::tanh(tape, coeff_raw);
+        DetOutputs { cls, boxes, coeffs, protos, feat_hw }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Training losses (custom tape ops over the head maps)
+// ---------------------------------------------------------------------------
+
+/// Flat anchor index of `(scale s, cell y, cell x)`.
+#[inline]
+fn anchor_index(s: usize, y: usize, x: usize, hf: usize, wf: usize) -> usize {
+    (s * hf + y) * wf + x
+}
+
+/// Reads the logit vector of one anchor from the class map.
+fn anchor_logits(map: &Tensor, b: usize, s: usize, y: usize, x: usize) -> Vec<f32> {
+    let k1 = NUM_CLASSES + 1;
+    (0..k1).map(|c| map.at4(b, s * k1 + c, y, x)).collect()
+}
+
+fn softmax_ce(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|v| (v - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
+    let loss = -(probs[label].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+/// Classification loss with OHEM-style negative mining: all positives plus
+/// the `neg_ratio`× hardest negatives contribute, averaged by the number of
+/// contributors. Gradients flow into the class map.
+pub fn det_class_loss(tape: &mut Tape, cls: Var, assignments: &[Assignment], neg_ratio: usize) -> Var {
+    let map = tape.value(cls).clone();
+    let (bsz, _, hf, wf) = map.shape().nchw();
+    let scales = ANCHOR_SCALES.len();
+    let k1 = NUM_CLASSES + 1;
+
+    // Gather (b, s, y, x, label, loss) for every non-ignored anchor.
+    struct Item {
+        b: usize,
+        s: usize,
+        y: usize,
+        x: usize,
+        label: usize,
+        loss: f32,
+    }
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    for (b, asg) in assignments.iter().enumerate().take(bsz) {
+        for s in 0..scales {
+            for y in 0..hf {
+                for x in 0..wf {
+                    let ai = anchor_index(s, y, x, hf, wf);
+                    let Some(label) = asg.labels[ai] else { continue };
+                    let (loss, _) = softmax_ce(&anchor_logits(&map, b, s, y, x), label);
+                    let item = Item { b, s, y, x, label, loss };
+                    if label > 0 {
+                        positives.push(item);
+                    } else {
+                        negatives.push(item);
+                    }
+                }
+            }
+        }
+    }
+    // Hard-negative selection.
+    negatives.sort_by(|a, b| b.loss.total_cmp(&a.loss));
+    let keep_neg = (positives.len() * neg_ratio).max(neg_ratio).min(negatives.len());
+    negatives.truncate(keep_neg);
+    let selected: Vec<Item> = positives.into_iter().chain(negatives).collect();
+    let denom = selected.len().max(1) as f32;
+    let total: f32 = selected.iter().map(|i| i.loss).sum::<f32>() / denom;
+
+    let dims = map.dims().to_vec();
+    tape.push(
+        Tensor::from_vec(vec![total], &[1]),
+        vec![cls],
+        Some(Box::new(move |gy| {
+            let g = gy.data()[0] / denom;
+            let mut grad = Tensor::zeros(&dims);
+            for it in &selected {
+                let logits = anchor_logits(&map, it.b, it.s, it.y, it.x);
+                let (_, glog) = softmax_ce(&logits, it.label);
+                for (c, gv) in glog.iter().enumerate() {
+                    *grad.at4_mut(it.b, it.s * k1 + c, it.y, it.x) += g * gv;
+                }
+            }
+            vec![grad]
+        })),
+    )
+}
+
+/// Smooth-L1 box-regression loss over positive anchors.
+pub fn det_box_loss(tape: &mut Tape, boxes: Var, anchors: &[Anchor], assignments: &[Assignment], samples: &[Sample]) -> Var {
+    let map = tape.value(boxes).clone();
+    let (bsz, _, hf, wf) = map.shape().nchw();
+    let scales = ANCHOR_SCALES.len();
+    let beta = 1.0f32;
+
+    struct Item {
+        b: usize,
+        s: usize,
+        y: usize,
+        x: usize,
+        target: [f32; 4],
+    }
+    let mut items = Vec::new();
+    for (b, asg) in assignments.iter().enumerate().take(bsz) {
+        for s in 0..scales {
+            for y in 0..hf {
+                for x in 0..wf {
+                    let ai = anchor_index(s, y, x, hf, wf);
+                    if matches!(asg.labels[ai], Some(l) if l > 0) {
+                        let gt = &samples[b].objects[asg.gt_index[ai]];
+                        items.push(Item { b, s, y, x, target: encode_box(&anchors[ai], &gt.bbox) });
+                    }
+                }
+            }
+        }
+    }
+    let denom = (items.len() * 4).max(1) as f32;
+    let mut total = 0.0f32;
+    for it in &items {
+        for d in 0..4 {
+            let pred = map.at4(it.b, it.s * 4 + d, it.y, it.x);
+            let diff = (pred - it.target[d]).abs();
+            total += if diff < beta { 0.5 * diff * diff / beta } else { diff - 0.5 * beta };
+        }
+    }
+    total /= denom;
+
+    let dims = map.dims().to_vec();
+    tape.push(
+        Tensor::from_vec(vec![total], &[1]),
+        vec![boxes],
+        Some(Box::new(move |gy| {
+            let g = gy.data()[0] / denom;
+            let mut grad = Tensor::zeros(&dims);
+            for it in &items {
+                for d in 0..4 {
+                    let pred = map.at4(it.b, it.s * 4 + d, it.y, it.x);
+                    let diff = pred - it.target[d];
+                    let gd = if diff.abs() < beta { diff / beta } else { diff.signum() };
+                    *grad.at4_mut(it.b, it.s * 4 + d, it.y, it.x) += g * gd;
+                }
+            }
+            vec![grad]
+        })),
+    )
+}
+
+/// YOLACT mask loss: for each positive anchor, assemble
+/// `sigmoid(Σₖ coeffₖ · protoₖ)` and take BCE against the (downsampled)
+/// ground-truth mask *inside the GT box*. Gradients flow to both the
+/// prototypes and the coefficient map.
+pub fn det_mask_loss(
+    tape: &mut Tape,
+    protos: Var,
+    coeffs: Var,
+    assignments: &[Assignment],
+    samples: &[Sample],
+) -> Var {
+    let pmap = tape.value(protos).clone();
+    let cmap = tape.value(coeffs).clone();
+    let (bsz, m, hf, wf) = pmap.shape().nchw();
+    debug_assert_eq!(m, NUM_PROTOS);
+    let scales = ANCHOR_SCALES.len();
+
+    struct Item {
+        b: usize,
+        s: usize,
+        y: usize,
+        x: usize,
+        /// Crop region in proto coordinates (y0, x0, y1, x1).
+        crop: [usize; 4],
+        /// GT mask downsampled to proto resolution over the crop region
+        /// (row-major within the crop).
+        gt: Vec<f32>,
+    }
+    let mut items = Vec::new();
+    for (b, asg) in assignments.iter().enumerate().take(bsz) {
+        let img_size = samples[b].image.dims()[3];
+        let ds = img_size / wf; // downsample factor image → proto grid
+        for s in 0..scales {
+            for y in 0..hf {
+                for x in 0..wf {
+                    let ai = anchor_index(s, y, x, hf, wf);
+                    if !matches!(asg.labels[ai], Some(l) if l > 0) {
+                        continue;
+                    }
+                    let gt = &samples[b].objects[asg.gt_index[ai]];
+                    let [by0, bx0, by1, bx1] = gt.bbox;
+                    let crop = [
+                        (by0 as usize / ds).min(hf - 1),
+                        (bx0 as usize / ds).min(wf - 1),
+                        ((by1 as usize).div_ceil(ds)).clamp(1, hf),
+                        ((bx1 as usize).div_ceil(ds)).clamp(1, wf),
+                    ];
+                    if crop[2] <= crop[0] || crop[3] <= crop[1] {
+                        continue;
+                    }
+                    // Downsample GT mask by area fraction ≥ 0.5.
+                    let mut gt_ds = Vec::with_capacity((crop[2] - crop[0]) * (crop[3] - crop[1]));
+                    for py in crop[0]..crop[2] {
+                        for px in crop[1]..crop[3] {
+                            let mut cnt = 0usize;
+                            for iy in 0..ds {
+                                for ix in 0..ds {
+                                    let (yy, xx) = (py * ds + iy, px * ds + ix);
+                                    if yy < img_size && xx < img_size && gt.mask[yy * img_size + xx] {
+                                        cnt += 1;
+                                    }
+                                }
+                            }
+                            gt_ds.push(if cnt * 2 >= ds * ds { 1.0 } else { 0.0 });
+                        }
+                    }
+                    items.push(Item { b, s, y, x, crop, gt: gt_ds });
+                }
+            }
+        }
+    }
+
+    // Forward loss.
+    let assemble = |pmap: &Tensor, cmap: &Tensor, it: &Item| -> Vec<f32> {
+        let mut vals = Vec::with_capacity(it.gt.len());
+        for py in it.crop[0]..it.crop[2] {
+            for px in it.crop[1]..it.crop[3] {
+                let mut acc = 0.0f32;
+                for k in 0..NUM_PROTOS {
+                    acc += cmap.at4(it.b, it.s * NUM_PROTOS + k, it.y, it.x) * pmap.at4(it.b, k, py, px);
+                }
+                vals.push(1.0 / (1.0 + (-acc).exp()));
+            }
+        }
+        vals
+    };
+    let mut total = 0.0f32;
+    let mut pixels = 0usize;
+    for it in &items {
+        let pred = assemble(&pmap, &cmap, it);
+        for (p, t) in pred.iter().zip(it.gt.iter()) {
+            total -= t * p.max(1e-7).ln() + (1.0 - t) * (1.0 - p).max(1e-7).ln();
+        }
+        pixels += it.gt.len();
+    }
+    let denom = pixels.max(1) as f32;
+    total /= denom;
+
+    let pdims = pmap.dims().to_vec();
+    let cdims = cmap.dims().to_vec();
+    tape.push(
+        Tensor::from_vec(vec![total], &[1]),
+        vec![protos, coeffs],
+        Some(Box::new(move |gy| {
+            let g = gy.data()[0] / denom;
+            let mut gp = Tensor::zeros(&pdims);
+            let mut gc = Tensor::zeros(&cdims);
+            for it in &items {
+                let pred = assemble(&pmap, &cmap, it);
+                let mut idx = 0usize;
+                for py in it.crop[0]..it.crop[2] {
+                    for px in it.crop[1]..it.crop[3] {
+                        // d BCE / d logit = sigmoid − target
+                        let dl = (pred[idx] - it.gt[idx]) * g;
+                        for k in 0..NUM_PROTOS {
+                            *gp.at4_mut(it.b, k, py, px) +=
+                                dl * cmap.at4(it.b, it.s * NUM_PROTOS + k, it.y, it.x);
+                            *gc.at4_mut(it.b, it.s * NUM_PROTOS + k, it.y, it.x) +=
+                                dl * pmap.at4(it.b, k, py, px);
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+            vec![gp, gc]
+        })),
+    )
+}
+
+/// Combined training loss for a batch.
+pub fn detection_loss(
+    tape: &mut Tape,
+    outputs: &DetOutputs,
+    anchors: &[Anchor],
+    assignments: &[Assignment],
+    samples: &[Sample],
+) -> Var {
+    let lc = det_class_loss(tape, outputs.cls, assignments, 3);
+    let lb = det_box_loss(tape, outputs.boxes, anchors, assignments, samples);
+    let lm = det_mask_loss(tape, outputs.protos, outputs.coeffs, assignments, samples);
+    let lb_w = ops::scale(tape, lb, 1.5);
+    let lm_w = ops::scale(tape, lm, 1.0);
+    let s1 = ops::add(tape, lc, lb_w);
+    ops::add(tape, s1, lm_w)
+}
+
+// ---------------------------------------------------------------------------
+// Inference
+// ---------------------------------------------------------------------------
+
+/// Decodes detections for batch item `b` from raw head tensors (use
+/// `tape.value(...)` on the forward outputs). Applies per-class NMS and
+/// assembles masks at image resolution.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_detections(
+    cls: &Tensor,
+    boxes: &Tensor,
+    coeffs: &Tensor,
+    protos: &Tensor,
+    b: usize,
+    img_size: usize,
+    score_threshold: f32,
+    nms_iou: f32,
+) -> Vec<Detection> {
+    let (_, _, hf, wf) = protos.shape().nchw();
+    let anchors = build_anchors(hf, wf);
+    let scales = ANCHOR_SCALES.len();
+    let k1 = NUM_CLASSES + 1;
+
+    // Collect raw candidates.
+    struct Cand {
+        class: usize,
+        score: f32,
+        bbox: [f32; 4],
+        coeff: [f32; NUM_PROTOS],
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    for s in 0..scales {
+        for y in 0..hf {
+            for x in 0..wf {
+                let ai = anchor_index(s, y, x, hf, wf);
+                let logits: Vec<f32> = (0..k1).map(|c| cls.at4(b, s * k1 + c, y, x)).collect();
+                let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = logits.iter().map(|v| (v - m).exp()).collect();
+                let z: f32 = exps.iter().sum();
+                for c in 1..k1 {
+                    let score = exps[c] / z;
+                    if score < score_threshold {
+                        continue;
+                    }
+                    let t = [
+                        boxes.at4(b, s * 4, y, x),
+                        boxes.at4(b, s * 4 + 1, y, x),
+                        boxes.at4(b, s * 4 + 2, y, x),
+                        boxes.at4(b, s * 4 + 3, y, x),
+                    ];
+                    let mut bbox = decode_box(&anchors[ai], &t);
+                    for v in bbox.iter_mut() {
+                        *v = v.clamp(0.0, img_size as f32);
+                    }
+                    let mut coeff = [0.0f32; NUM_PROTOS];
+                    for (k, cv) in coeff.iter_mut().enumerate() {
+                        *cv = coeffs.at4(b, s * NUM_PROTOS + k, y, x);
+                    }
+                    cands.push(Cand { class: c - 1, score, bbox, coeff });
+                }
+            }
+        }
+    }
+
+    // Per-class NMS.
+    cands.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut keep: Vec<Cand> = Vec::new();
+    'outer: for c in cands {
+        for k in &keep {
+            if k.class == c.class && box_iou(&k.bbox, &c.bbox) > nms_iou {
+                continue 'outer;
+            }
+        }
+        keep.push(c);
+        if keep.len() >= 16 {
+            break;
+        }
+    }
+
+    // Assemble masks: sigmoid(Σ coeff·proto), crop to box, threshold, and
+    // upsample (nearest) to image resolution.
+    let ds = img_size / wf;
+    keep.into_iter()
+        .map(|c| {
+            let mut mask = vec![false; img_size * img_size];
+            for py in 0..hf {
+                for px in 0..wf {
+                    let mut acc = 0.0f32;
+                    for k in 0..NUM_PROTOS {
+                        acc += c.coeff[k] * protos.at4(b, k, py, px);
+                    }
+                    let on = 1.0 / (1.0 + (-acc).exp()) > 0.5;
+                    if !on {
+                        continue;
+                    }
+                    for iy in 0..ds {
+                        for ix in 0..ds {
+                            let (yy, xx) = (py * ds + iy, px * ds + ix);
+                            let (yf, xf) = (yy as f32, xx as f32);
+                            if yf >= c.bbox[0] && yf < c.bbox[2] && xf >= c.bbox[1] && xf < c.bbox[3] {
+                                mask[yy * img_size + xx] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Detection { class: c.class, score: c.score, bbox: c.bbox, mask }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::SlotKind;
+    use crate::dataset::{batch_images, DeformedShapesConfig};
+
+    fn mini_detector(store: &mut ParamStore) -> YolactLite {
+        let cfg = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+        YolactLite::new(store, cfg)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut store = ParamStore::new();
+        let mut det = mini_detector(&mut store);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, 1, 48, 48], 0.0, 1.0, 1));
+        let out = det.forward(&mut tape, &store, x);
+        assert_eq!(out.feat_hw, (12, 12));
+        assert_eq!(tape.value(out.cls).dims(), &[2, 2 * 4, 12, 12]);
+        assert_eq!(tape.value(out.boxes).dims(), &[2, 2 * 4, 12, 12]);
+        assert_eq!(tape.value(out.coeffs).dims(), &[2, 2 * NUM_PROTOS, 12, 12]);
+        assert_eq!(tape.value(out.protos).dims(), &[2, NUM_PROTOS, 12, 12]);
+    }
+
+    #[test]
+    fn box_encode_decode_round_trip() {
+        let a = Anchor { cy: 24.0, cx: 24.0, h: 16.0, w: 16.0 };
+        let gt = [10.0, 12.0, 30.0, 40.0];
+        let t = encode_box(&a, &gt);
+        let back = decode_box(&a, &t);
+        for (x, y) in gt.iter().zip(back.iter()) {
+            assert!((x - y).abs() < 1e-4, "{gt:?} vs {back:?}");
+        }
+    }
+
+    #[test]
+    fn iou_properties() {
+        let a = [0.0, 0.0, 10.0, 10.0];
+        assert!((box_iou(&a, &a) - 1.0).abs() < 1e-6);
+        let b = [20.0, 20.0, 30.0, 30.0];
+        assert_eq!(box_iou(&a, &b), 0.0);
+        let c = [0.0, 5.0, 10.0, 15.0];
+        assert!((box_iou(&a, &c) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_gt_gets_a_positive_anchor() {
+        let cfg = DeformedShapesConfig::default();
+        let anchors = build_anchors(12, 12);
+        for s in cfg.generate(10, 33) {
+            let asg = assign_anchors(&anchors, &s);
+            for (gi, _) in s.objects.iter().enumerate() {
+                let found = asg
+                    .labels
+                    .iter()
+                    .zip(asg.gt_index.iter())
+                    .any(|(l, &g)| matches!(l, Some(v) if *v > 0) && g == gi);
+                assert!(found, "GT {gi} has no positive anchor");
+            }
+        }
+    }
+
+    #[test]
+    fn class_loss_gradient_matches_fd() {
+        let cfg = DeformedShapesConfig::default();
+        let samples = cfg.generate(1, 7);
+        let anchors = build_anchors(12, 12);
+        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let map = Tensor::randn(&[1, 2 * 4, 12, 12], 0.0, 1.0, 8);
+        let run = |m: &Tensor| {
+            let mut t = Tape::new();
+            let v = t.input(m.clone());
+            let l = det_class_loss(&mut t, v, &asg, 3);
+            t.value(l).data()[0]
+        };
+        let mut t = Tape::new();
+        let v = t.input(map.clone());
+        let l = det_class_loss(&mut t, v, &asg, 3);
+        t.backward(l);
+        let g = t.grad(v).unwrap().clone();
+        // Probe a few indices with non-zero gradient.
+        let probes: Vec<usize> = g
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v.abs() > 1e-4)
+            .map(|(i, _)| i)
+            .take(4)
+            .collect();
+        assert!(!probes.is_empty(), "no selected anchors?");
+        for idx in probes {
+            let mut p = map.clone();
+            p.data_mut()[idx] += 1e-3;
+            let mut m2 = map.clone();
+            m2.data_mut()[idx] -= 1e-3;
+            let fd = (run(&p) - run(&m2)) / 2e-3;
+            // OHEM selection may flip for borderline negatives under the
+            // perturbation; allow a loose tolerance.
+            assert!((g.data()[idx] - fd).abs() < 5e-2, "idx {idx}: {} vs {fd}", g.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn box_loss_gradient_matches_fd() {
+        let cfg = DeformedShapesConfig::default();
+        let samples = cfg.generate(1, 9);
+        let anchors = build_anchors(12, 12);
+        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let map = Tensor::randn(&[1, 2 * 4, 12, 12], 0.0, 0.5, 10);
+        let run = |m: &Tensor| {
+            let mut t = Tape::new();
+            let v = t.input(m.clone());
+            let l = det_box_loss(&mut t, v, &anchors, &asg, &samples);
+            t.value(l).data()[0]
+        };
+        let mut t = Tape::new();
+        let v = t.input(map.clone());
+        let l = det_box_loss(&mut t, v, &anchors, &asg, &samples);
+        t.backward(l);
+        let g = t.grad(v).unwrap().clone();
+        let probes: Vec<usize> =
+            g.data().iter().enumerate().filter(|(_, &v)| v.abs() > 1e-5).map(|(i, _)| i).take(4).collect();
+        assert!(!probes.is_empty());
+        for idx in probes {
+            let mut p = map.clone();
+            p.data_mut()[idx] += 1e-3;
+            let mut m2 = map.clone();
+            m2.data_mut()[idx] -= 1e-3;
+            let fd = (run(&p) - run(&m2)) / 2e-3;
+            assert!((g.data()[idx] - fd).abs() < 1e-3, "idx {idx}: {} vs {fd}", g.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn mask_loss_gradients_match_fd() {
+        let cfg = DeformedShapesConfig::default();
+        let samples = cfg.generate(1, 11);
+        let anchors = build_anchors(12, 12);
+        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let pmap = Tensor::randn(&[1, NUM_PROTOS, 12, 12], 0.0, 1.0, 12);
+        let cmap = Tensor::randn(&[1, 2 * NUM_PROTOS, 12, 12], 0.0, 0.7, 13);
+        let run = |p: &Tensor, c: &Tensor| {
+            let mut t = Tape::new();
+            let pv = t.input(p.clone());
+            let cv = t.input(c.clone());
+            let l = det_mask_loss(&mut t, pv, cv, &asg, &samples);
+            t.value(l).data()[0]
+        };
+        let mut t = Tape::new();
+        let pv = t.input(pmap.clone());
+        let cv = t.input(cmap.clone());
+        let l = det_mask_loss(&mut t, pv, cv, &asg, &samples);
+        t.backward(l);
+        let gp = t.grad(pv).unwrap().clone();
+        let gc = t.grad(cv).unwrap().clone();
+        for idx in [0usize, 50, 100] {
+            let mut a = pmap.clone();
+            a.data_mut()[idx] += 1e-3;
+            let mut b = pmap.clone();
+            b.data_mut()[idx] -= 1e-3;
+            let fd = (run(&a, &cmap) - run(&b, &cmap)) / 2e-3;
+            assert!((gp.data()[idx] - fd).abs() < 1e-3, "proto idx {idx}: {} vs {fd}", gp.data()[idx]);
+        }
+        let probes: Vec<usize> =
+            gc.data().iter().enumerate().filter(|(_, &v)| v.abs() > 1e-6).map(|(i, _)| i).take(3).collect();
+        for idx in probes {
+            let mut a = cmap.clone();
+            a.data_mut()[idx] += 1e-3;
+            let mut b = cmap.clone();
+            b.data_mut()[idx] -= 1e-3;
+            let fd = (run(&pmap, &a) - run(&pmap, &b)) / 2e-3;
+            assert!((gc.data()[idx] - fd).abs() < 1e-3, "coeff idx {idx}: {} vs {fd}", gc.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn decode_produces_valid_detections() {
+        let mut store = ParamStore::new();
+        let mut det = mini_detector(&mut store);
+        let cfg = DeformedShapesConfig::default();
+        let samples = cfg.generate(2, 21);
+        let mut tape = Tape::new();
+        let x = tape.input(batch_images(&samples));
+        let out = det.forward(&mut tape, &store, x);
+        let dets = decode_detections(
+            tape.value(out.cls),
+            tape.value(out.boxes),
+            tape.value(out.coeffs),
+            tape.value(out.protos),
+            0,
+            48,
+            0.05,
+            0.5,
+        );
+        for d in &dets {
+            assert!(d.class < NUM_CLASSES);
+            assert!(d.score >= 0.05 && d.score <= 1.0);
+            assert!(d.bbox[2] >= d.bbox[0] && d.bbox[3] >= d.bbox[1]);
+            assert_eq!(d.mask.len(), 48 * 48);
+        }
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let mut store = ParamStore::new();
+        let mut det = mini_detector(&mut store);
+        let cfg = DeformedShapesConfig::default();
+        let samples = cfg.generate(4, 31);
+        let anchors = build_anchors(12, 12);
+        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let images = batch_images(&samples);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..8 {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.input(images.clone());
+            let out = det.forward(&mut tape, &store, x);
+            let loss = detection_loss(&mut tape, &out, &anchors, &asg, &samples);
+            last = tape.value(loss).data()[0];
+            first.get_or_insert(last);
+            tape.backward(loss);
+            tape.write_param_grads(&mut store);
+            store.sgd_step(0.05, 0.9, 1e-4);
+        }
+        assert!(last < first.unwrap(), "loss {} -> {last}", first.unwrap());
+    }
+}

@@ -1,0 +1,36 @@
+//! # defcon-models
+//!
+//! The model substrate for DEFCON's accuracy experiments:
+//!
+//! * [`dataset`] — a synthetic *deformed shapes* instance-segmentation
+//!   dataset: geometric classes under strong random warps (rotation,
+//!   anisotropic scale, shear, sinusoidal bending). It exercises exactly
+//!   the inductive bias deformable convolution adds — flexible spatial
+//!   sampling — on the same code paths a COCO pipeline would use
+//!   (offset learning, bilinear sampling, boxes, masks, mAP).
+//! * [`backbone`] — a residual backbone whose 3×3 convolutions are *slots*
+//!   that can be a regular conv, a fixed DCN, or a searchable dual-path
+//!   layer (for the interval search).
+//! * [`detector`] — `YolactLite`, a single-shot instance segmenter in the
+//!   YOLACT mould: backbone → FPN-lite → shared prediction head (class +
+//!   box + mask coefficients) + prototype branch, trained with CE /
+//!   smooth-L1 / mask-BCE losses, decoded with NMS.
+//! * [`map`] — COCO-style box and mask mAP@[.5:.95] and AP50.
+//! * [`trainer`] — training / evaluation drivers, including the supernet
+//!   adapter that plugs `YolactLite` into `defcon-core`'s interval search.
+//! * [`zoo`] — layer inventories of the paper's full-size networks
+//!   (YOLACT++ with ResNet-50/101 at 550×550) used for the *latency*
+//!   experiments (Table III) on the GPU simulator, where no training is
+//!   required.
+
+pub mod backbone;
+pub mod dataset;
+pub mod detector;
+pub mod map;
+pub mod trainer;
+pub mod zoo;
+
+pub use backbone::{Backbone, BackboneConfig, SlotKind};
+pub use dataset::{DeformedShapesConfig, Sample, ShapeClass};
+pub use detector::YolactLite;
+pub use map::{evaluate_map, MapResult};

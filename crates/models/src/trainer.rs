@@ -1,0 +1,253 @@
+//! Training / evaluation drivers and the interval-search supernet adapter.
+
+use crate::backbone::BackboneConfig;
+use crate::dataset::{batch_images, DeformedShapesConfig, Sample};
+use crate::detector::{
+    assign_anchors, build_anchors, decode_detections, detection_loss, Anchor, Assignment, YolactLite, NUM_CLASSES,
+};
+use crate::map::{evaluate_map, MapResult};
+use defcon_core::lut::LatencyKey;
+use defcon_core::search::SearchModel;
+use defcon_nn::graph::{ParamId, ParamStore, Tape, Var};
+use defcon_nn::modules::LayerChoice;
+use defcon_nn::optim::Sgd;
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Base learning rate (paper: 1e-2, step decay).
+    pub lr: f32,
+    /// Training images.
+    pub train_size: usize,
+    /// Validation images.
+    pub val_size: usize,
+    /// Dataset generator.
+    pub dataset: DeformedShapesConfig,
+    /// Seed for data generation.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.02,
+            train_size: 64,
+            val_size: 32,
+            dataset: DeformedShapesConfig::default(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A dataset split with precomputed anchor assignments.
+pub struct PreparedData {
+    /// The samples.
+    pub samples: Vec<Sample>,
+    /// Per-sample anchor assignments.
+    pub assignments: Vec<Assignment>,
+    /// The anchor grid.
+    pub anchors: Vec<Anchor>,
+}
+
+/// Generates and assigns a split.
+pub fn prepare(cfg: &DeformedShapesConfig, n: usize, seed: u64) -> PreparedData {
+    let samples = cfg.generate(n, seed);
+    let feat = cfg.size / crate::detector::STRIDE;
+    let anchors = build_anchors(feat, feat);
+    let assignments = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+    PreparedData { samples, assignments, anchors }
+}
+
+/// Trains `det` on freshly generated data; returns per-epoch mean losses.
+pub fn train_detector(det: &mut YolactLite, store: &mut ParamStore, cfg: &TrainConfig) -> Vec<f32> {
+    train_detector_reg(det, store, cfg, 0.0)
+}
+
+/// [`train_detector`] with an L2 penalty of `offset_reg` on every DCN
+/// layer's predicted offsets — the *regularized training* alternative to
+/// hard bounding (paper Table V).
+pub fn train_detector_reg(
+    det: &mut YolactLite,
+    store: &mut ParamStore,
+    cfg: &TrainConfig,
+    offset_reg: f32,
+) -> Vec<f32> {
+    let data = prepare(&cfg.dataset, cfg.train_size, cfg.seed);
+    let steps = cfg.epochs * cfg.train_size.div_ceil(cfg.batch_size);
+    let mut opt = Sgd::paper_schedule(cfg.lr, steps);
+    det.set_training(true);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for _epoch in 0..cfg.epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk_start in (0..cfg.train_size).step_by(cfg.batch_size) {
+            let end = (chunk_start + cfg.batch_size).min(cfg.train_size);
+            let samples = &data.samples[chunk_start..end];
+            let assignments = &data.assignments[chunk_start..end];
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.input(batch_images(samples));
+            let out = det.forward(&mut tape, store, x);
+            let mut loss = detection_loss(&mut tape, &out, &data.anchors, assignments, samples);
+            if offset_reg > 0.0 {
+                for off in det.backbone.dcn_offsets() {
+                    let pen = defcon_nn::loss::l2_penalty(&mut tape, off, offset_reg);
+                    loss = defcon_nn::ops::add(&mut tape, loss, pen);
+                }
+            }
+            epoch_loss += tape.value(loss).data()[0];
+            batches += 1;
+            tape.backward(loss);
+            tape.write_param_grads(store);
+            opt.step(store);
+        }
+        history.push(epoch_loss / batches.max(1) as f32);
+    }
+    history
+}
+
+/// Runs inference on a validation split and computes box/mask mAP.
+pub fn evaluate_detector(
+    det: &mut YolactLite,
+    store: &ParamStore,
+    samples: &[Sample],
+    score_threshold: f32,
+) -> MapResult {
+    det.set_training(false);
+    let img_size = samples[0].image.dims()[3];
+    let mut all_dets = Vec::with_capacity(samples.len());
+    for s in samples {
+        let mut tape = Tape::new();
+        let x = tape.input(s.image.clone());
+        let out = det.forward(&mut tape, store, x);
+        let dets = decode_detections(
+            tape.value(out.cls),
+            tape.value(out.boxes),
+            tape.value(out.coeffs),
+            tape.value(out.protos),
+            0,
+            img_size,
+            score_threshold,
+            0.5,
+        );
+        all_dets.push(dets);
+    }
+    det.set_training(true);
+    evaluate_map(samples, &all_dets, NUM_CLASSES)
+}
+
+/// Convenience: build → train → evaluate one backbone layout; returns the
+/// trained detector and its validation mAP.
+pub fn train_and_eval(backbone: BackboneConfig, cfg: &TrainConfig) -> (YolactLite, ParamStore, MapResult) {
+    let mut store = ParamStore::new();
+    let mut det = YolactLite::new(&mut store, backbone);
+    train_detector(&mut det, &mut store, cfg);
+    let val = prepare(&cfg.dataset, cfg.val_size, cfg.seed ^ 0xFFFF_0000).samples;
+    let map = evaluate_detector(&mut det, &store, &val, 0.05);
+    (det, store, map)
+}
+
+/// The supernet adapter: plugs a `YolactLite` with searchable backbone
+/// slots into `defcon-core`'s interval search.
+pub struct DetectorSuperNet {
+    /// The detector under search.
+    pub detector: YolactLite,
+    /// Training data for the search phase.
+    pub data: PreparedData,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    searchable_blocks: Vec<usize>,
+}
+
+impl DetectorSuperNet {
+    /// Builds the supernet (backbone slots should be `SlotKind::Searchable`).
+    pub fn new(store: &mut ParamStore, backbone: BackboneConfig, data: PreparedData, batch_size: usize) -> Self {
+        let detector = YolactLite::new(store, backbone);
+        let searchable_blocks = detector.backbone.searchable_slots();
+        DetectorSuperNet { detector, data, batch_size, searchable_blocks }
+    }
+}
+
+impl SearchModel for DetectorSuperNet {
+    fn num_slots(&self) -> usize {
+        self.searchable_blocks.len()
+    }
+
+    fn alpha(&self, i: usize) -> ParamId {
+        self.detector.backbone.alpha_of(self.searchable_blocks[i])
+    }
+
+    fn latency_key(&self, i: usize) -> LatencyKey {
+        self.detector.backbone.latency_key_of(self.searchable_blocks[i])
+    }
+
+    fn set_temperature(&mut self, tau: f32) {
+        self.detector.backbone.set_temperature(tau);
+    }
+
+    fn forward_loss(&mut self, tape: &mut Tape, store: &ParamStore, batch: usize) -> Var {
+        let n = self.data.samples.len();
+        let start = (batch * self.batch_size) % n;
+        let end = (start + self.batch_size).min(n);
+        let samples = &self.data.samples[start..end];
+        let assignments = &self.data.assignments[start..end];
+        let x = tape.input(batch_images(samples));
+        let out = self.detector.forward(tape, store, x);
+        detection_loss(tape, &out, &self.data.anchors, assignments, samples)
+    }
+
+    fn freeze(&mut self, store: &ParamStore) -> Vec<LayerChoice> {
+        self.detector.backbone.freeze(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::SlotKind;
+    use defcon_core::lut::LatencyLut;
+    use defcon_core::search::{IntervalSearch, SearchConfig};
+    use defcon_gpusim::{DeviceConfig, Gpu};
+    use defcon_kernels::op::{OffsetPredictorKind, SamplingMethod};
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig { epochs: 2, batch_size: 4, train_size: 16, val_size: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_eval_runs() {
+        let backbone = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+        let cfg = quick_cfg();
+        let mut store = ParamStore::new();
+        let mut det = YolactLite::new(&mut store, backbone);
+        let history = train_detector(&mut det, &mut store, &cfg);
+        assert_eq!(history.len(), 2);
+        assert!(history[1] < history[0], "loss {history:?}");
+        let val = prepare(&cfg.dataset, cfg.val_size, 99).samples;
+        let map = evaluate_detector(&mut det, &store, &val, 0.05);
+        assert!(map.box_map >= 0.0 && map.box_map <= 100.0);
+    }
+
+    #[test]
+    fn supernet_search_end_to_end() {
+        let backbone = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Searchable));
+        let mut store = ParamStore::new();
+        let data = prepare(&DeformedShapesConfig::default(), 8, 42);
+        let mut net = DetectorSuperNet::new(&mut store, backbone, data, 4);
+        assert_eq!(net.num_slots(), 5);
+
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let keys = net.detector.backbone.all_latency_keys();
+        let lut = LatencyLut::build(&gpu, &keys, SamplingMethod::Tex2dPlusPlus, OffsetPredictorKind::Lightweight);
+        let cfg = SearchConfig { search_epochs: 2, finetune_epochs: 1, iters_per_epoch: 2, ..Default::default() };
+        let out = IntervalSearch::new(cfg, lut).run(&mut net, &mut store);
+        assert_eq!(out.choices.len(), 5);
+        assert!(!net.detector.backbone.layout().contains('?'));
+    }
+}

@@ -1,0 +1,195 @@
+//! SGD with momentum and the paper's step-decay learning-rate schedule.
+
+use crate::graph::ParamStore;
+
+/// SGD configuration (paper §IV-A: momentum 0.9, initial LR 1e-2, decay by
+/// 0.1 at milestones, saturating at 1e-6).
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Weight decay applied to decay-flagged parameters.
+    pub weight_decay: f32,
+    /// Iterations at which the LR is multiplied by `gamma`.
+    pub milestones: Vec<usize>,
+    /// Multiplicative decay at each milestone.
+    pub gamma: f32,
+    /// LR floor.
+    pub min_lr: f32,
+    step_count: usize,
+}
+
+impl Sgd {
+    /// Builds an optimizer; milestones are absolute step indices.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, milestones: Vec::new(), gamma: 0.1, min_lr: 1e-6, step_count: 0 }
+    }
+
+    /// The paper's training configuration scaled to a given run length:
+    /// decay ×0.1 at 60 % and 85 % of `total_steps`.
+    pub fn paper_schedule(lr: f32, total_steps: usize) -> Self {
+        let mut s = Sgd::new(lr, 0.9, 5e-4);
+        s.milestones = vec![(total_steps * 6) / 10, (total_steps * 17) / 20];
+        s
+    }
+
+    /// Learning rate in effect at the current step.
+    pub fn current_lr(&self) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| self.step_count >= m).count();
+        (self.lr * self.gamma.powi(decays as i32)).max(self.min_lr)
+    }
+
+    /// Applies one update from the accumulated gradients, then advances the
+    /// schedule and zeroes the gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let lr = self.current_lr();
+        store.sgd_step(lr, self.momentum, self.weight_decay);
+        self.step_count += 1;
+        store.zero_grads();
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> usize {
+        self.step_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_tensor::Tensor;
+
+    #[test]
+    fn lr_decays_at_milestones() {
+        let mut s = Sgd::new(0.1, 0.9, 0.0);
+        s.milestones = vec![2, 4];
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(&[1]), true);
+        assert!((s.current_lr() - 0.1).abs() < 1e-7);
+        s.step(&mut store); // step 0 -> 1
+        s.step(&mut store); // 1 -> 2
+        assert!((s.current_lr() - 0.01).abs() < 1e-7);
+        s.step(&mut store);
+        s.step(&mut store);
+        assert!((s.current_lr() - 0.001).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lr_floors_at_min() {
+        let mut s = Sgd::new(1e-5, 0.9, 0.0);
+        s.milestones = vec![0];
+        s.step_count = 1;
+        assert!((s.current_lr() - 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn momentum_accelerates_descent() {
+        // Minimize f(w) = w² from w=1; with momentum the parameter should
+        // move farther after two identical-gradient steps than without.
+        let run = |mom: f32| {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(vec![1.0], &[1]), false);
+            let mut opt = Sgd::new(0.1, mom, 0.0);
+            for _ in 0..2 {
+                let g = Tensor::from_vec(vec![2.0 * store.value(w).data()[0]], &[1]);
+                store.accumulate_grad(w, &g);
+                opt.step(&mut store);
+            }
+            store.value(w).data()[0]
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn paper_schedule_milestones_proportional() {
+        let s = Sgd::paper_schedule(0.01, 100);
+        assert_eq!(s.milestones, vec![60, 85]);
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) — an alternative to [`Sgd`] for the
+/// ablation studies; maintains per-parameter first/second moment estimates
+/// inside the optimizer (not the store).
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: i32,
+}
+
+impl Adam {
+    /// Standard Adam with the usual defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    pub fn step(&mut self, store: &mut crate::graph::ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for i in 0..store.len() {
+            let id = crate::graph::ParamId(i);
+            if self.m.len() <= i {
+                let n = store.value(id).numel();
+                self.m.push(vec![0.0; n]);
+                self.v.push(vec![0.0; n]);
+            }
+            let g: Vec<f32> = store.grad(id).data().to_vec();
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            let lr = self.lr;
+            let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+            let p = store.value_mut(id);
+            for (((pv, &gv), mv), vv) in
+                p.data_mut().iter_mut().zip(g.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod adam_tests {
+    use super::*;
+    use crate::graph::ParamStore;
+    use defcon_tensor::Tensor;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![3.0, -2.0], &[2]), false);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            let g = store.value(w).scale(2.0); // d/dw ||w||^2
+            store.accumulate_grad(w, &g);
+            opt.step(&mut store);
+        }
+        assert!(store.value(w).sq_norm() < 1e-3, "{:?}", store.value(w).data());
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the very first step has magnitude ≈ lr.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0], &[1]), false);
+        let mut opt = Adam::new(0.05);
+        store.accumulate_grad(w, &Tensor::from_vec(vec![123.0], &[1]));
+        opt.step(&mut store);
+        assert!((store.value(w).data()[0] - (1.0 - 0.05)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Blocked, rayon-parallel single-precision GEMM.
+//!
+//! The convolution path (`conv::conv2d`) lowers to `C = A * B` where `A` is
+//! the filter matrix and `B` the im2col patch matrix. This GEMM is a simple
+//! cache-blocked kernel parallelized over row panels with rayon — not a BLAS
+//! competitor, but fast enough to train the mini models in `defcon-models`
+//! and, more importantly, deterministic per thread count is *not* required:
+//! each output element is accumulated by exactly one task, so results are
+//! bitwise reproducible regardless of parallelism.
+
+use rayon::prelude::*;
+
+/// Row-panel height processed per rayon task.
+const PANEL: usize = 32;
+/// K-blocking depth (inner accumulation tile) — sized so an A-panel row block
+/// plus a B block stay L1-resident.
+const KBLOCK: usize = 256;
+
+/// `c = a * b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`, all row-major.
+///
+/// Panics if slice lengths disagree with the given dimensions.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    c.fill(0.0);
+
+    // Parallelize over disjoint row panels of C; no two tasks write the same
+    // output element, so this is race-free by construction.
+    c.par_chunks_mut(PANEL * n).enumerate().for_each(|(panel_idx, c_panel)| {
+        let row0 = panel_idx * PANEL;
+        let rows = c_panel.len() / n;
+        for k0 in (0..k).step_by(KBLOCK) {
+            let k1 = (k0 + KBLOCK).min(k);
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                let c_row = &mut c_panel[r * n..(r + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    // The compiler auto-vectorizes this saxpy loop.
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `c = a * b^T` where `a` is `m×k`, `b` is `n×k` (so `b^T` is `k×n`).
+///
+/// Used by convolution backward passes where the filter matrix must be
+/// applied transposed without materializing the transpose.
+pub fn gemm_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), n * k, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    });
+}
+
+/// `c = a^T * b` where `a` is `k×m`, `b` is `k×n`, output `m×n`.
+pub fn gemm_at(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    c.fill(0.0);
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        for kk in 0..k {
+            let aki = a[kk * m + i];
+            if aki == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aki * bv;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (37, 53, 29);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 17) as f32 - 8.0).collect();
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let n = 16;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+        let mut c = vec![0.0; n * n];
+        gemm(&eye, &b, &mut c, n, n, n);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn gemm_bt_matches_gemm_with_transpose() {
+        let (m, k, n) = (9, 15, 11);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 5) as f32).collect();
+        let b_t: Vec<f32> = (0..n * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        // materialize b = (b_t)^T : k x n
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = b_t[j * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c1, m, k, n);
+        gemm_bt(&a, &b_t, &mut c2, m, k, n);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_at_matches_gemm_with_transpose() {
+        let (m, k, n) = (8, 12, 10);
+        let a_t: Vec<f32> = (0..k * m).map(|i| (i % 6) as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 4) as f32).collect();
+        let mut a = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a[i * k + kk] = a_t[kk * m + i];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c1, m, k, n);
+        gemm_at(&a_t, &b, &mut c2, m, k, n);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_empty_k() {
+        let mut c = vec![1.0; 4];
+        gemm(&[], &[], &mut c, 2, 0, 2);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Weight initialization schemes (seeded, reproducible).
+
+use crate::tensor::sample_standard_normal;
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Kaiming/He normal initialization for conv weights `[C_out, C_in, k, k]`:
+/// `std = sqrt(2 / fan_in)` with `fan_in = C_in · k · k`. Appropriate for
+/// ReLU networks.
+pub fn kaiming_conv(dims: &[usize], seed: u64) -> Tensor {
+    assert_eq!(dims.len(), 4, "kaiming_conv expects [C_out, C_in, k, k]");
+    let fan_in = (dims[1] * dims[2] * dims[3]) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| std * sample_standard_normal(&mut rng)).collect(), dims)
+}
+
+/// Xavier/Glorot normal initialization for linear weights `[out, in]`.
+pub fn xavier_linear(dims: &[usize], seed: u64) -> Tensor {
+    assert_eq!(dims.len(), 2, "xavier_linear expects [out, in]");
+    let std = (2.0 / (dims[0] + dims[1]) as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = dims[0] * dims[1];
+    Tensor::from_vec((0..n).map(|_| std * sample_standard_normal(&mut rng)).collect(), dims)
+}
+
+/// Zero initialization — the standard choice for the *offset-predicting*
+/// convolution of a deformable layer, so training starts from the rigid grid
+/// (Dai et al. initialize offset branches to zero).
+pub fn zeros(dims: &[usize]) -> Tensor {
+    Tensor::zeros(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let a = kaiming_conv(&[64, 16, 3, 3], 1);
+        let var_a = a.sq_norm() / a.numel() as f32;
+        let expect = 2.0 / (16.0 * 9.0);
+        assert!((var_a - expect).abs() < 0.2 * expect, "var {var_a} vs {expect}");
+    }
+
+    #[test]
+    fn xavier_reasonable_variance() {
+        let t = xavier_linear(&[128, 256], 2);
+        let var = t.sq_norm() / t.numel() as f32;
+        let expect = 2.0 / 384.0;
+        assert!((var - expect).abs() < 0.3 * expect);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(kaiming_conv(&[4, 4, 3, 3], 9), kaiming_conv(&[4, 4, 3, 3], 9));
+    }
+}

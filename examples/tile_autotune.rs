@@ -1,0 +1,42 @@
+//! Autotune the texture-kernel thread-block tile for a layer (paper Fig. 8
+//! workflow), comparing Bayesian optimization against random search.
+//!
+//! ```sh
+//! cargo run --release --example tile_autotune
+//! ```
+
+use defcon::core::autotune::{Autotuner, Strategy};
+use defcon::prelude::*;
+
+fn main() {
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    let shape = DeformLayerShape::same3x3(256, 256, 35, 35);
+    let (x, offsets) = synthetic_inputs(&shape, 4.0, 11);
+
+    let time = |tile: TileConfig| -> f64 {
+        DeformConvOp {
+            shape,
+            tile,
+            method: SamplingMethod::Tex2d,
+            offset_predictor: OffsetPredictorKind::Lightweight,
+            offset_transform: OffsetTransform::Bounded(7.0),
+        }
+        .simulate_total(&gpu, &x, &offsets)
+        .0
+    };
+
+    let space = TileConfig::search_space();
+    println!("tile space: {} candidates; budget: 8 evaluations each\n", space.len());
+
+    let bo = Autotuner::bayesian(8, 1).run(&space, time);
+    println!("Bayesian : best {} at {:.3} ms", bo.best, bo.best_value);
+    for (t, v) in &bo.evaluations {
+        println!("  tried {t:>6} -> {v:.3} ms");
+    }
+
+    let rnd = Autotuner { strategy: Strategy::Random, budget: 8, seed: 1 }.run(&space, time);
+    println!("\nRandom   : best {} at {:.3} ms", rnd.best, rnd.best_value);
+
+    let truth = Autotuner { strategy: Strategy::Exhaustive, budget: 0, seed: 0 }.run(&space, time);
+    println!("Exhaustive ground truth: {} at {:.3} ms", truth.best, truth.best_value);
+}
