@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: the tier-1 verify, run fully offline (the hermetic-build
+# policy — see DESIGN.md §3 — means no registry access is ever needed),
+# plus formatting. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (root package: integration suites)"
+cargo test -q --offline
+
+echo "==> cargo test --workspace -q --offline (all member crates)"
+cargo test --workspace -q --offline
+
+echo "==> cargo check --all-targets --offline (benches + bins compile)"
+cargo check --all-targets --offline
+
+echo "CI OK"

@@ -2,19 +2,19 @@
 //! offset spread (what bounding buys at the memory system), texture-cache
 //! size, and block-sampling rate of the engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use defcon_gpusim::{DeviceConfig, Gpu, SamplePolicy};
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
+use defcon_support::bench::Bench;
 use defcon_tensor::sample::OffsetTransform;
 
 /// How much the *spread* of learned offsets (which bounding caps) changes
 /// simulated time — the paper finds bounding is roughly speed-neutral on
 /// GPUs, unlike on FPGA accelerators.
-fn bench_offset_spread(c: &mut Criterion) {
+fn bench_offset_spread(bench: &mut Bench) {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     let shape = DeformLayerShape::same3x3(64, 64, 35, 35);
-    let mut group = c.benchmark_group("offset_spread_sim");
+    let mut group = bench.group("offset_spread_sim");
     group.sample_size(10);
     for spread in [1.0f32, 4.0, 12.0] {
         let (x, offsets) = synthetic_inputs(&shape, spread, 5);
@@ -23,7 +23,7 @@ fn bench_offset_spread(c: &mut Criterion) {
             offset_transform: OffsetTransform::Identity,
             ..DeformConvOp::baseline(shape)
         };
-        group.bench_with_input(BenchmarkId::from_parameter(spread as u32), &op, |b, op| {
+        group.bench_with_input(spread as u32, &op, |b, op| {
             b.iter(|| op.simulate_deform(&gpu, &x, &offsets));
         });
     }
@@ -32,21 +32,30 @@ fn bench_offset_spread(c: &mut Criterion) {
 
 /// Simulation cost as a function of block-sampling budget (accuracy/cost
 /// trade of the engine itself).
-fn bench_sample_policy(c: &mut Criterion) {
+fn bench_sample_policy(bench: &mut Bench) {
     let shape = DeformLayerShape::same3x3(128, 128, 69, 69);
     let (x, offsets) = synthetic_inputs(&shape, 4.0, 6);
-    let mut group = c.benchmark_group("engine_sampling");
+    let mut group = bench.group("engine_sampling");
     group.sample_size(10);
     for budget in [24usize, 96, 384] {
-        let gpu = Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy { max_blocks: budget });
-        let op =
-            DeformConvOp { method: SamplingMethod::Tex2d, ..DeformConvOp::baseline(shape) };
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+        let gpu = Gpu::with_policy(
+            DeviceConfig::xavier_agx(),
+            SamplePolicy { max_blocks: budget },
+        );
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2d,
+            ..DeformConvOp::baseline(shape)
+        };
+        group.bench_with_input(budget, &budget, |b, _| {
             b.iter(|| op.simulate_deform(&gpu, &x, &offsets));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_offset_spread, bench_sample_policy);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_offset_spread(&mut bench);
+    bench_sample_policy(&mut bench);
+    bench.finish();
+}

@@ -1,45 +1,63 @@
-//! Criterion microbenchmarks of the deformable-operator implementations:
-//! numeric execution throughput (CPU) and simulator launch cost for each
-//! sampling method.
+//! Microbenchmarks of the deformable-operator implementations: numeric
+//! execution throughput (CPU) and simulator launch cost for each sampling
+//! method.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
+use defcon_support::bench::Bench;
 use defcon_tensor::Tensor;
 
-fn bench_numeric_execute(c: &mut Criterion) {
+fn bench_numeric_execute(bench: &mut Bench) {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     let shape = DeformLayerShape::same3x3(16, 16, 24, 24);
     let (x, offsets) = synthetic_inputs(&shape, 3.0, 1);
     let w = Tensor::randn(&[16, 16, 3, 3], 0.0, 0.2, 2);
 
-    let mut group = c.benchmark_group("deform_numeric_execute");
+    let mut group = bench.group("deform_numeric_execute");
     group.sample_size(10);
-    for method in [SamplingMethod::SoftwareBilinear, SamplingMethod::Tex2d, SamplingMethod::Tex2dPlusPlus] {
-        let op = DeformConvOp { method, ..DeformConvOp::baseline(shape) };
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &op, |b, op| {
+    for method in [
+        SamplingMethod::SoftwareBilinear,
+        SamplingMethod::Tex2d,
+        SamplingMethod::Tex2dPlusPlus,
+    ] {
+        let op = DeformConvOp {
+            method,
+            ..DeformConvOp::baseline(shape)
+        };
+        group.bench_with_input(method.name(), &op, |b, op| {
             b.iter(|| op.execute(&x, &offsets, &w, &gpu));
         });
     }
     group.finish();
 }
 
-fn bench_simulator_launch(c: &mut Criterion) {
+fn bench_simulator_launch(bench: &mut Bench) {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     let shape = DeformLayerShape::same3x3(128, 128, 69, 69);
     let (x, offsets) = synthetic_inputs(&shape, 4.0, 3);
 
-    let mut group = c.benchmark_group("simulator_launch");
+    let mut group = bench.group("simulator_launch");
     group.sample_size(10);
-    for method in [SamplingMethod::SoftwareBilinear, SamplingMethod::Tex2d, SamplingMethod::Tex2dPlusPlus] {
-        let op = DeformConvOp { method, ..DeformConvOp::baseline(shape) };
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &op, |b, op| {
+    for method in [
+        SamplingMethod::SoftwareBilinear,
+        SamplingMethod::Tex2d,
+        SamplingMethod::Tex2dPlusPlus,
+    ] {
+        let op = DeformConvOp {
+            method,
+            ..DeformConvOp::baseline(shape)
+        };
+        group.bench_with_input(method.name(), &op, |b, op| {
             b.iter(|| op.simulate_deform(&gpu, &x, &offsets));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_numeric_execute, bench_simulator_launch);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_numeric_execute(&mut bench);
+    bench_simulator_launch(&mut bench);
+    bench.finish();
+}

@@ -1,17 +1,16 @@
 //! CPU GEMM throughput — the numeric workhorse behind every convolution in
 //! the workspace.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use defcon_support::bench::Bench;
 use defcon_tensor::gemm::gemm;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
+fn bench_gemm(bench: &mut Bench) {
+    let mut group = bench.group("gemm");
     group.sample_size(10);
     for &n in &[64usize, 128, 256] {
         let a: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32).collect();
         let b: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32).collect();
-        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+        group.bench_with_input(n, &n, |bench, &n| {
             let mut out = vec![0.0f32; n * n];
             bench.iter(|| gemm(&a, &b, &mut out, n, n, n));
         });
@@ -19,17 +18,21 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_im2col_conv(c: &mut Criterion) {
+fn bench_im2col_conv(bench: &mut Bench) {
     use defcon_tensor::conv::{conv2d, Conv2dParams};
     use defcon_tensor::Tensor;
     let x = Tensor::randn(&[1, 32, 32, 32], 0.0, 1.0, 1);
     let w = Tensor::randn(&[32, 32, 3, 3], 0.0, 0.1, 2);
     let p = Conv2dParams::same(3);
-    let mut group = c.benchmark_group("conv2d_im2col");
+    let mut group = bench.group("conv2d_im2col");
     group.sample_size(10);
     group.bench_function("32ch_32x32", |b| b.iter(|| conv2d(&x, &w, None, &p)));
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_im2col_conv);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_gemm(&mut bench);
+    bench_im2col_conv(&mut bench);
+    bench.finish();
+}

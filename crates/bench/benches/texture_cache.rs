@@ -1,18 +1,18 @@
 //! Texture-path microbenchmarks: fetch throughput of the layered-texture
 //! model and cache behaviour under 2-D vs. scattered walks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use defcon_gpusim::cache::Cache;
 use defcon_gpusim::device::DeviceConfig;
 use defcon_gpusim::texture::{FilterMode, LayeredTexture2d};
+use defcon_support::bench::Bench;
 
-fn bench_fetch(c: &mut Criterion) {
+fn bench_fetch(bench: &mut Bench) {
     let data: Vec<f32> = (0..256 * 256).map(|v| v as f32).collect();
-    let mut group = c.benchmark_group("texture_fetch");
+    let mut group = bench.group("texture_fetch");
     for (name, frac_bits) in [("fp32", 23u32), ("fp16", 8)] {
         let mut tex = LayeredTexture2d::new(data.clone(), 1, 256, 256, 0, 2048, 32768).unwrap();
         tex.filter_mode = FilterMode::Linear { frac_bits };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &tex, |b, tex| {
+        group.bench_with_input(name, &tex, |b, tex| {
             b.iter(|| {
                 let mut acc = 0.0f32;
                 for i in 0..1000 {
@@ -27,9 +27,9 @@ fn bench_fetch(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_cache_walks(c: &mut Criterion) {
+fn bench_cache_walks(bench: &mut Bench) {
     let cfg = DeviceConfig::xavier_agx();
-    let mut group = c.benchmark_group("tex_cache_walk");
+    let mut group = bench.group("tex_cache_walk");
     group.bench_function("sequential_2d", |b| {
         b.iter(|| {
             let mut cache = Cache::new(cfg.tex_cache);
@@ -53,5 +53,9 @@ fn bench_cache_walks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fetch, bench_cache_walks);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_fetch(&mut bench);
+    bench_cache_walks(&mut bench);
+    bench.finish();
+}

@@ -9,24 +9,54 @@
 //! (their only global loads are coalesced offsets/weights), and execute
 //! roughly 4× fewer floating-point operations because bilinear interpolation
 //! moved into the texture filter hardware.
+//!
+//! `DEFCON_TINY=1` shrinks the sweep; `DEFCON_JSON=1` appends a one-line
+//! JSON report (see `defcon_bench` docs).
 
-use defcon_bench::{f2, Table};
+use defcon_bench::{emit_json, f2, layer_sweep, Table};
+use defcon_gpusim::{DeviceConfig, Gpu, KernelReport};
 use defcon_kernels::fused::FusedTexDeformKernel;
 use defcon_kernels::im2col::{Im2colDeformKernel, Sampling};
 use defcon_kernels::op::synthetic_inputs;
-use defcon_kernels::{paper_layer_sweep, TileConfig};
-use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_kernels::TileConfig;
+use defcon_support::json::Json;
 use defcon_tensor::sample::OffsetTransform;
+
+fn counter_row(layer: &str, name: &str, r: &KernelReport) -> Json {
+    Json::obj(vec![
+        ("layer", Json::str(layer)),
+        ("impl", Json::str(name)),
+        ("mflop", Json::from(r.counters.mflop())),
+        (
+            "gld_trans_per_req",
+            Json::from(r.counters.gld_transactions_per_request()),
+        ),
+        ("gld_efficiency", Json::from(r.counters.gld_efficiency())),
+        ("tex_requests", Json::from(r.counters.tex_requests)),
+        ("tex_hit_rate", Json::from(r.counters.tex_hit_rate())),
+    ])
+}
 
 fn main() {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
-    println!("# Fig. 10 — sampling-stage counters on {} (per layer, per implementation)\n", gpu.config().name);
+    println!(
+        "# Fig. 10 — sampling-stage counters on {} (per layer, per implementation)\n",
+        gpu.config().name
+    );
 
     let mut table = Table::new(&[
-        "Layer", "impl", "MFLOP", "GLD trans/req", "GLD eff (%)", "tex requests", "tex hit rate",
+        "Layer",
+        "impl",
+        "MFLOP",
+        "GLD trans/req",
+        "GLD eff (%)",
+        "tex requests",
+        "tex hit rate",
     ]);
-    for shape in paper_layer_sweep() {
+    let mut json_rows = Vec::new();
+    for shape in layer_sweep() {
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 123);
+        let layer = format!("{},{},{},{}", shape.c_in, shape.c_out, shape.h, shape.w);
         for (name, sampling) in [
             ("PyTorch", Sampling::Software),
             ("tex2D", Sampling::Texture { frac_bits: 23 }),
@@ -45,7 +75,7 @@ fn main() {
             .expect("texture limits");
             let r = gpu.launch(&kernel);
             table.row(&[
-                format!("{},{},{},{}", shape.c_in, shape.c_out, shape.h, shape.w),
+                layer.clone(),
                 name.into(),
                 f2(r.counters.mflop()),
                 f2(r.counters.gld_transactions_per_request()),
@@ -53,6 +83,7 @@ fn main() {
                 r.counters.tex_requests.to_string(),
                 f2(r.counters.tex_hit_rate()),
             ]);
+            json_rows.push(counter_row(&layer, name, &r));
         }
         // DEFCON's deployed kernel fuses sampling into the convolution; its
         // only global loads are fully coalesced offsets and weights — this
@@ -71,7 +102,7 @@ fn main() {
         .expect("texture limits");
         let r = gpu.launch(&fused);
         table.row(&[
-            format!("{},{},{},{}", shape.c_in, shape.c_out, shape.h, shape.w),
+            layer.clone(),
             "tex2D fused".into(),
             f2(r.counters.mflop()),
             f2(r.counters.gld_transactions_per_request()),
@@ -79,6 +110,12 @@ fn main() {
             r.counters.tex_requests.to_string(),
             f2(r.counters.tex_hit_rate()),
         ]);
+        json_rows.push(counter_row(&layer, "tex2D fused", &r));
     }
     table.print();
+    emit_json(&Json::obj(vec![
+        ("experiment", Json::str("fig10")),
+        ("device", Json::str(&gpu.config().name)),
+        ("rows", Json::Arr(json_rows)),
+    ]));
 }

@@ -18,7 +18,10 @@ use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
     let fast = std::env::var("DEFCON_FAST").is_ok();
-    let dataset = DeformedShapesConfig { deformation: 1.0, ..Default::default() };
+    let dataset = DeformedShapesConfig {
+        deformation: 1.0,
+        ..Default::default()
+    };
     let cfg = TrainConfig {
         epochs: if fast { 3 } else { 14 },
         batch_size: 8,

@@ -19,7 +19,10 @@ use defcon_nn::graph::ParamStore;
 
 fn main() {
     let fast = std::env::var("DEFCON_FAST").is_ok();
-    let dataset = DeformedShapesConfig { deformation: 1.0, ..Default::default() };
+    let dataset = DeformedShapesConfig {
+        deformation: 1.0,
+        ..Default::default()
+    };
     let cfg = TrainConfig {
         epochs: 0,
         batch_size: 8,
@@ -38,11 +41,18 @@ fn main() {
 
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     let keys = net.detector.backbone.all_latency_keys();
-    let lut = LatencyLut::build(&gpu, &keys, SamplingMethod::Tex2dPlusPlus, OffsetPredictorKind::Lightweight);
+    let lut = LatencyLut::build(
+        &gpu,
+        &keys,
+        SamplingMethod::Tex2dPlusPlus,
+        OffsetPredictorKind::Lightweight,
+    );
 
     println!("# Fig. 6 — interval-search placement (mini backbone, 5 slots; 'v' marks stride-2 downsampling slots)\n");
-    let strides: String =
-        keys.iter().map(|k| if k.stride == 2 { 'v' } else { ' ' }).collect();
+    let strides: String = keys
+        .iter()
+        .map(|k| if k.stride == 2 { 'v' } else { ' ' })
+        .collect();
     println!("slot strides:   {strides}");
     println!("interval-3:     {}", {
         let slots = BackboneConfig::interval_slots(5, 3);

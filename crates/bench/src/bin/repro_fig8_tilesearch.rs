@@ -8,9 +8,9 @@
 
 use defcon_bench::{f2, speedup, Table};
 use defcon_core::autotune::{Autotuner, Strategy};
+use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
 use defcon_kernels::{DeformConvOp, DeformLayerShape, SamplingMethod, TileConfig};
-use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
@@ -24,7 +24,9 @@ fn main() {
     );
 
     // Baseline for the speedup axis: the PyTorch operator at default tiles.
-    let baseline_ms = DeformConvOp::baseline(shape).simulate_total(&gpu, &x, &offsets).0;
+    let baseline_ms = DeformConvOp::baseline(shape)
+        .simulate_total(&gpu, &x, &offsets)
+        .0;
 
     let time = |t: TileConfig, method: SamplingMethod| -> f64 {
         DeformConvOp {
@@ -40,9 +42,16 @@ fn main() {
 
     for method in [SamplingMethod::Tex2d, SamplingMethod::Tex2dPlusPlus] {
         let space = TileConfig::search_space();
-        let exhaustive = Autotuner { strategy: Strategy::Exhaustive, budget: 0, seed: 0 }
-            .run(&space, |t| time(t, method));
-        println!("## {} — speedup over PyTorch per tile (exhaustive sweep)", method.name());
+        let exhaustive = Autotuner {
+            strategy: Strategy::Exhaustive,
+            budget: 0,
+            seed: 0,
+        }
+        .run(&space, |t| time(t, method));
+        println!(
+            "## {} — speedup over PyTorch per tile (exhaustive sweep)",
+            method.name()
+        );
         let mut table = Table::new(&["tile", "ms", "speedup"]);
         let mut evs = exhaustive.evaluations.clone();
         evs.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -10,9 +10,9 @@
 //! texture cache already absorbs it.
 
 use defcon_bench::{speedup, Table};
+use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
 use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
-use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
@@ -24,8 +24,11 @@ fn main() {
         ("bounded", Some(7.0), OffsetPredictorKind::Standard),
         ("light", None, OffsetPredictorKind::Lightweight),
     ];
-    let methods =
-        [SamplingMethod::SoftwareBilinear, SamplingMethod::Tex2d, SamplingMethod::Tex2dPlusPlus];
+    let methods = [
+        SamplingMethod::SoftwareBilinear,
+        SamplingMethod::Tex2d,
+        SamplingMethod::Tex2dPlusPlus,
+    ];
 
     let mut headers = vec!["Layer".to_string()];
     for (vname, _, _) in &variants {
@@ -39,9 +42,14 @@ fn main() {
     for shape in paper_layer_sweep() {
         let baseline = {
             let (x, offsets) = synthetic_inputs(&shape, 8.0, 99);
-            DeformConvOp::baseline(shape).simulate_total(&gpu, &x, &offsets).0
+            DeformConvOp::baseline(shape)
+                .simulate_total(&gpu, &x, &offsets)
+                .0
         };
-        let mut row = vec![format!("{},{},{},{}", shape.c_in, shape.c_out, shape.h, shape.w)];
+        let mut row = vec![format!(
+            "{},{},{},{}",
+            shape.c_in, shape.c_out, shape.h, shape.w
+        )];
         for (_, bounded, predictor) in &variants {
             for method in &methods {
                 // Bounding constrains the learned offsets the kernel sees.

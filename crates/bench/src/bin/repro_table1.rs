@@ -17,12 +17,17 @@ use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_kernels::op::{OffsetPredictorKind, SamplingMethod};
 use defcon_models::backbone::{BackboneConfig, SlotKind};
 use defcon_models::dataset::DeformedShapesConfig;
-use defcon_models::trainer::{evaluate_detector, prepare, train_and_eval, DetectorSuperNet, TrainConfig};
+use defcon_models::trainer::{
+    evaluate_detector, prepare, train_and_eval, DetectorSuperNet, TrainConfig,
+};
 use defcon_nn::graph::ParamStore;
 
 fn main() {
     let fast = std::env::var("DEFCON_FAST").is_ok();
-    let dataset = DeformedShapesConfig { deformation: 1.0, ..Default::default() };
+    let dataset = DeformedShapesConfig {
+        deformation: 1.0,
+        ..Default::default()
+    };
     let cfg = TrainConfig {
         epochs: if fast { 3 } else { 14 },
         batch_size: 8,
@@ -38,7 +43,11 @@ fn main() {
     let run = |name: &str, slots: Vec<SlotKind>, table: &mut Table| {
         let mut bb = BackboneConfig::mini(48, slots);
         bb.lightweight_offsets = false;
-        let n_dcn = bb.slots.iter().filter(|s| **s == SlotKind::Deformable).count();
+        let n_dcn = bb
+            .slots
+            .iter()
+            .filter(|s| **s == SlotKind::Deformable)
+            .count();
         let (_, _, map) = train_and_eval(bb, &cfg);
         table.row(&[
             name.into(),
@@ -49,21 +58,39 @@ fn main() {
         ]);
     };
 
-    run("YOLACT-like (rigid)", BackboneConfig::uniform_slots(5, SlotKind::Regular), &mut table);
-    run("YOLACT++-like (dense DCN)", BackboneConfig::uniform_slots(5, SlotKind::Deformable), &mut table);
-    run("YOLACT++-like (interval 3)", BackboneConfig::interval_slots(5, 3), &mut table);
+    run(
+        "YOLACT-like (rigid)",
+        BackboneConfig::uniform_slots(5, SlotKind::Regular),
+        &mut table,
+    );
+    run(
+        "YOLACT++-like (dense DCN)",
+        BackboneConfig::uniform_slots(5, SlotKind::Deformable),
+        &mut table,
+    );
+    run(
+        "YOLACT++-like (interval 3)",
+        BackboneConfig::interval_slots(5, 3),
+        &mut table,
+    );
 
     // Ours: interval-searched placement, then fine-tuned (the searched
     // architecture is trained with the same budget as the baselines).
     {
         let mut store = ParamStore::new();
-        let mut bb = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Searchable));
+        let mut bb =
+            BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Searchable));
         bb.lightweight_offsets = false;
         let data = prepare(&cfg.dataset, cfg.train_size, cfg.seed);
         let mut net = DetectorSuperNet::new(&mut store, bb, data, cfg.batch_size);
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let keys = net.detector.backbone.all_latency_keys();
-        let lut = LatencyLut::build(&gpu, &keys, SamplingMethod::Tex2dPlusPlus, OffsetPredictorKind::Lightweight);
+        let lut = LatencyLut::build(
+            &gpu,
+            &keys,
+            SamplingMethod::Tex2dPlusPlus,
+            OffsetPredictorKind::Lightweight,
+        );
         let iters = cfg.train_size / cfg.batch_size;
         let search_cfg = SearchConfig {
             search_epochs: if fast { 2 } else { 6 },

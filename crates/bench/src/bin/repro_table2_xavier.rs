@@ -6,22 +6,37 @@
 //! `128,128,138 → 6.87/6.01/4.89`, …, `512,512,18 → 97.0/72.33/69.48`,
 //! speedups 1.33–1.41×. We reproduce the *shape*: tex2D < PyTorch,
 //! tex2D++ ≤ tex2D, speedups in the same band.
+//!
+//! `DEFCON_TINY=1` shrinks the sweep; `DEFCON_JSON=1` appends a one-line
+//! JSON report (see `defcon_bench` docs).
 
-use defcon_bench::{f2, speedup, Table};
-use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
-use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
+use defcon_bench::{emit_json, f2, layer_sweep, speedup, Table};
 use defcon_gpusim::{DeviceConfig, Gpu};
+use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
+use defcon_kernels::{DeformConvOp, SamplingMethod, TileConfig};
+use defcon_support::json::Json;
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
-    println!("# Table II — deformable operation latency on {}", gpu.config().name);
+    println!(
+        "# Table II — deformable operation latency on {}",
+        gpu.config().name
+    );
     println!("# (offset conv + deformable sampling + GEMM, batch 1, 3x3, G=1)\n");
 
     let mut table = Table::new(&[
-        "In ch", "Out ch", "H", "W", "PyTorch (ms)", "tex2D (ms)", "tex2D++ (ms)", "Speedup w.r. Torch",
+        "In ch",
+        "Out ch",
+        "H",
+        "W",
+        "PyTorch (ms)",
+        "tex2D (ms)",
+        "tex2D++ (ms)",
+        "Speedup w.r. Torch",
     ]);
-    for shape in paper_layer_sweep() {
+    let mut json_rows = Vec::new();
+    for shape in layer_sweep() {
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);
         let time = |method: SamplingMethod| {
             let op = DeformConvOp {
@@ -46,6 +61,21 @@ fn main() {
             f2(tpp),
             speedup(sw / tpp),
         ]);
+        json_rows.push(Json::obj(vec![
+            ("c_in", Json::from(shape.c_in)),
+            ("c_out", Json::from(shape.c_out)),
+            ("h", Json::from(shape.h)),
+            ("w", Json::from(shape.w)),
+            ("pytorch_ms", Json::from(sw)),
+            ("tex2d_ms", Json::from(t2)),
+            ("tex2dpp_ms", Json::from(tpp)),
+            ("speedup", Json::from(sw / tpp)),
+        ]));
     }
     table.print();
+    emit_json(&Json::obj(vec![
+        ("experiment", Json::str("table2")),
+        ("device", Json::str(&gpu.config().name)),
+        ("rows", Json::Arr(json_rows)),
+    ]));
 }

@@ -17,7 +17,10 @@ use defcon_models::zoo::{num_dcn, resnet_3x3_slots, simulate_network, DcnLayout}
 
 fn main() {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
-    println!("# Table III — end-to-end YOLACT++ (R101 @ 550) on {}", gpu.config().name);
+    println!(
+        "# Table III — end-to-end YOLACT++ (R101 @ 550) on {}",
+        gpu.config().name
+    );
     println!("# baseline = hand-placed interval-3 DCNs (10 layers), PyTorch kernels\n");
 
     let baseline_slots = resnet_3x3_slots(101, DcnLayout::Interval(3));
@@ -46,7 +49,14 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "Search", "Boundary", "Light", "tex2D", "B.L. (ms)", "tex2D (ms)", "tex2D++ (ms)", "Speedup over YOLACT++",
+        "Search",
+        "Boundary",
+        "Light",
+        "tex2D",
+        "B.L. (ms)",
+        "tex2D (ms)",
+        "tex2D++ (ms)",
+        "Speedup over YOLACT++",
     ]);
     let check = |b: bool| if b { "x".to_string() } else { String::new() };
 
@@ -73,8 +83,16 @@ fn main() {
         let bl_ms = simulate_network(&gpu, &searched_slots, &sw(bounded, light));
         let (t2_ms, tpp_ms) = if use_tex {
             (
-                simulate_network(&gpu, &searched_slots, &tex(SamplingMethod::Tex2d, bounded, light)),
-                simulate_network(&gpu, &searched_slots, &tex(SamplingMethod::Tex2dPlusPlus, bounded, light)),
+                simulate_network(
+                    &gpu,
+                    &searched_slots,
+                    &tex(SamplingMethod::Tex2d, bounded, light),
+                ),
+                simulate_network(
+                    &gpu,
+                    &searched_slots,
+                    &tex(SamplingMethod::Tex2dPlusPlus, bounded, light),
+                ),
             )
         } else {
             (f64::NAN, f64::NAN)

@@ -8,18 +8,28 @@
 //! tex2D++ <= tex2D, with a thinner margin than Table II.
 
 use defcon_bench::{f2, speedup, Table};
+use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
 use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
-use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
     let gpu = Gpu::new(DeviceConfig::rtx2080ti());
-    println!("# Table IV — deformable operation latency on {}", gpu.config().name);
+    println!(
+        "# Table IV — deformable operation latency on {}",
+        gpu.config().name
+    );
     println!("# (offset conv + deformable sampling + GEMM, batch 1, 3x3, G=1)\n");
 
     let mut table = Table::new(&[
-        "In ch", "Out ch", "H", "W", "PyTorch (ms)", "tex2D (ms)", "tex2D++ (ms)", "Speedup w.r. Torch",
+        "In ch",
+        "Out ch",
+        "H",
+        "W",
+        "PyTorch (ms)",
+        "tex2D (ms)",
+        "tex2D++ (ms)",
+        "Speedup w.r. Torch",
     ]);
     for shape in paper_layer_sweep() {
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);

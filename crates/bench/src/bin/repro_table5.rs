@@ -19,7 +19,10 @@ use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
     let fast = std::env::var("DEFCON_FAST").is_ok();
-    let dataset = DeformedShapesConfig { deformation: 1.0, ..Default::default() };
+    let dataset = DeformedShapesConfig {
+        deformation: 1.0,
+        ..Default::default()
+    };
     let cfg = TrainConfig {
         epochs: if fast { 3 } else { 14 },
         batch_size: 8,
@@ -46,7 +49,13 @@ fn main() {
         train_detector_reg(&mut det, &mut store, &cfg, if reg { 0.01 } else { 0.0 });
         let val = prepare(&cfg.dataset, cfg.val_size, cfg.seed ^ 0xFFFF_0000).samples;
         let map = evaluate_detector(&mut det, &store, &val, 0.05);
-        table.row(&[check(true), check(reg), check(round), f2(map.box_map), f2(map.mask_map)]);
+        table.row(&[
+            check(true),
+            check(reg),
+            check(round),
+            f2(map.box_map),
+            f2(map.mask_map),
+        ]);
     }
     table.print();
 }

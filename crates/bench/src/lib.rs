@@ -2,9 +2,54 @@
 //!
 //! The reproduction harness: shared table formatting plus one `repro_*`
 //! binary per table and figure of the paper (see DESIGN.md §5 for the
-//! experiment index). Criterion microbenchmarks live in `benches/`.
+//! experiment index). Microbenchmarks live in `benches/`.
+//!
+//! Environment switches shared by the `repro_*` binaries:
+//!
+//! * `DEFCON_TINY=1` — swap the paper's layer sweep for two tiny shapes so
+//!   a binary finishes in well under a second (smoke tests, CI);
+//! * `DEFCON_JSON=1` — additionally emit the experiment's results as a
+//!   single line of JSON (the last stdout line), for machine consumption.
 
+use defcon_kernels::{paper_layer_sweep, DeformLayerShape};
+use defcon_support::json::Json;
 use std::fmt::Write as _;
+
+/// True when `DEFCON_TINY=1`: sweep tiny layer shapes instead of the
+/// paper's.
+pub fn tiny_mode() -> bool {
+    std::env::var("DEFCON_TINY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// True when `DEFCON_JSON=1`: emit a machine-readable report line.
+pub fn json_mode() -> bool {
+    std::env::var("DEFCON_JSON")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The layer shapes a `repro_*` binary should sweep: the paper's Table II
+/// set, or two tiny stand-ins under `DEFCON_TINY=1`.
+pub fn layer_sweep() -> Vec<DeformLayerShape> {
+    if tiny_mode() {
+        vec![
+            DeformLayerShape::same3x3(8, 8, 12, 12),
+            DeformLayerShape::same3x3(16, 16, 9, 9),
+        ]
+    } else {
+        paper_layer_sweep()
+    }
+}
+
+/// Prints `report` as one line of JSON when [`json_mode`] is on. Call this
+/// last so the JSON document is the final stdout line.
+pub fn emit_json(report: &Json) {
+    if json_mode() {
+        println!("{report}");
+    }
+}
 
 /// A minimal fixed-width table printer for harness output.
 pub struct Table {
@@ -15,7 +60,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header count).

@@ -8,9 +8,7 @@
 //! baselines for comparison.
 
 use defcon_kernels::TileConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use defcon_support::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// How the tuner explores the space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,11 +47,19 @@ pub struct Autotuner {
 impl Autotuner {
     /// A Bayesian tuner with the given budget.
     pub fn bayesian(budget: usize, seed: u64) -> Self {
-        Autotuner { strategy: Strategy::Bayesian, budget, seed }
+        Autotuner {
+            strategy: Strategy::Bayesian,
+            budget,
+            seed,
+        }
     }
 
     /// Minimizes `objective` over `space`.
-    pub fn run(&self, space: &[TileConfig], mut objective: impl FnMut(TileConfig) -> f64) -> AutotuneResult {
+    pub fn run(
+        &self,
+        space: &[TileConfig],
+        mut objective: impl FnMut(TileConfig) -> f64,
+    ) -> AutotuneResult {
         assert!(!space.is_empty(), "empty search space");
         let evaluations = match self.strategy {
             Strategy::Exhaustive => space.iter().map(|&t| (t, objective(t))).collect(),
@@ -61,7 +67,11 @@ impl Autotuner {
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 let mut order: Vec<TileConfig> = space.to_vec();
                 order.shuffle(&mut rng);
-                order.into_iter().take(self.budget.min(space.len())).map(|t| (t, objective(t))).collect()
+                order
+                    .into_iter()
+                    .take(self.budget.min(space.len()))
+                    .map(|t| (t, objective(t)))
+                    .collect()
             }
             Strategy::Bayesian => self.run_bayesian(space, &mut objective),
         };
@@ -70,10 +80,19 @@ impl Autotuner {
             .copied()
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("at least one evaluation");
-        AutotuneResult { best, best_value, evaluations, strategy: self.strategy }
+        AutotuneResult {
+            best,
+            best_value,
+            evaluations,
+            strategy: self.strategy,
+        }
     }
 
-    fn run_bayesian(&self, space: &[TileConfig], objective: &mut impl FnMut(TileConfig) -> f64) -> Vec<(TileConfig, f64)> {
+    fn run_bayesian(
+        &self,
+        space: &[TileConfig],
+        objective: &mut impl FnMut(TileConfig) -> f64,
+    ) -> Vec<(TileConfig, f64)> {
         let budget = self.budget.min(space.len());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut remaining: Vec<TileConfig> = space.to_vec();
@@ -137,7 +156,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let y = 1.0
-        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t + 0.254829592)
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
             * t
             * (-x * x).exp();
     sign * y
@@ -176,17 +196,36 @@ impl Gp {
         }
         let chol = cholesky(&k, n);
         let alpha = chol_solve(&chol, n, &ysn);
-        Gp { xs: xs.to_vec(), alpha, chol, n, y_mean, y_std, length_scale }
+        Gp {
+            xs: xs.to_vec(),
+            alpha,
+            chol,
+            n,
+            y_mean,
+            y_std,
+            length_scale,
+        }
     }
 
     /// Posterior mean and variance at `x` (in original y units).
     fn predict(&self, x: [f64; 2]) -> (f64, f64) {
-        let kstar: Vec<f64> = self.xs.iter().map(|&xi| rbf(xi, x, self.length_scale)).collect();
-        let mu_n: f64 = kstar.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        let kstar: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|&xi| rbf(xi, x, self.length_scale))
+            .collect();
+        let mu_n: f64 = kstar
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(a, b)| a * b)
+            .sum();
         // v = L⁻¹ k*; var = k(x,x) − vᵀv
         let v = forward_sub(&self.chol, self.n, &kstar);
         let var_n = (1.0 - v.iter().map(|z| z * z).sum::<f64>()).max(0.0);
-        (mu_n * self.y_std + self.y_mean, var_n * self.y_std * self.y_std)
+        (
+            mu_n * self.y_std + self.y_mean,
+            var_n * self.y_std * self.y_std,
+        )
     }
 }
 
@@ -255,7 +294,11 @@ mod tests {
     #[test]
     fn exhaustive_finds_global_optimum() {
         let space = TileConfig::search_space();
-        let tuner = Autotuner { strategy: Strategy::Exhaustive, budget: 0, seed: 0 };
+        let tuner = Autotuner {
+            strategy: Strategy::Exhaustive,
+            budget: 0,
+            seed: 0,
+        };
         let r = tuner.run(&space, bowl);
         assert_eq!(r.best, TileConfig { h: 8, w: 32 });
         assert_eq!(r.evaluations.len(), space.len());
@@ -277,11 +320,21 @@ mod tests {
         let mut bo_total = 0.0;
         let mut rnd_total = 0.0;
         for seed in 0..10u64 {
-            bo_total += Autotuner::bayesian(budget, seed).run(&space, bowl).best_value;
-            rnd_total +=
-                Autotuner { strategy: Strategy::Random, budget, seed }.run(&space, bowl).best_value;
+            bo_total += Autotuner::bayesian(budget, seed)
+                .run(&space, bowl)
+                .best_value;
+            rnd_total += Autotuner {
+                strategy: Strategy::Random,
+                budget,
+                seed,
+            }
+            .run(&space, bowl)
+            .best_value;
         }
-        assert!(bo_total <= rnd_total + 1e-9, "BO {bo_total} vs random {rnd_total}");
+        assert!(
+            bo_total <= rnd_total + 1e-9,
+            "BO {bo_total} vs random {rnd_total}"
+        );
     }
 
     #[test]
@@ -292,7 +345,10 @@ mod tests {
         for (x, y) in xs.iter().zip(ys.iter()) {
             let (mu, var) = gp.predict(*x);
             assert!((mu - y).abs() < 0.05, "GP mean {mu} vs observed {y}");
-            assert!(var < 0.05, "posterior variance at a training point should collapse: {var}");
+            assert!(
+                var < 0.05,
+                "posterior variance at a training point should collapse: {var}"
+            );
         }
     }
 

@@ -11,12 +11,12 @@ use defcon_gpusim::Gpu;
 use defcon_kernels::op::simulate_regular_conv_ms;
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
 use defcon_kernels::{DeformLayerShape, TileConfig};
+use defcon_support::json::{FromJson, Json, JsonError, ToJson};
 use defcon_tensor::sample::OffsetTransform;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// LUT key: the latency-relevant coordinates of a 3×3 convolution slot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LatencyKey {
     /// Input channels.
     pub c_in: usize,
@@ -33,7 +33,13 @@ pub struct LatencyKey {
 impl LatencyKey {
     /// The key of a layer shape.
     pub fn of(shape: &DeformLayerShape) -> Self {
-        LatencyKey { c_in: shape.c_in, c_out: shape.c_out, h: shape.h, w: shape.w, stride: shape.stride }
+        LatencyKey {
+            c_in: shape.c_in,
+            c_out: shape.c_out,
+            h: shape.h,
+            w: shape.w,
+            stride: shape.stride,
+        }
     }
 
     /// Reconstructs the layer shape (batch 1, 3×3, pad 1, one deformable
@@ -53,8 +59,32 @@ impl LatencyKey {
     }
 }
 
+impl ToJson for LatencyKey {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("c_in", Json::from(self.c_in)),
+            ("c_out", Json::from(self.c_out)),
+            ("h", Json::from(self.h)),
+            ("w", Json::from(self.w)),
+            ("stride", Json::from(self.stride)),
+        ])
+    }
+}
+
+impl FromJson for LatencyKey {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LatencyKey {
+            c_in: j.usize_field("c_in")?,
+            c_out: j.usize_field("c_out")?,
+            h: j.usize_field("h")?,
+            w: j.usize_field("w")?,
+            stride: j.usize_field("stride")?,
+        })
+    }
+}
+
 /// One LUT entry: measured latencies of the operator choices at a key.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LatencyEntry {
     /// Regular 3×3 convolution, milliseconds.
     pub regular_ms: f64,
@@ -70,9 +100,27 @@ impl LatencyEntry {
     }
 }
 
+impl ToJson for LatencyEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("regular_ms", Json::from(self.regular_ms)),
+            ("deform_ms", Json::from(self.deform_ms)),
+        ])
+    }
+}
+
+impl FromJson for LatencyEntry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LatencyEntry {
+            regular_ms: j.num_field("regular_ms")?,
+            deform_ms: j.num_field("deform_ms")?,
+        })
+    }
+}
+
 /// Latency lookup table built by timing both operator choices on a
 /// simulated device.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LatencyLut {
     /// Device name the table was collected on.
     pub device: String,
@@ -102,9 +150,18 @@ impl LatencyLut {
             };
             let deform_ms = op.simulate_total(gpu, &x, &offsets).0;
             let regular_ms = simulate_regular_conv_ms(gpu, &shape);
-            entries.insert(*key, LatencyEntry { regular_ms, deform_ms });
+            entries.insert(
+                *key,
+                LatencyEntry {
+                    regular_ms,
+                    deform_ms,
+                },
+            );
         }
-        LatencyLut { device: gpu.config().name.clone(), entries }
+        LatencyLut {
+            device: gpu.config().name.clone(),
+            entries,
+        }
     }
 
     /// Looks up an entry.
@@ -117,7 +174,12 @@ impl LatencyLut {
     pub fn dcn_overhead_ms(&self, key: &LatencyKey) -> f64 {
         self.entries
             .get(key)
-            .unwrap_or_else(|| panic!("latency LUT missing key {key:?} (collected on {})", self.device))
+            .unwrap_or_else(|| {
+                panic!(
+                    "latency LUT missing key {key:?} (collected on {})",
+                    self.device
+                )
+            })
             .dcn_overhead_ms()
     }
 
@@ -132,17 +194,49 @@ impl LatencyLut {
     }
 
     /// Serializes to JSON (the paper's workflow collects the table offline).
+    ///
+    /// The format is `[device, [[key, entry], ...]]` with the pairs sorted
+    /// by key, so the same table always serializes to the same bytes no
+    /// matter what order the `HashMap` happens to iterate in.
     pub fn to_json(&self) -> String {
-        // HashMap with struct keys can't serialize to a JSON map directly;
-        // emit as a list of pairs.
-        let pairs: Vec<(&LatencyKey, &LatencyEntry)> = self.entries.iter().collect();
-        serde_json::to_string(&(&self.device, pairs)).expect("LUT serialization cannot fail")
+        let mut pairs: Vec<(&LatencyKey, &LatencyEntry)> = self.entries.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        let pair_values = pairs
+            .into_iter()
+            .map(|(k, e)| Json::Arr(vec![k.to_json(), e.to_json()]))
+            .collect();
+        Json::Arr(vec![Json::str(&self.device), Json::Arr(pair_values)]).to_string()
     }
 
     /// Deserializes from [`LatencyLut::to_json`] output.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let (device, pairs): (String, Vec<(LatencyKey, LatencyEntry)>) = serde_json::from_str(s)?;
-        Ok(LatencyLut { device, entries: pairs.into_iter().collect() })
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(s)?;
+        let top = doc
+            .as_arr()
+            .ok_or_else(|| JsonError::msg("LUT document must be an array"))?;
+        let [device, pairs] = top else {
+            return Err(JsonError::msg("LUT document must be [device, pairs]"));
+        };
+        let device = device
+            .as_str()
+            .ok_or_else(|| JsonError::msg("LUT device must be a string"))?;
+        let pairs = pairs
+            .as_arr()
+            .ok_or_else(|| JsonError::msg("LUT pairs must be an array"))?;
+        let mut entries = HashMap::with_capacity(pairs.len());
+        for pair in pairs {
+            let [key, entry] = pair
+                .as_arr()
+                .ok_or_else(|| JsonError::msg("LUT pair must be an array"))?
+            else {
+                return Err(JsonError::msg("LUT pair must be [key, entry]"));
+            };
+            entries.insert(LatencyKey::from_json(key)?, LatencyEntry::from_json(entry)?);
+        }
+        Ok(LatencyLut {
+            device: device.to_string(),
+            entries,
+        })
     }
 }
 
@@ -153,20 +247,39 @@ mod tests {
 
     fn tiny_keys() -> Vec<LatencyKey> {
         vec![
-            LatencyKey { c_in: 16, c_out: 16, h: 16, w: 16, stride: 1 },
-            LatencyKey { c_in: 16, c_out: 32, h: 16, w: 16, stride: 2 },
+            LatencyKey {
+                c_in: 16,
+                c_out: 16,
+                h: 16,
+                w: 16,
+                stride: 1,
+            },
+            LatencyKey {
+                c_in: 16,
+                c_out: 32,
+                h: 16,
+                w: 16,
+                stride: 2,
+            },
         ]
     }
 
     #[test]
     fn build_measures_both_choices() {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let lut =
-            LatencyLut::build(&gpu, &tiny_keys(), SamplingMethod::SoftwareBilinear, OffsetPredictorKind::Standard);
+        let lut = LatencyLut::build(
+            &gpu,
+            &tiny_keys(),
+            SamplingMethod::SoftwareBilinear,
+            OffsetPredictorKind::Standard,
+        );
         assert_eq!(lut.len(), 2);
         for key in tiny_keys() {
             let e = lut.get(&key).unwrap();
-            assert!(e.deform_ms > e.regular_ms, "DCN must cost more than regular conv at {key:?}");
+            assert!(
+                e.deform_ms > e.regular_ms,
+                "DCN must cost more than regular conv at {key:?}"
+            );
             assert!(lut.dcn_overhead_ms(&key) > 0.0);
         }
     }
@@ -174,9 +287,19 @@ mod tests {
     #[test]
     fn lightweight_predictor_shrinks_overhead() {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let keys = [LatencyKey { c_in: 64, c_out: 64, h: 32, w: 32, stride: 1 }];
-        let std =
-            LatencyLut::build(&gpu, &keys, SamplingMethod::SoftwareBilinear, OffsetPredictorKind::Standard);
+        let keys = [LatencyKey {
+            c_in: 64,
+            c_out: 64,
+            h: 32,
+            w: 32,
+            stride: 1,
+        }];
+        let std = LatencyLut::build(
+            &gpu,
+            &keys,
+            SamplingMethod::SoftwareBilinear,
+            OffsetPredictorKind::Standard,
+        );
         let lw = LatencyLut::build(
             &gpu,
             &keys,
@@ -189,8 +312,12 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let lut =
-            LatencyLut::build(&gpu, &tiny_keys(), SamplingMethod::Tex2d, OffsetPredictorKind::Lightweight);
+        let lut = LatencyLut::build(
+            &gpu,
+            &tiny_keys(),
+            SamplingMethod::Tex2d,
+            OffsetPredictorKind::Lightweight,
+        );
         let s = lut.to_json();
         let back = LatencyLut::from_json(&s).unwrap();
         assert_eq!(back.len(), lut.len());
@@ -201,9 +328,41 @@ mod tests {
     }
 
     #[test]
+    fn serialization_is_deterministic() {
+        // HashMap iteration order varies run to run; the sorted pair list
+        // must not.
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let mut keys = tiny_keys();
+        let a = LatencyLut::build(
+            &gpu,
+            &keys,
+            SamplingMethod::Tex2d,
+            OffsetPredictorKind::Lightweight,
+        );
+        keys.reverse();
+        let b = LatencyLut::build(
+            &gpu,
+            &keys,
+            SamplingMethod::Tex2d,
+            OffsetPredictorKind::Lightweight,
+        );
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(
+            a.to_json(),
+            LatencyLut::from_json(&a.to_json()).unwrap().to_json()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "latency LUT missing key")]
     fn missing_key_panics() {
         let lut = LatencyLut::default();
-        lut.dcn_overhead_ms(&LatencyKey { c_in: 1, c_out: 1, h: 1, w: 1, stride: 1 });
+        lut.dcn_overhead_ms(&LatencyKey {
+            c_in: 1,
+            c_out: 1,
+            h: 1,
+            w: 1,
+            stride: 1,
+        });
     }
 }

@@ -84,7 +84,8 @@ impl DefconConfig {
         let tile = match self.tile {
             TileChoice::Fixed(t) => t,
             TileChoice::Autotuned { budget } => {
-                let (x, offsets) = synthetic_inputs(&shape, self.bounded.unwrap_or(4.0).min(4.0), 0xA07);
+                let (x, offsets) =
+                    synthetic_inputs(&shape, self.bounded.unwrap_or(4.0).min(4.0), 0xA07);
                 let tuner = Autotuner::bayesian(budget, 0xA07);
                 let space = TileConfig::search_space();
                 tuner
@@ -96,7 +97,10 @@ impl DefconConfig {
                             offset_predictor: self.offset_predictor(),
                             offset_transform: self.offset_transform(),
                         };
-                        op.simulate_deform(gpu, &x, &offsets).iter().map(|r| r.time_ms).sum()
+                        op.simulate_deform(gpu, &x, &offsets)
+                            .iter()
+                            .map(|r| r.time_ms)
+                            .sum()
                     })
                     .best
             }
@@ -137,10 +141,24 @@ mod tests {
             ..DefconConfig::full()
         };
         let tuned = cfg.build_op(shape, &gpu);
-        let fixed = DeformConvOp { tile: TileConfig::default16(), ..tuned.clone() };
+        let fixed = DeformConvOp {
+            tile: TileConfig::default16(),
+            ..tuned.clone()
+        };
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 1);
-        let t_tuned: f64 = tuned.simulate_deform(&gpu, &x, &offsets).iter().map(|r| r.time_ms).sum();
-        let t_fixed: f64 = fixed.simulate_deform(&gpu, &x, &offsets).iter().map(|r| r.time_ms).sum();
-        assert!(t_tuned <= t_fixed * 1.05, "tuned {t_tuned} vs fixed {t_fixed}");
+        let t_tuned: f64 = tuned
+            .simulate_deform(&gpu, &x, &offsets)
+            .iter()
+            .map(|r| r.time_ms)
+            .sum();
+        let t_fixed: f64 = fixed
+            .simulate_deform(&gpu, &x, &offsets)
+            .iter()
+            .map(|r| r.time_ms)
+            .sum();
+        assert!(
+            t_tuned <= t_fixed * 1.05,
+            "tuned {t_tuned} vs fixed {t_fixed}"
+        );
     }
 }

@@ -91,14 +91,23 @@ pub struct SearchOutcome {
 impl SearchOutcome {
     /// Number of slots that chose the deformable operator.
     pub fn num_dcn(&self) -> usize {
-        self.choices.iter().filter(|&&c| c == LayerChoice::Deformable).count()
+        self.choices
+            .iter()
+            .filter(|&&c| c == LayerChoice::Deformable)
+            .count()
     }
 
     /// Compact layout string, e.g. `".D..D"` (Fig. 6 style).
     pub fn layout(&self) -> String {
         self.choices
             .iter()
-            .map(|c| if *c == LayerChoice::Deformable { 'D' } else { '.' })
+            .map(|c| {
+                if *c == LayerChoice::Deformable {
+                    'D'
+                } else {
+                    '.'
+                }
+            })
             .collect()
     }
 }
@@ -119,8 +128,9 @@ impl IntervalSearch {
 
     /// Runs Algorithm 1 on `model`, updating `store` in place.
     pub fn run<M: SearchModel>(&self, model: &mut M, store: &mut ParamStore) -> SearchOutcome {
-        let lat: Vec<f32> =
-            (0..model.num_slots()).map(|i| self.lut.dcn_overhead_ms(&model.latency_key(i)) as f32).collect();
+        let lat: Vec<f32> = (0..model.num_slots())
+            .map(|i| self.lut.dcn_overhead_ms(&model.latency_key(i)) as f32)
+            .collect();
         let mut opt = Sgd::new(self.config.lr, 0.9, 0.0);
         let mut loss_history = Vec::new();
 
@@ -131,9 +141,16 @@ impl IntervalSearch {
             for iter in 0..self.config.iters_per_epoch {
                 store.zero_grads();
                 let mut tape = Tape::new();
-                let task = model.forward_loss(&mut tape, store, epoch * self.config.iters_per_epoch + iter);
-                let alphas: Vec<Var> = (0..model.num_slots()).map(|i| tape.param(store, model.alpha(i))).collect();
-                let penalty = ops::latency_penalty(&mut tape, &alphas, &lat, self.config.target_latency_ms);
+                let task = model.forward_loss(
+                    &mut tape,
+                    store,
+                    epoch * self.config.iters_per_epoch + iter,
+                );
+                let alphas: Vec<Var> = (0..model.num_slots())
+                    .map(|i| tape.param(store, model.alpha(i)))
+                    .collect();
+                let penalty =
+                    ops::latency_penalty(&mut tape, &alphas, &lat, self.config.target_latency_ms);
                 let weighted = ops::scale(&mut tape, penalty, self.config.beta);
                 let total = ops::add(&mut tape, task, weighted);
                 epoch_loss += tape.value(task).data()[0];
@@ -160,7 +177,11 @@ impl IntervalSearch {
             for iter in 0..self.config.iters_per_epoch {
                 store.zero_grads();
                 let mut tape = Tape::new();
-                let task = model.forward_loss(&mut tape, store, epoch * self.config.iters_per_epoch + iter);
+                let task = model.forward_loss(
+                    &mut tape,
+                    store,
+                    epoch * self.config.iters_per_epoch + iter,
+                );
                 final_loss = tape.value(task).data()[0];
                 epoch_loss += final_loss;
                 tape.backward(task);
@@ -170,7 +191,12 @@ impl IntervalSearch {
             loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
         }
 
-        SearchOutcome { choices, final_loss, dcn_overhead_ms, loss_history }
+        SearchOutcome {
+            choices,
+            final_loss,
+            dcn_overhead_ms,
+            loss_history,
+        }
     }
 }
 
@@ -227,7 +253,13 @@ mod tests {
             self.slots[i].alpha
         }
         fn latency_key(&self, _i: usize) -> LatencyKey {
-            LatencyKey { c_in: 16, c_out: 16, h: 16, w: 16, stride: 1 }
+            LatencyKey {
+                c_in: 16,
+                c_out: 16,
+                h: 16,
+                w: 16,
+                stride: 1,
+            }
         }
         fn set_temperature(&mut self, tau: f32) {
             for s in &mut self.slots {
@@ -251,7 +283,13 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         LatencyLut::build(
             &gpu,
-            &[LatencyKey { c_in: 16, c_out: 16, h: 16, w: 16, stride: 1 }],
+            &[LatencyKey {
+                c_in: 16,
+                c_out: 16,
+                h: 16,
+                w: 16,
+                stride: 1,
+            }],
             SamplingMethod::SoftwareBilinear,
             OffsetPredictorKind::Standard,
         )
@@ -261,7 +299,12 @@ mod tests {
     fn search_runs_and_freezes() {
         let mut store = ParamStore::new();
         let mut net = ToyNet::new(&mut store);
-        let cfg = SearchConfig { search_epochs: 3, finetune_epochs: 2, iters_per_epoch: 4, ..Default::default() };
+        let cfg = SearchConfig {
+            search_epochs: 3,
+            finetune_epochs: 2,
+            iters_per_epoch: 4,
+            ..Default::default()
+        };
         let search = IntervalSearch::new(cfg, tiny_lut());
         let out = search.run(&mut net, &mut store);
         assert_eq!(out.choices.len(), 2);
@@ -328,6 +371,10 @@ mod tests {
         };
         let search = IntervalSearch::new(cfg, tiny_lut());
         let out = search.run(&mut net, &mut store);
-        assert!(out.num_dcn() >= 1, "expected DCN to win somewhere, layout {}", out.layout());
+        assert!(
+            out.num_dcn() >= 1,
+            "expected DCN to win somewhere, layout {}",
+            out.layout()
+        );
     }
 }

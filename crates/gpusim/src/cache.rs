@@ -131,7 +131,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets * 2 ways * 64B lines = 512 B
-        Cache::new(CacheGeometry { size_bytes: 512, line_bytes: 64, ways: 2, hit_latency: 1 })
+        Cache::new(CacheGeometry {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 1,
+        })
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub fn coalesce(addrs: &[u64], access_bytes: u64) -> CoalesceResult {
     }
     sectors.sort_unstable();
     sectors.dedup();
-    CoalesceResult { sectors, requested_bytes: addrs.len() as u64 * access_bytes }
+    CoalesceResult {
+        sectors,
+        requested_bytes: addrs.len() as u64 * access_bytes,
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,10 @@
 //! Device configurations: the knobs that distinguish a Jetson AGX Xavier
 //! from an RTX 2080 Ti in this model.
 
-use serde::{Deserialize, Serialize};
+use defcon_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// Geometry of one cache level.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -21,14 +21,39 @@ impl CacheGeometry {
     /// non-power-of-two set counts are fine).
     pub fn num_sets(&self) -> usize {
         let sets = self.size_bytes / (self.line_bytes * self.ways);
-        assert!(sets > 0, "cache too small for its line size and associativity");
+        assert!(
+            sets > 0,
+            "cache too small for its line size and associativity"
+        );
         sets
+    }
+}
+
+impl ToJson for CacheGeometry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("size_bytes", Json::from(self.size_bytes)),
+            ("line_bytes", Json::from(self.line_bytes)),
+            ("ways", Json::from(self.ways)),
+            ("hit_latency", Json::from(self.hit_latency as u64)),
+        ])
+    }
+}
+
+impl FromJson for CacheGeometry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CacheGeometry {
+            size_bytes: j.usize_field("size_bytes")?,
+            line_bytes: j.usize_field("line_bytes")?,
+            ways: j.usize_field("ways")?,
+            hit_latency: j.u64_field("hit_latency")? as u32,
+        })
     }
 }
 
 /// A GPU model: enough microarchitectural detail to time the kernels in
 /// this reproduction, no more.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceConfig {
     /// Human-readable name (appears in reports).
     pub name: String,
@@ -75,6 +100,64 @@ pub struct DeviceConfig {
     pub max_texture_dim: usize,
 }
 
+impl ToJson for DeviceConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("num_sms", Json::from(self.num_sms)),
+            ("warp_size", Json::from(self.warp_size)),
+            ("max_warps_per_sm", Json::from(self.max_warps_per_sm)),
+            ("core_clock_ghz", Json::from(self.core_clock_ghz)),
+            ("fp32_lanes_per_sm", Json::from(self.fp32_lanes_per_sm)),
+            ("alu_lanes_per_sm", Json::from(self.alu_lanes_per_sm)),
+            ("dram_bandwidth_gbps", Json::from(self.dram_bandwidth_gbps)),
+            ("dram_latency", Json::from(self.dram_latency as u64)),
+            ("l2", self.l2.to_json()),
+            ("l1", self.l1.to_json()),
+            ("tex_cache", self.tex_cache.to_json()),
+            (
+                "tex_filter_rate_fp32",
+                Json::from(self.tex_filter_rate_fp32),
+            ),
+            (
+                "tex_filter_rate_fp16",
+                Json::from(self.tex_filter_rate_fp16),
+            ),
+            ("tex_hit_latency", Json::from(self.tex_hit_latency as u64)),
+            ("overlap_efficiency", Json::from(self.overlap_efficiency)),
+            ("launch_overhead_us", Json::from(self.launch_overhead_us)),
+            ("max_texture_layers", Json::from(self.max_texture_layers)),
+            ("max_texture_dim", Json::from(self.max_texture_dim)),
+        ])
+    }
+}
+
+impl FromJson for DeviceConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(DeviceConfig {
+            name: j.str_field("name")?.to_string(),
+            num_sms: j.usize_field("num_sms")?,
+            warp_size: j.usize_field("warp_size")?,
+            max_warps_per_sm: j.usize_field("max_warps_per_sm")?,
+            core_clock_ghz: j.num_field("core_clock_ghz")?,
+            fp32_lanes_per_sm: j.usize_field("fp32_lanes_per_sm")?,
+            alu_lanes_per_sm: j.usize_field("alu_lanes_per_sm")?,
+            dram_bandwidth_gbps: j.num_field("dram_bandwidth_gbps")?,
+            dram_latency: j.u64_field("dram_latency")? as u32,
+            l2: CacheGeometry::from_json(j.field("l2")?)?,
+            l1: CacheGeometry::from_json(j.field("l1")?)?,
+            tex_cache: CacheGeometry::from_json(j.field("tex_cache")?)?,
+            tex_filter_rate_fp32: j.num_field("tex_filter_rate_fp32")?,
+            tex_filter_rate_fp16: j.num_field("tex_filter_rate_fp16")?,
+            tex_hit_latency: j.u64_field("tex_hit_latency")? as u32,
+            overlap_efficiency: j.num_field("overlap_efficiency")?,
+            launch_overhead_us: j.num_field("launch_overhead_us")?,
+            max_texture_layers: j.usize_field("max_texture_layers")?,
+            max_texture_dim: j.usize_field("max_texture_dim")?,
+        })
+    }
+}
+
 impl DeviceConfig {
     /// NVIDIA Jetson AGX Xavier: 8 Volta SMs @ 1.377 GHz, 512 FP32 cores,
     /// ~137 GB/s LPDDR4x, 512 KB L2 (iGPU), 128 KB unified L1/shared per SM.
@@ -89,9 +172,24 @@ impl DeviceConfig {
             alu_lanes_per_sm: 64,
             dram_bandwidth_gbps: 137.0,
             dram_latency: 650, // LPDDR4x on a shared SoC fabric is slow
-            l2: CacheGeometry { size_bytes: 512 * 1024, line_bytes: 128, ways: 16, hit_latency: 220 },
-            l1: CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, hit_latency: 32 },
-            tex_cache: CacheGeometry { size_bytes: 48 * 1024, line_bytes: 128, ways: 4, hit_latency: 96 },
+            l2: CacheGeometry {
+                size_bytes: 512 * 1024,
+                line_bytes: 128,
+                ways: 16,
+                hit_latency: 220,
+            },
+            l1: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                hit_latency: 32,
+            },
+            tex_cache: CacheGeometry {
+                size_bytes: 48 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                hit_latency: 96,
+            },
             tex_filter_rate_fp32: 1.0,
             tex_filter_rate_fp16: 2.0,
             tex_hit_latency: 96,
@@ -115,9 +213,24 @@ impl DeviceConfig {
             alu_lanes_per_sm: 64,
             dram_bandwidth_gbps: 616.0,
             dram_latency: 450,
-            l2: CacheGeometry { size_bytes: 4 * 1024 * 1024, line_bytes: 128, ways: 16, hit_latency: 190 },
-            l1: CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, hit_latency: 28 },
-            tex_cache: CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, hit_latency: 80 },
+            l2: CacheGeometry {
+                size_bytes: 4 * 1024 * 1024,
+                line_bytes: 128,
+                ways: 16,
+                hit_latency: 190,
+            },
+            l1: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                hit_latency: 28,
+            },
+            tex_cache: CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                hit_latency: 80,
+            },
             tex_filter_rate_fp32: 4.0,
             tex_filter_rate_fp16: 8.0,
             tex_hit_latency: 80,
@@ -152,7 +265,11 @@ mod tests {
     fn xavier_peak_flops_matches_spec() {
         // 512 CUDA cores * 2 * 1.377 GHz ≈ 1.41 TFLOP/s
         let x = DeviceConfig::xavier_agx();
-        assert!((x.peak_gflops() - 1410.0).abs() < 10.0, "{}", x.peak_gflops());
+        assert!(
+            (x.peak_gflops() - 1410.0).abs() < 10.0,
+            "{}",
+            x.peak_gflops()
+        );
     }
 
     #[test]
@@ -165,7 +282,12 @@ mod tests {
 
     #[test]
     fn cache_geometry_sets() {
-        let g = CacheGeometry { size_bytes: 64 * 1024, line_bytes: 128, ways: 4, hit_latency: 1 };
+        let g = CacheGeometry {
+            size_bytes: 64 * 1024,
+            line_bytes: 128,
+            ways: 4,
+            hit_latency: 1,
+        };
         assert_eq!(g.num_sets(), 128);
     }
 
@@ -174,6 +296,20 @@ mod tests {
         let x = DeviceConfig::xavier_agx();
         let ms = x.cycles_to_ms(1.377e9);
         assert!((ms - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn device_json_round_trip() {
+        for dev in [DeviceConfig::xavier_agx(), DeviceConfig::rtx2080ti()] {
+            let text = dev.to_json().to_string();
+            let back = DeviceConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            // Serialization is deterministic: round-tripping reproduces the
+            // exact byte string.
+            assert_eq!(back.to_json().to_string(), text);
+            assert_eq!(back.name, dev.name);
+            assert_eq!(back.l2.size_bytes, dev.l2.size_bytes);
+            assert_eq!(back.core_clock_ghz, dev.core_clock_ghz);
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ impl Default for SamplePolicy {
 impl SamplePolicy {
     /// Simulate every block, no sampling.
     pub fn exhaustive() -> Self {
-        SamplePolicy { max_blocks: usize::MAX }
+        SamplePolicy {
+            max_blocks: usize::MAX,
+        }
     }
 
     /// The stratified block indices to simulate for a `grid`-block launch.
@@ -38,7 +40,9 @@ impl SamplePolicy {
         } else {
             // Even stride over the grid; always includes block 0.
             let stride = grid as f64 / self.max_blocks as f64;
-            (0..self.max_blocks).map(|i| ((i as f64 * stride) as usize).min(grid - 1)).collect()
+            (0..self.max_blocks)
+                .map(|i| ((i as f64 * stride) as usize).min(grid - 1))
+                .collect()
         }
     }
 }
@@ -56,7 +60,10 @@ pub struct Gpu {
 impl Gpu {
     /// A GPU with the default sampling policy.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Gpu { cfg, policy: SamplePolicy::default() }
+        Gpu {
+            cfg,
+            policy: SamplePolicy::default(),
+        }
     }
 
     /// Overrides the sampling policy.
@@ -188,14 +195,29 @@ mod tests {
     #[test]
     fn more_work_takes_more_time() {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let small = gpu.launch(&StreamKernel { blocks: 16, threads: 256, loads_per_thread: 4, fma_per_thread: 16 });
-        let big = gpu.launch(&StreamKernel { blocks: 64, threads: 256, loads_per_thread: 4, fma_per_thread: 16 });
+        let small = gpu.launch(&StreamKernel {
+            blocks: 16,
+            threads: 256,
+            loads_per_thread: 4,
+            fma_per_thread: 16,
+        });
+        let big = gpu.launch(&StreamKernel {
+            blocks: 64,
+            threads: 256,
+            loads_per_thread: 4,
+            fma_per_thread: 16,
+        });
         assert!(big.time_ms > small.time_ms);
     }
 
     #[test]
     fn faster_device_is_faster() {
-        let k = StreamKernel { blocks: 256, threads: 256, loads_per_thread: 8, fma_per_thread: 64 };
+        let k = StreamKernel {
+            blocks: 256,
+            threads: 256,
+            loads_per_thread: 8,
+            fma_per_thread: 64,
+        };
         let xavier = Gpu::new(DeviceConfig::xavier_agx()).launch(&k);
         let turing = Gpu::new(DeviceConfig::rtx2080ti()).launch(&k);
         assert!(
@@ -208,14 +230,27 @@ mod tests {
 
     #[test]
     fn sampling_preserves_scale_of_counters() {
-        let k = StreamKernel { blocks: 1000, threads: 64, loads_per_thread: 2, fma_per_thread: 4 };
-        let exhaustive = Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy::exhaustive()).launch(&k);
-        let sampled = Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy { max_blocks: 50 }).launch(&k);
+        let k = StreamKernel {
+            blocks: 1000,
+            threads: 64,
+            loads_per_thread: 2,
+            fma_per_thread: 4,
+        };
+        let exhaustive =
+            Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy::exhaustive()).launch(&k);
+        let sampled = Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy { max_blocks: 50 })
+            .launch(&k);
         assert_eq!(sampled.simulated_blocks, 50);
         let ratio = sampled.counters.gld_requests as f64 / exhaustive.counters.gld_requests as f64;
-        assert!((ratio - 1.0).abs() < 0.05, "counter extrapolation off by {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "counter extrapolation off by {ratio}"
+        );
         let t_ratio = sampled.time_ms / exhaustive.time_ms;
-        assert!((t_ratio - 1.0).abs() < 0.15, "time extrapolation off by {t_ratio}");
+        assert!(
+            (t_ratio - 1.0).abs() < 0.15,
+            "time extrapolation off by {t_ratio}"
+        );
     }
 
     #[test]
@@ -318,7 +353,10 @@ mod tests {
             hw.time_ms,
             sw.time_ms
         );
-        assert!(sw.counters.flops > 3 * hw.counters.flops, "software path should burn ~4x flops");
+        assert!(
+            sw.counters.flops > 3 * hw.counters.flops,
+            "software path should burn ~4x flops"
+        );
         assert_eq!(hw.counters.gld_requests, 0);
         assert!(hw.counters.tex_requests > 0);
         assert!(sw.counters.gld_efficiency() < 100.0);

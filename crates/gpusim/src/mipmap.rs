@@ -151,7 +151,11 @@ mod tests {
         let m = MipmappedArray2d::new(vec![0.0; 64 * 64], 1, 64, 64, 0, 2048, 32768).unwrap();
         let base = m.level(0).size_bytes() as f64;
         let total = m.size_bytes() as f64;
-        assert!(total / base > 1.25 && total / base < 1.6, "pyramid overhead {}", total / base);
+        assert!(
+            total / base > 1.25 && total / base < 1.6,
+            "pyramid overhead {}",
+            total / base
+        );
     }
 
     #[test]
@@ -189,6 +193,9 @@ mod tests {
             max_err_l1 = max_err_l1.max((m.fetch_trilinear(0, y, x, 1.0) - exact).abs());
         }
         assert!(max_err_l0 < 1e-6, "level 0 must equal the layered texture");
-        assert!(max_err_l1 > 0.5, "LOD 1 should visibly low-pass the features (err {max_err_l1})");
+        assert!(
+            max_err_l1 > 0.5,
+            "LOD 1 should visibly low-pass the features (err {max_err_l1})"
+        );
     }
 }

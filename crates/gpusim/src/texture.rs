@@ -130,7 +130,11 @@ impl LayeredTexture2d {
                 message: format!("texture extent {height}×{width} exceeds device limit {max_dim}"),
             });
         }
-        assert_eq!(data.len(), layers * height * width, "texture data length mismatch");
+        assert_eq!(
+            data.len(),
+            layers * height * width,
+            "texture data length mismatch"
+        );
         let tiles_x = width.div_ceil(TILE_W);
         let tiles_y = height.div_ceil(TILE_H);
         Ok(LayeredTexture2d {
@@ -221,7 +225,11 @@ impl LayeredTexture2d {
                         addresses: [self.texel_addr(layer, qy, qx), 0, 0, 0],
                         len: 1,
                     },
-                    _ => Fetch { value: 0.0, addresses: [0; 4], len: 0 },
+                    _ => Fetch {
+                        value: 0.0,
+                        addresses: [0; 4],
+                        len: 0,
+                    },
                 }
             }
             FilterMode::Linear { frac_bits } => {
@@ -245,18 +253,26 @@ impl LayeredTexture2d {
                     if wy == 0.0 {
                         continue;
                     }
-                    let Some(ry) = self.resolve(qy, self.height) else { continue };
+                    let Some(ry) = self.resolve(qy, self.height) else {
+                        continue;
+                    };
                     for (qx, wx) in [(x0, 1.0 - dx), (x0 + 1, dx)] {
                         if wx == 0.0 {
                             continue;
                         }
-                        let Some(rx) = self.resolve(qx, self.width) else { continue };
+                        let Some(rx) = self.resolve(qx, self.width) else {
+                            continue;
+                        };
                         value += wy * wx * self.texel(layer, ry, rx);
                         addresses[len as usize] = self.texel_addr(layer, ry, rx);
                         len += 1;
                     }
                 }
-                Fetch { value, addresses, len }
+                Fetch {
+                    value,
+                    addresses,
+                    len,
+                }
             }
         }
     }
@@ -351,7 +367,10 @@ mod tests {
             let a = t_full.fetch(0, y, x).value;
             let b = t_red.fetch(0, y, x).value;
             // Neighbour values differ by ≤ 17 here (one row apart).
-            assert!((a - b).abs() <= 17.0 / 256.0 + 1e-5, "at ({y},{x}): {a} vs {b}");
+            assert!(
+                (a - b).abs() <= 17.0 / 256.0 + 1e-5,
+                "at ({y},{x}): {a} vs {b}"
+            );
         }
     }
 
@@ -362,7 +381,11 @@ mod tests {
         let a = t.texel_addr(0, 0, 0) / 128;
         for y in 0..4 {
             for x in 0..8 {
-                assert_eq!(t.texel_addr(0, y, x) / 128, a, "texel ({y},{x}) left the tile line");
+                assert_eq!(
+                    t.texel_addr(0, y, x) / 128,
+                    a,
+                    "texel ({y},{x}) left the tile line"
+                );
             }
         }
         // A row-major layout would spread those 4 rows over 4 lines.
@@ -373,7 +396,10 @@ mod tests {
     fn bilinear_footprint_spans_at_most_two_lines_in_tile_interior() {
         let t = tex(64, 64);
         let f = t.fetch(0, 9.5, 9.5); // interior of a tile
-        let mut lines: Vec<u64> = f.addresses[..f.len as usize].iter().map(|a| a / 128).collect();
+        let mut lines: Vec<u64> = f.addresses[..f.len as usize]
+            .iter()
+            .map(|a| a / 128)
+            .collect();
         lines.sort_unstable();
         lines.dedup();
         assert!(lines.len() <= 2, "footprint used {} lines", lines.len());

@@ -64,14 +64,23 @@ pub struct TraceSink<'a> {
 
 impl<'a> TraceSink<'a> {
     /// Builds a sink over the engine's cache state.
-    pub fn new(cfg: &'a DeviceConfig, l1: &'a mut Cache, tex: &'a mut Cache, l2: &'a mut Cache, warps: usize) -> Self {
+    pub fn new(
+        cfg: &'a DeviceConfig,
+        l1: &'a mut Cache,
+        tex: &'a mut Cache,
+        l2: &'a mut Cache,
+        warps: usize,
+    ) -> Self {
         TraceSink {
             cfg,
             l1,
             tex,
             l2,
             counters: Counters::default(),
-            cost: BlockCost { warps, ..Default::default() },
+            cost: BlockCost {
+                warps,
+                ..Default::default()
+            },
         }
     }
 
@@ -276,7 +285,10 @@ mod tests {
         assert_eq!(v, 28.0);
         assert_eq!(sink.counters.tex_requests, 1);
         assert_eq!(sink.cost.tex_fetches_fp32, 1);
-        assert_eq!(sink.counters.gld_requests, 0, "texture path must not touch global-load counters");
+        assert_eq!(
+            sink.counters.gld_requests, 0,
+            "texture path must not touch global-load counters"
+        );
     }
 
     #[test]
@@ -303,7 +315,11 @@ mod tests {
                 sink.tex_fetch(&t, 0, y as f32 + 0.3, x as f32 + 0.3);
             }
         }
-        assert!(sink.counters.tex_hit_rate() > 0.8, "rate {}", sink.counters.tex_hit_rate());
+        assert!(
+            sink.counters.tex_hit_rate() > 0.8,
+            "rate {}",
+            sink.counters.tex_hit_rate()
+        );
     }
 
     #[test]

@@ -58,18 +58,37 @@ impl<'a> FusedTexDeformKernel<'a> {
         max_dim: usize,
     ) -> Result<Self, TextureLimitError> {
         let (n, c, h, w) = x.shape().nchw();
-        let mut texture =
-            LayeredTexture2d::new(x.data().to_vec(), n * c, h, w, address_map::TEXTURE, max_layers, max_dim)?;
+        let mut texture = LayeredTexture2d::new(
+            x.data().to_vec(),
+            n * c,
+            h,
+            w,
+            address_map::TEXTURE,
+            max_layers,
+            max_dim,
+        )?;
         texture.filter_mode = FilterMode::Linear { frac_bits };
         texture.address_mode = AddressMode::Border;
-        Ok(FusedTexDeformKernel { shape, tile, offsets, offset_transform, texture, frac_bits, co_blocks: 1 })
+        Ok(FusedTexDeformKernel {
+            shape,
+            tile,
+            offsets,
+            offset_transform,
+            texture,
+            frac_bits,
+            co_blocks: 1,
+        })
     }
 
     /// Channel-blocking factor minimizing a first-order time estimate:
     /// splitting output channels across `B` blocks fills more SMs and
     /// shrinks per-block compute, but re-fetches every sample `B` times.
     /// The estimate mirrors the engine's wave/roofline model.
-    pub fn pick_co_blocks(shape: &DeformLayerShape, tile: TileConfig, cfg: &defcon_gpusim::DeviceConfig) -> usize {
+    pub fn pick_co_blocks(
+        shape: &DeformLayerShape,
+        tile: TileConfig,
+        cfg: &defcon_gpusim::DeviceConfig,
+    ) -> usize {
         let (oh, ow) = shape.out_hw();
         let spatial = (shape.n * oh.div_ceil(tile.h) * ow.div_ceil(tile.w)).max(1);
         let tile_elems = tile.threads() as f64;
@@ -81,8 +100,8 @@ impl<'a> FusedTexDeformKernel<'a> {
             let blocks = (spatial * b) as f64;
             let tex_blk = fetches_per_block / cfg.tex_filter_rate_fp32;
             let fma_blk = macs / blocks / (2.0 * cfg.fp32_lanes_per_sm as f64);
-            let block_time = tex_blk.max(fma_blk)
-                + (1.0 - cfg.overlap_efficiency) * (tex_blk.min(fma_blk));
+            let block_time =
+                tex_blk.max(fma_blk) + (1.0 - cfg.overlap_efficiency) * (tex_blk.min(fma_blk));
             // The engine spreads block work evenly over SMs (no wave
             // quantization), but a grid smaller than the SM count leaves
             // chips idle — mirror both behaviours.
@@ -166,10 +185,14 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
                 for tap in 0..kk {
                     let ch = 2 * (g * kk + tap);
                     // Offsets loaded once per (group, tap) — coalesced.
-                    let dy_addrs: Vec<u64> =
-                        lanes.iter().map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox)).collect();
-                    let dx_addrs: Vec<u64> =
-                        lanes.iter().map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox)).collect();
+                    let dy_addrs: Vec<u64> = lanes
+                        .iter()
+                        .map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox))
+                        .collect();
+                    let dx_addrs: Vec<u64> = lanes
+                        .iter()
+                        .map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox))
+                        .collect();
                     sink.global_load(&dy_addrs);
                     sink.global_load(&dx_addrs);
                     sink.alu(4 * nl);
@@ -183,8 +206,15 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
                         let coords: Vec<(f32, f32)> = lanes
                             .iter()
                             .map(|&(oy, ox)| {
-                                let dy = self.offset_transform.apply(self.offsets.at4(ni, ch, oy, ox));
-                                let dx = self.offset_transform.apply(self.offsets.at4(ni, ch + 1, oy, ox));
+                                let dy = self
+                                    .offset_transform
+                                    .apply(self.offsets.at4(ni, ch, oy, ox));
+                                let dx = self.offset_transform.apply(self.offsets.at4(
+                                    ni,
+                                    ch + 1,
+                                    oy,
+                                    ox,
+                                ));
                                 let py = (oy * s.stride + ki) as f32 - s.pad as f32 + dy;
                                 let px = (ox * s.stride + kj) as f32 - s.pad as f32 + dx;
                                 (py, px)
@@ -204,7 +234,9 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
         let wf = s.c_in * kk * co_here;
         for w0 in (0..wf).step_by(32) {
             let lanes_w = 32.min(wf - w0);
-            let addrs: Vec<u64> = (0..lanes_w).map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64).collect();
+            let addrs: Vec<u64> = (0..lanes_w)
+                .map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64)
+                .collect();
             sink.global_load(&addrs);
         }
         // Output stores: C_out values per covered position.
@@ -238,7 +270,12 @@ mod tests {
     use crate::op::synthetic_inputs;
     use defcon_gpusim::{DeviceConfig, Gpu};
 
-    fn build<'a>(frac_bits: u32, shape: DeformLayerShape, x: &Tensor, off: &'a Tensor) -> FusedTexDeformKernel<'a> {
+    fn build<'a>(
+        frac_bits: u32,
+        shape: DeformLayerShape,
+        x: &Tensor,
+        off: &'a Tensor,
+    ) -> FusedTexDeformKernel<'a> {
         FusedTexDeformKernel::new(
             shape,
             TileConfig::default16(),
@@ -266,17 +303,33 @@ mod tests {
         let shape = DeformLayerShape::same3x3(8, 4, 16, 16);
         let (x, off) = synthetic_inputs(&shape, 2.0, 2);
         let k = build(23, shape, &x, &off);
-        let gpu = Gpu::with_policy(DeviceConfig::xavier_agx(), defcon_gpusim::SamplePolicy::exhaustive());
+        let gpu = Gpu::with_policy(
+            DeviceConfig::xavier_agx(),
+            defcon_gpusim::SamplePolicy::exhaustive(),
+        );
         let r = gpu.launch(&k);
         let expect = (8 * 9 * 16 * 16) as u64; // C_in · k² · outH · outW lane-fetches
-        // tex_requests counts warp instructions; fetch lanes are grouped by
-        // 32-thread warps over a 256-thread tile -> expect/lanes rounded up.
-        assert!(r.counters.tex_requests >= expect / 32, "{} < {}", r.counters.tex_requests, expect / 32);
+                                               // tex_requests counts warp instructions; fetch lanes are grouped by
+                                               // 32-thread warps over a 256-thread tile -> expect/lanes rounded up.
+        assert!(
+            r.counters.tex_requests >= expect / 32,
+            "{} < {}",
+            r.counters.tex_requests,
+            expect / 32
+        );
         // FMA accounting: one FMA per fetched sample per output channel
         // (c_out = 4), counted as 2 flops, plus a small coordinate-math tax.
         let conv_flops = 2 * expect * 4;
-        assert!(r.counters.flops >= conv_flops, "{} < {conv_flops}", r.counters.flops);
-        assert!((r.counters.flops as f64) < 1.2 * conv_flops as f64, "{} vs {conv_flops}", r.counters.flops);
+        assert!(
+            r.counters.flops >= conv_flops,
+            "{} < {conv_flops}",
+            r.counters.flops
+        );
+        assert!(
+            (r.counters.flops as f64) < 1.2 * conv_flops as f64,
+            "{} vs {conv_flops}",
+            r.counters.flops
+        );
     }
 
     #[test]
@@ -301,7 +354,12 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let t2 = gpu.launch(&build(23, shape, &x, &off));
         let tpp = gpu.launch(&build(8, shape, &x, &off));
-        assert!(tpp.time_ms <= t2.time_ms, "tex2D++ {} > tex2D {}", tpp.time_ms, t2.time_ms);
+        assert!(
+            tpp.time_ms <= t2.time_ms,
+            "tex2D++ {} > tex2D {}",
+            tpp.time_ms,
+            t2.time_ms
+        );
     }
 
     #[test]
@@ -312,6 +370,10 @@ mod tests {
         let (x, off) = synthetic_inputs(&shape, 4.0, 5);
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let r = gpu.launch(&build(23, shape, &x, &off));
-        assert!(r.counters.gld_efficiency() > 95.0, "{}", r.counters.gld_efficiency());
+        assert!(
+            r.counters.gld_efficiency() > 95.0,
+            "{}",
+            r.counters.gld_efficiency()
+        );
     }
 }

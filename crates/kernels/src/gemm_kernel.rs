@@ -92,7 +92,12 @@ impl BlockTrace for GemmKernel {
             // lane addresses are gathered panel-wide and issued as full
             // 32-lane warp instructions (each lane one float), the way a
             // real tiled GEMM stages its shared-memory tiles.
-            let mut stage = |base: u64, row_len: usize, rows_here: usize, row0: usize, col0: usize, width: usize| {
+            let mut stage = |base: u64,
+                             row_len: usize,
+                             rows_here: usize,
+                             row0: usize,
+                             col0: usize,
+                             width: usize| {
                 let mut addrs: Vec<u64> = Vec::with_capacity(rows_here * width);
                 for r in 0..rows_here {
                     let row_addr = base + (((row0 + r) * row_len + col0) * 4) as u64;
@@ -116,7 +121,9 @@ impl BlockTrace for GemmKernel {
             let row_addr = c_batch + (((ti * GEMM_TILE + r) * self.n + tj * GEMM_TILE) * 4) as u64;
             for w0 in (0..cols).step_by(32) {
                 let lanes = 32.min(cols - w0);
-                let addrs: Vec<u64> = (0..lanes).map(|l| row_addr + ((w0 + l) * 4) as u64).collect();
+                let addrs: Vec<u64> = (0..lanes)
+                    .map(|l| row_addr + ((w0 + l) * 4) as u64)
+                    .collect();
                 sink.global_store(&addrs);
             }
         }
@@ -142,7 +149,10 @@ pub struct RegularConvKernel {
 impl RegularConvKernel {
     /// Standard constructor.
     pub fn new(shape: DeformLayerShape, name: &str) -> Self {
-        RegularConvKernel { shape, name: name.into() }
+        RegularConvKernel {
+            shape,
+            name: name.into(),
+        }
     }
 
     fn tiles(&self) -> (usize, usize) {
@@ -190,7 +200,10 @@ impl BlockTrace for RegularConvKernel {
             if oy >= oh {
                 continue;
             }
-            let lanes: Vec<usize> = (0..32).map(|l| tile_x * 32 + l).filter(|&ox| ox < ow).collect();
+            let lanes: Vec<usize> = (0..32)
+                .map(|l| tile_x * 32 + l)
+                .filter(|&ox| ox < ow)
+                .collect();
             if lanes.is_empty() {
                 continue;
             }
@@ -223,8 +236,9 @@ impl BlockTrace for RegularConvKernel {
             let wf = s.c_in * s.kernel * s.kernel * co_here;
             for w0 in (0..wf).step_by(32) {
                 let lanes_w = 32.min(wf - w0);
-                let addrs: Vec<u64> =
-                    (0..lanes_w).map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64).collect();
+                let addrs: Vec<u64> = (0..lanes_w)
+                    .map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64)
+                    .collect();
                 sink.global_load(&addrs);
             }
             // Output stores.
@@ -233,7 +247,8 @@ impl BlockTrace for RegularConvKernel {
                     .iter()
                     .map(|&ox| {
                         address_map::OUTPUT
-                            + 4 * (((ni * s.c_out + co_blk * CO_PER_BLOCK + co) * oh + oy) * ow + ox) as u64
+                            + 4 * (((ni * s.c_out + co_blk * CO_PER_BLOCK + co) * oh + oy) * ow
+                                + ox) as u64
                     })
                     .collect();
                 sink.global_store(&addrs);
@@ -276,7 +291,10 @@ impl BlockTrace for DepthwiseConvKernel {
             if oy >= oh {
                 continue;
             }
-            let lanes: Vec<usize> = (0..32).map(|l| tile_x * 32 + l).filter(|&ox| ox < ow).collect();
+            let lanes: Vec<usize> = (0..32)
+                .map(|l| tile_x * 32 + l)
+                .filter(|&ox| ox < ow)
+                .collect();
             if lanes.is_empty() {
                 continue;
             }
@@ -293,7 +311,8 @@ impl BlockTrace for DepthwiseConvKernel {
                             let ix = ox * s.stride + kj;
                             (ix >= s.pad && ix - s.pad < s.w).then(|| {
                                 address_map::INPUT
-                                    + 4 * (((ni * s.c_in + ci) * s.h + iy - s.pad) * s.w + ix - s.pad) as u64
+                                    + 4 * (((ni * s.c_in + ci) * s.h + iy - s.pad) * s.w + ix
+                                        - s.pad) as u64
                             })
                         })
                         .collect();
@@ -303,7 +322,9 @@ impl BlockTrace for DepthwiseConvKernel {
             }
             let addrs: Vec<u64> = lanes
                 .iter()
-                .map(|&ox| address_map::OUTPUT + 4 * (((ni * s.c_in + ci) * oh + oy) * ow + ox) as u64)
+                .map(|&ox| {
+                    address_map::OUTPUT + 4 * (((ni * s.c_in + ci) * oh + oy) * ow + ox) as u64
+                })
                 .collect();
             sink.global_store(&addrs);
         }
@@ -345,7 +366,11 @@ mod tests {
             name: "t".into(),
         };
         let r = Gpu::new(DeviceConfig::xavier_agx()).launch(&k);
-        assert!(r.counters.gld_efficiency() > 99.0, "{}", r.counters.gld_efficiency());
+        assert!(
+            r.counters.gld_efficiency() > 99.0,
+            "{}",
+            r.counters.gld_efficiency()
+        );
     }
 
     #[test]
@@ -374,14 +399,22 @@ mod tests {
         // count sits just below the dense-MAC bound.
         let dense = 2 * shape.conv_macs();
         assert!(r.counters.flops <= dense, "{} > {dense}", r.counters.flops);
-        assert!(r.counters.flops as f64 > 0.95 * dense as f64, "{} vs {dense}", r.counters.flops);
+        assert!(
+            r.counters.flops as f64 > 0.95 * dense as f64,
+            "{} vs {dense}",
+            r.counters.flops
+        );
     }
 
     #[test]
     fn regular_conv_is_well_coalesced() {
         let shape = DeformLayerShape::same3x3(8, 8, 64, 64);
         let r = Gpu::new(DeviceConfig::xavier_agx()).launch(&RegularConvKernel::new(shape, "conv"));
-        assert!(r.counters.gld_efficiency() > 85.0, "{}", r.counters.gld_efficiency());
+        assert!(
+            r.counters.gld_efficiency() > 85.0,
+            "{}",
+            r.counters.gld_efficiency()
+        );
     }
 
     #[test]

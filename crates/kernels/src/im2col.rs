@@ -97,7 +97,15 @@ impl<'a> Im2colDeformKernel<'a> {
                 Some(t)
             }
         };
-        Ok(Im2colDeformKernel { shape, tile, x, offsets, offset_transform, sampling, texture })
+        Ok(Im2colDeformKernel {
+            shape,
+            tile,
+            x,
+            offsets,
+            offset_transform,
+            sampling,
+            texture,
+        })
     }
 
     fn tiles_xy(&self) -> (usize, usize) {
@@ -132,8 +140,12 @@ impl<'a> Im2colDeformKernel<'a> {
         let kk = s.kernel * s.kernel;
         let (ki, kj) = (tap / s.kernel, tap % s.kernel);
         let ch = 2 * (g * kk + tap);
-        let dy = self.offset_transform.apply(self.offsets.at4(ni, ch, oy, ox));
-        let dx = self.offset_transform.apply(self.offsets.at4(ni, ch + 1, oy, ox));
+        let dy = self
+            .offset_transform
+            .apply(self.offsets.at4(ni, ch, oy, ox));
+        let dx = self
+            .offset_transform
+            .apply(self.offsets.at4(ni, ch + 1, oy, ox));
         let py = (oy * s.stride + ki) as f32 - s.pad as f32 + dy;
         let px = (ox * s.stride + kj) as f32 - s.pad as f32 + dx;
         (py, px)
@@ -192,9 +204,14 @@ impl BlockTrace for Im2colDeformKernel<'_> {
             for tap in 0..kk {
                 let ch = 2 * (g * kk + tap);
                 // Two warp loads for (Δy, Δx) — coalesced along ox.
-                let dy_addrs: Vec<u64> = lanes.iter().map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox)).collect();
-                let dx_addrs: Vec<u64> =
-                    lanes.iter().map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox)).collect();
+                let dy_addrs: Vec<u64> = lanes
+                    .iter()
+                    .map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox))
+                    .collect();
+                let dx_addrs: Vec<u64> = lanes
+                    .iter()
+                    .map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox))
+                    .collect();
                 sink.global_load(&dy_addrs);
                 sink.global_load(&dx_addrs);
                 // Address arithmetic for the sampling position.
@@ -205,16 +222,28 @@ impl BlockTrace for Im2colDeformKernel<'_> {
                     Sampling::Software => {
                         // 4 neighbour loads; out-of-bounds neighbours are
                         // branched around (no load, but branch ALU cost).
-                        let mut neigh: [Vec<u64>; 4] =
-                            [Vec::with_capacity(32), Vec::with_capacity(32), Vec::with_capacity(32), Vec::with_capacity(32)];
+                        let mut neigh: [Vec<u64>; 4] = [
+                            Vec::with_capacity(32),
+                            Vec::with_capacity(32),
+                            Vec::with_capacity(32),
+                            Vec::with_capacity(32),
+                        ];
                         for &(oy, ox) in &lanes {
                             let (py, px) = self.sample_coord(ni, g, tap, oy, ox);
                             let (y0, x0) = (py.floor() as isize, px.floor() as isize);
                             for (slot, (qy, qx)) in
-                                [(y0, x0), (y0, x0 + 1), (y0 + 1, x0), (y0 + 1, x0 + 1)].iter().enumerate()
+                                [(y0, x0), (y0, x0 + 1), (y0 + 1, x0), (y0 + 1, x0 + 1)]
+                                    .iter()
+                                    .enumerate()
                             {
-                                if *qy >= 0 && *qy < s.h as isize && *qx >= 0 && *qx < s.w as isize {
-                                    neigh[slot].push(self.input_addr(ni, ci, *qy as usize, *qx as usize));
+                                if *qy >= 0 && *qy < s.h as isize && *qx >= 0 && *qx < s.w as isize
+                                {
+                                    neigh[slot].push(self.input_addr(
+                                        ni,
+                                        ci,
+                                        *qy as usize,
+                                        *qx as usize,
+                                    ));
                                 }
                             }
                         }
@@ -228,10 +257,15 @@ impl BlockTrace for Im2colDeformKernel<'_> {
                         sink.alu(6 * nl);
                     }
                     Sampling::Texture { .. } => {
-                        let tex = self.texture.as_ref().expect("texture sampling without texture");
+                        let tex = self
+                            .texture
+                            .as_ref()
+                            .expect("texture sampling without texture");
                         let layer = ni * s.c_in + ci;
-                        let coords: Vec<(f32, f32)> =
-                            lanes.iter().map(|&(oy, ox)| self.sample_coord(ni, g, tap, oy, ox)).collect();
+                        let coords: Vec<(f32, f32)> = lanes
+                            .iter()
+                            .map(|&(oy, ox)| self.sample_coord(ni, g, tap, oy, ox))
+                            .collect();
                         tex_out.clear();
                         sink.tex_fetch_warp(tex, layer, &coords, &mut tex_out);
                     }
@@ -239,8 +273,10 @@ impl BlockTrace for Im2colDeformKernel<'_> {
 
                 // One coalesced column store per tap.
                 let row = ci * kk + tap;
-                let col_addrs: Vec<u64> =
-                    lanes.iter().map(|&(oy, ox)| self.col_addr(ni, row, oy * ow + ox)).collect();
+                let col_addrs: Vec<u64> = lanes
+                    .iter()
+                    .map(|&(oy, ox)| self.col_addr(ni, row, oy * ow + ox))
+                    .collect();
                 sink.global_store(&col_addrs);
             }
         }
@@ -266,7 +302,9 @@ pub fn im2col_deform_numeric(kernel: &Im2colDeformKernel<'_>, ni: usize) -> Vec<
                         (Sampling::Software, _) => {
                             defcon_tensor::sample::bilinear_sample(kernel.x, ni, ci, py, px)
                         }
-                        (Sampling::Texture { .. }, Some(tex)) => tex.fetch(ni * s.c_in + ci, py, px).value,
+                        (Sampling::Texture { .. }, Some(tex)) => {
+                            tex.fetch(ni * s.c_in + ci, py, px).value
+                        }
                         _ => unreachable!("texture sampling without texture"),
                     };
                     cols[row * oh * ow + oy * ow + ox] = v;
@@ -377,7 +415,11 @@ mod tests {
         let pp = mk(Sampling::Texture { frac_bits: 8 });
         let a = im2col_deform_numeric(&sw, 0);
         let b = im2col_deform_numeric(&pp, 0);
-        let max_err = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        let max_err = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
         assert!(max_err < 0.05, "tex2D++ max error {max_err}");
         assert!(max_err > 0.0, "reduced precision should differ somewhere");
     }

@@ -31,17 +31,35 @@ impl DeformLayerShape {
     /// A stride-1, same-padded 3×3 deformable layer (the paper's sweep
     /// rows).
     pub fn same3x3(c_in: usize, c_out: usize, h: usize, w: usize) -> Self {
-        DeformLayerShape { n: 1, c_in, c_out, h, w, kernel: 3, stride: 1, pad: 1, deform_groups: 1 }
+        DeformLayerShape {
+            n: 1,
+            c_in,
+            c_out,
+            h,
+            w,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            deform_groups: 1,
+        }
     }
 
     /// The convolution window as `Conv2dParams`.
     pub fn conv_params(&self) -> Conv2dParams {
-        Conv2dParams { kernel: self.kernel, stride: self.stride, pad: self.pad, dilation: 1 }
+        Conv2dParams {
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+            dilation: 1,
+        }
     }
 
     /// The deformable parameters (window + groups).
     pub fn deform_params(&self) -> DeformConv2dParams {
-        DeformConv2dParams { conv: self.conv_params(), deform_groups: self.deform_groups }
+        DeformConv2dParams {
+            conv: self.conv_params(),
+            deform_groups: self.deform_groups,
+        }
     }
 
     /// Output spatial extent.

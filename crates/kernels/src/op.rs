@@ -165,7 +165,10 @@ impl DeformConvOp {
         let s = self.shape;
         match self.offset_predictor {
             OffsetPredictorKind::Standard => {
-                let shape = DeformLayerShape { c_out: s.offset_channels(), ..s };
+                let shape = DeformLayerShape {
+                    c_out: s.offset_channels(),
+                    ..s
+                };
                 vec![gpu.launch(&RegularConvKernel::new(shape, "offset_conv"))]
             }
             OffsetPredictorKind::Lightweight => {
@@ -183,14 +186,22 @@ impl DeformConvOp {
                     c_base: crate::im2col::address_map::OFFSETS,
                     name: "offset_pointwise".into(),
                 };
-                vec![gpu.launch(&DepthwiseConvKernel { shape: dw_shape }), gpu.launch(&pw)]
+                vec![
+                    gpu.launch(&DepthwiseConvKernel { shape: dw_shape }),
+                    gpu.launch(&pw),
+                ]
             }
         }
     }
 
     /// Simulates the complete deformable operation (offset prediction +
     /// sampling + GEMM). Returns total milliseconds and per-kernel reports.
-    pub fn simulate_total(&self, gpu: &Gpu, x: &Tensor, offsets: &Tensor) -> (f64, Vec<KernelReport>) {
+    pub fn simulate_total(
+        &self,
+        gpu: &Gpu,
+        x: &Tensor,
+        offsets: &Tensor,
+    ) -> (f64, Vec<KernelReport>) {
         let mut reports = self.simulate_offset_conv(gpu);
         reports.extend(self.simulate_deform(gpu, x, offsets));
         let total = reports.iter().map(|r| r.time_ms).sum();
@@ -214,8 +225,12 @@ pub fn simulate_regular_conv_ms(gpu: &Gpu, shape: &DeformLayerShape) -> f64 {
 pub fn synthetic_inputs(shape: &DeformLayerShape, spread: f32, seed: u64) -> (Tensor, Tensor) {
     let (oh, ow) = shape.out_hw();
     let x = Tensor::randn(&[shape.n, shape.c_in, shape.h, shape.w], 0.0, 1.0, seed);
-    let offsets =
-        Tensor::rand_uniform(&[shape.n, shape.offset_channels(), oh, ow], -spread, spread, seed ^ 0x5eed);
+    let offsets = Tensor::rand_uniform(
+        &[shape.n, shape.offset_channels(), oh, ow],
+        -spread,
+        spread,
+        seed ^ 0x5eed,
+    );
     (x, offsets)
 }
 
@@ -238,7 +253,14 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let op = DeformConvOp::baseline(shape);
         let got = op.execute(&x, &offsets, &w, &gpu);
-        let expect = deform_conv2d_ref(&x, &offsets, &w, None, &shape.deform_params(), OffsetTransform::Identity);
+        let expect = deform_conv2d_ref(
+            &x,
+            &offsets,
+            &w,
+            None,
+            &shape.deform_params(),
+            OffsetTransform::Identity,
+        );
         defcon_tensor::assert_close(&got, &expect, 1e-3, 1e-3);
     }
 
@@ -246,9 +268,19 @@ mod tests {
     fn tex2d_execute_matches_reference() {
         let (shape, x, offsets, w) = small();
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let op = DeformConvOp { method: SamplingMethod::Tex2d, ..DeformConvOp::baseline(shape) };
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2d,
+            ..DeformConvOp::baseline(shape)
+        };
         let got = op.execute(&x, &offsets, &w, &gpu);
-        let expect = deform_conv2d_ref(&x, &offsets, &w, None, &shape.deform_params(), OffsetTransform::Identity);
+        let expect = deform_conv2d_ref(
+            &x,
+            &offsets,
+            &w,
+            None,
+            &shape.deform_params(),
+            OffsetTransform::Identity,
+        );
         defcon_tensor::assert_close(&got, &expect, 1e-3, 1e-3);
     }
 
@@ -256,9 +288,19 @@ mod tests {
     fn tex2dpp_execute_close_to_reference() {
         let (shape, x, offsets, w) = small();
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let op = DeformConvOp { method: SamplingMethod::Tex2dPlusPlus, ..DeformConvOp::baseline(shape) };
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2dPlusPlus,
+            ..DeformConvOp::baseline(shape)
+        };
         let got = op.execute(&x, &offsets, &w, &gpu);
-        let expect = deform_conv2d_ref(&x, &offsets, &w, None, &shape.deform_params(), OffsetTransform::Identity);
+        let expect = deform_conv2d_ref(
+            &x,
+            &offsets,
+            &w,
+            None,
+            &shape.deform_params(),
+            OffsetTransform::Identity,
+        );
         // Reduced filter precision: small relative error, never wild.
         defcon_tensor::assert_close(&got, &expect, 0.05, 0.02);
     }
@@ -271,7 +313,10 @@ mod tests {
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 7);
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let time = |method| {
-            let op = DeformConvOp { method, ..DeformConvOp::baseline(shape) };
+            let op = DeformConvOp {
+                method,
+                ..DeformConvOp::baseline(shape)
+            };
             op.simulate_total(&gpu, &x, &offsets).0
         };
         let sw = time(SamplingMethod::SoftwareBilinear);
@@ -286,8 +331,14 @@ mod tests {
         let shape = DeformLayerShape::same3x3(128, 128, 35, 35);
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let t = |kind| {
-            let op = DeformConvOp { offset_predictor: kind, ..DeformConvOp::baseline(shape) };
-            op.simulate_offset_conv(&gpu).iter().map(|r| r.time_ms).sum::<f64>()
+            let op = DeformConvOp {
+                offset_predictor: kind,
+                ..DeformConvOp::baseline(shape)
+            };
+            op.simulate_offset_conv(&gpu)
+                .iter()
+                .map(|r| r.time_ms)
+                .sum::<f64>()
         };
         let std = t(OffsetPredictorKind::Standard);
         let lw = t(OffsetPredictorKind::Lightweight);
@@ -326,12 +377,18 @@ impl DeformConvOp {
     /// which "results in the overhead associated with multiple invocations
     /// of the GPU kernel". Returns the per-launch reports (one partition ⇒
     /// identical to `simulate_deform`).
-    pub fn simulate_deform_partitioned(&self, gpu: &Gpu, x: &Tensor, offsets: &Tensor) -> Vec<KernelReport> {
+    pub fn simulate_deform_partitioned(
+        &self,
+        gpu: &Gpu,
+        x: &Tensor,
+        offsets: &Tensor,
+    ) -> Vec<KernelReport> {
         let max_layers = gpu.config().max_texture_layers;
         let s = self.shape;
-        let needs_partition =
-            matches!(self.method, SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus)
-                && s.n * s.c_in > max_layers;
+        let needs_partition = matches!(
+            self.method,
+            SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus
+        ) && s.n * s.c_in > max_layers;
         if !needs_partition {
             return self.simulate_deform(gpu, x, offsets);
         }
@@ -358,7 +415,10 @@ impl DeformConvOp {
                 offsets.data()[n0 * o_stride..(n0 + n_here) * o_stride].to_vec(),
                 &[n_here, s.offset_channels(), oh, ow],
             );
-            let op = DeformConvOp { shape: chunk_shape, ..self.clone() };
+            let op = DeformConvOp {
+                shape: chunk_shape,
+                ..self.clone()
+            };
             reports.extend(op.simulate_deform(gpu, &x_chunk, &o_chunk));
             n0 += n_here;
         }
@@ -376,7 +436,10 @@ mod partition_tests {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let shape = DeformLayerShape::same3x3(16, 16, 12, 12);
         let (x, off) = synthetic_inputs(&shape, 2.0, 1);
-        let op = DeformConvOp { method: SamplingMethod::Tex2d, ..DeformConvOp::baseline(shape) };
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2d,
+            ..DeformConvOp::baseline(shape)
+        };
         let reports = op.simulate_deform_partitioned(&gpu, &x, &off);
         assert_eq!(reports.len(), 1, "fused kernel, one launch");
     }
@@ -385,9 +448,15 @@ mod partition_tests {
     fn oversized_batch_partitions_and_pays_launches() {
         // 8 images × 512 channels = 4096 layers > 2048 → two partitions.
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let shape = DeformLayerShape { n: 8, ..DeformLayerShape::same3x3(512, 16, 6, 6) };
+        let shape = DeformLayerShape {
+            n: 8,
+            ..DeformLayerShape::same3x3(512, 16, 6, 6)
+        };
         let (x, off) = synthetic_inputs(&shape, 2.0, 2);
-        let op = DeformConvOp { method: SamplingMethod::Tex2dPlusPlus, ..DeformConvOp::baseline(shape) };
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2dPlusPlus,
+            ..DeformConvOp::baseline(shape)
+        };
         let reports = op.simulate_deform_partitioned(&gpu, &x, &off);
         assert_eq!(reports.len(), 2, "expected two texture partitions");
         // Each partition carries its own launch overhead — the cost the
@@ -400,7 +469,10 @@ mod partition_tests {
     #[test]
     fn software_path_never_partitions() {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let shape = DeformLayerShape { n: 8, ..DeformLayerShape::same3x3(512, 16, 6, 6) };
+        let shape = DeformLayerShape {
+            n: 8,
+            ..DeformLayerShape::same3x3(512, 16, 6, 6)
+        };
         let (x, off) = synthetic_inputs(&shape, 2.0, 3);
         let op = DeformConvOp::baseline(shape);
         // Software bilinear reads global memory; the texture limit is

@@ -137,25 +137,56 @@ impl Backbone {
         let mut c_in = cfg.stem_channels;
         let mut hw = cfg.input_size;
         let mut slot_idx = 0usize;
-        for (stage, (&c_out, &n_blocks)) in
-            cfg.stage_channels.iter().zip(cfg.blocks_per_stage.iter()).enumerate()
+        for (stage, (&c_out, &n_blocks)) in cfg
+            .stage_channels
+            .iter()
+            .zip(cfg.blocks_per_stage.iter())
+            .enumerate()
         {
             for b in 0..n_blocks {
                 let stride = if b == 0 { 2 } else { 1 };
                 let name = format!("s{stage}b{b}");
-                let conv_p = Conv2dParams { kernel: 3, stride, pad: 1, dilation: 1 };
-                let deform_p = DeformConv2dParams { conv: conv_p, deform_groups: 1 };
+                let conv_p = Conv2dParams {
+                    kernel: 3,
+                    stride,
+                    pad: 1,
+                    dilation: 1,
+                };
+                let deform_p = DeformConv2dParams {
+                    conv: conv_p,
+                    deform_groups: 1,
+                };
                 let kind = cfg.slots[slot_idx];
                 let seed = cfg.seed.wrapping_add(slot_idx as u64 * 7919);
                 let slot = match kind {
-                    SlotKind::Regular => {
-                        SlotLayer::Regular(Conv2d::new(store, &format!("{name}.conv"), c_in, c_out, conv_p, false, seed))
-                    }
+                    SlotKind::Regular => SlotLayer::Regular(Conv2d::new(
+                        store,
+                        &format!("{name}.conv"),
+                        c_in,
+                        c_out,
+                        conv_p,
+                        false,
+                        seed,
+                    )),
                     SlotKind::Deformable => {
                         let mut d = if cfg.lightweight_offsets {
-                            DeformConv2d::new_lightweight(store, &format!("{name}.dcn"), c_in, c_out, deform_p, seed)
+                            DeformConv2d::new_lightweight(
+                                store,
+                                &format!("{name}.dcn"),
+                                c_in,
+                                c_out,
+                                deform_p,
+                                seed,
+                            )
                         } else {
-                            DeformConv2d::new_standard(store, &format!("{name}.dcn"), c_in, c_out, deform_p, seed)
+                            DeformConv2d::new_standard(
+                                store,
+                                &format!("{name}.dcn"),
+                                c_in,
+                                c_out,
+                                deform_p,
+                                seed,
+                            )
                         };
                         d.transform = cfg.offset_transform;
                         SlotLayer::Deformable(d)
@@ -174,24 +205,53 @@ impl Backbone {
                         SlotLayer::Dual(d)
                     }
                 };
-                let key = LatencyKey { c_in, c_out, h: hw, w: hw, stride };
+                let key = LatencyKey {
+                    c_in,
+                    c_out,
+                    h: hw,
+                    w: hw,
+                    stride,
+                };
                 let proj = if stride != 1 || c_in != c_out {
-                    let p = Conv2dParams { kernel: 1, stride, pad: 0, dilation: 1 };
+                    let p = Conv2dParams {
+                        kernel: 1,
+                        stride,
+                        pad: 0,
+                        dilation: 1,
+                    };
                     Some((
-                        Conv2d::new(store, &format!("{name}.proj"), c_in, c_out, p, false, seed ^ 0xFF),
+                        Conv2d::new(
+                            store,
+                            &format!("{name}.proj"),
+                            c_in,
+                            c_out,
+                            p,
+                            false,
+                            seed ^ 0xFF,
+                        ),
                         BatchNorm2d::new(store, &format!("{name}.proj_bn"), c_out),
                     ))
                 } else {
                     None
                 };
-                blocks.push(ResBlock { slot, bn: BatchNorm2d::new(store, &format!("{name}.bn"), c_out), proj, key });
+                blocks.push(ResBlock {
+                    slot,
+                    bn: BatchNorm2d::new(store, &format!("{name}.bn"), c_out),
+                    proj,
+                    key,
+                });
                 hw = defcon_tensor::shape::conv_out_dim(hw, 3, stride, 1, 1);
                 c_in = c_out;
                 slot_idx += 1;
             }
             stage_ends.push(blocks.len() - 1);
         }
-        Backbone { config: cfg, stem, blocks, stage_ends }
+        Backbone {
+            config: cfg,
+            stem,
+            blocks,
+            stage_ends,
+        }
     }
 
     /// Forward pass; returns one feature Var per stage.
@@ -417,9 +477,36 @@ mod tests {
         let cfg = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
         let bb = Backbone::new(&mut store, cfg);
         let keys = bb.all_latency_keys();
-        assert_eq!(keys[0], LatencyKey { c_in: 8, c_out: 8, h: 48, w: 48, stride: 2 });
-        assert_eq!(keys[1], LatencyKey { c_in: 8, c_out: 16, h: 24, w: 24, stride: 2 });
-        assert_eq!(keys[2], LatencyKey { c_in: 16, c_out: 16, h: 12, w: 12, stride: 1 });
+        assert_eq!(
+            keys[0],
+            LatencyKey {
+                c_in: 8,
+                c_out: 8,
+                h: 48,
+                w: 48,
+                stride: 2
+            }
+        );
+        assert_eq!(
+            keys[1],
+            LatencyKey {
+                c_in: 8,
+                c_out: 16,
+                h: 24,
+                w: 24,
+                stride: 2
+            }
+        );
+        assert_eq!(
+            keys[2],
+            LatencyKey {
+                c_in: 16,
+                c_out: 16,
+                h: 12,
+                w: 12,
+                stride: 1
+            }
+        );
     }
 
     #[test]

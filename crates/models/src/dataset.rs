@@ -8,9 +8,8 @@
 //! Fig. 5/6 of the paper measure on COCO, transplanted to a dataset we can
 //! generate and train on in seconds.
 
+use defcon_support::rng::{Rng, SeedableRng, StdRng};
 use defcon_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Object classes (the shape taxonomy).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,7 +24,11 @@ pub enum ShapeClass {
 
 impl ShapeClass {
     /// All classes, index order = class id.
-    pub const ALL: [ShapeClass; 3] = [ShapeClass::Ellipse, ShapeClass::Rectangle, ShapeClass::Triangle];
+    pub const ALL: [ShapeClass; 3] = [
+        ShapeClass::Ellipse,
+        ShapeClass::Rectangle,
+        ShapeClass::Triangle,
+    ];
 
     /// Class id (0-based).
     pub fn id(&self) -> usize {
@@ -73,7 +76,12 @@ pub struct DeformedShapesConfig {
 
 impl Default for DeformedShapesConfig {
     fn default() -> Self {
-        DeformedShapesConfig { size: 48, max_objects: 2, deformation: 0.8, noise: 0.05 }
+        DeformedShapesConfig {
+            size: 48,
+            max_objects: 2,
+            deformation: 0.8,
+            noise: 0.05,
+        }
     }
 }
 
@@ -107,7 +115,10 @@ impl DeformedShapesConfig {
         for v in img.iter_mut() {
             *v = (*v + self.noise * rng.gen_range(-1.0f32..1.0)).clamp(0.0, 1.0);
         }
-        Sample { image: Tensor::from_vec(img, &[1, 1, s, s]), objects }
+        Sample {
+            image: Tensor::from_vec(img, &[1, 1, s, s]),
+            objects,
+        }
     }
 
     /// Renders one warped shape into `img`, returning its ground truth.
@@ -120,11 +131,11 @@ impl DeformedShapesConfig {
         let base_r = rng.gen_range(0.12 * s..0.22 * s);
         // Deformation parameters.
         let theta = rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI) * d;
-        let aniso = 1.0 + rng.gen_range(0.0..1.2) * d; // anisotropic scale
-        let shear = rng.gen_range(-0.7..0.7) * d;
-        let bend_amp = rng.gen_range(0.0..0.45) * d; // sinusoidal bend
-        let bend_freq = rng.gen_range(1.0..3.0);
-        let intensity = rng.gen_range(0.55..0.95);
+        let aniso = 1.0 + rng.gen_range(0.0f32..1.2) * d; // anisotropic scale
+        let shear = rng.gen_range(-0.7f32..0.7) * d;
+        let bend_amp = rng.gen_range(0.0f32..0.45) * d; // sinusoidal bend
+        let bend_freq = rng.gen_range(1.0f32..3.0);
+        let intensity = rng.gen_range(0.55f32..0.95);
 
         let (sin_t, cos_t) = theta.sin_cos();
         let mut mask = vec![false; self.size * self.size];
@@ -168,7 +179,11 @@ impl DeformedShapesConfig {
             // Nothing rendered (warped fully off-image).
             (y0, x0, y1, x1) = (0.0, 0.0, 0.0, 0.0);
         }
-        GtObject { class: class.id(), bbox: [y0, x0, y1, x1], mask }
+        GtObject {
+            class: class.id(),
+            bbox: [y0, x0, y1, x1],
+            mask,
+        }
     }
 }
 
@@ -225,7 +240,10 @@ mod tests {
                     for px in 0..cfg.size {
                         if o.mask[py * cfg.size + px] {
                             assert!(
-                                py as f32 >= y0 && (py as f32) < y1 && px as f32 >= x0 && (px as f32) < x1,
+                                py as f32 >= y0
+                                    && (py as f32) < y1
+                                    && px as f32 >= x0
+                                    && (px as f32) < x1,
                                 "mask pixel ({py},{px}) outside bbox {:?}",
                                 o.bbox
                             );
@@ -253,7 +271,12 @@ mod tests {
     fn zero_deformation_keeps_shapes_rigid() {
         // With deformation 0, a rectangle's mask should fill its bbox almost
         // completely (it is axis-aligned).
-        let cfg = DeformedShapesConfig { deformation: 0.0, max_objects: 1, noise: 0.0, ..Default::default() };
+        let cfg = DeformedShapesConfig {
+            deformation: 0.0,
+            max_objects: 1,
+            noise: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
             let mut img = vec![0.0f32; cfg.size * cfg.size];
@@ -262,7 +285,11 @@ mod tests {
             let box_area = (y1 - y0) * (x1 - x0);
             let mask_area = o.mask.iter().filter(|&&m| m).count() as f32;
             if box_area > 0.0 {
-                assert!(mask_area / box_area > 0.95, "rigid rectangle fill {}", mask_area / box_area);
+                assert!(
+                    mask_area / box_area > 0.95,
+                    "rigid rectangle fill {}",
+                    mask_area / box_area
+                );
             }
         }
     }

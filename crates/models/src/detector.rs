@@ -62,7 +62,12 @@ pub struct Anchor {
 impl Anchor {
     /// Corner form `(y0, x0, y1, x1)`.
     pub fn corners(&self) -> [f32; 4] {
-        [self.cy - self.h / 2.0, self.cx - self.w / 2.0, self.cy + self.h / 2.0, self.cx + self.w / 2.0]
+        [
+            self.cy - self.h / 2.0,
+            self.cx - self.w / 2.0,
+            self.cy + self.h / 2.0,
+            self.cx + self.w / 2.0,
+        ]
     }
 }
 
@@ -108,7 +113,12 @@ pub fn encode_box(anchor: &Anchor, gt: &[f32; 4]) -> [f32; 4] {
     let gw = (gt[3] - gt[1]).max(1e-3);
     let gcy = (gt[0] + gt[2]) / 2.0;
     let gcx = (gt[1] + gt[3]) / 2.0;
-    [(gcy - anchor.cy) / anchor.h, (gcx - anchor.cx) / anchor.w, (gh / anchor.h).ln(), (gw / anchor.w).ln()]
+    [
+        (gcy - anchor.cy) / anchor.h,
+        (gcx - anchor.cx) / anchor.w,
+        (gh / anchor.h).ln(),
+        (gw / anchor.w).ln(),
+    ]
 }
 
 /// Decodes a regression vector against an anchor → corner box.
@@ -200,16 +210,37 @@ impl YolactLite {
         let backbone = Backbone::new(store, backbone_cfg);
         let c2 = chans[chans.len() - 2];
         let c3 = chans[chans.len() - 1];
-        let k1 = Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 };
+        let k1 = Conv2dParams {
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            dilation: 1,
+        };
         let a = ANCHOR_SCALES.len();
         YolactLite {
             backbone,
             lat2: Conv2d::new(store, "neck.lat2", c2, f, k1, true, 0xA1),
             lat3: Conv2d::new(store, "neck.lat3", c3, f, k1, true, 0xA2),
-            smooth: ConvBnRelu::new(store, "neck.smooth", f, f, Conv2dParams::same(3), true, 0xA3),
+            smooth: ConvBnRelu::new(
+                store,
+                "neck.smooth",
+                f,
+                f,
+                Conv2dParams::same(3),
+                true,
+                0xA3,
+            ),
             proto1: ConvBnRelu::new(store, "proto.c1", f, f, Conv2dParams::same(3), true, 0xA4),
             proto2: Conv2d::new(store, "proto.c2", f, NUM_PROTOS, k1, true, 0xA5),
-            head_shared: ConvBnRelu::new(store, "head.shared", f, f, Conv2dParams::same(3), true, 0xA6),
+            head_shared: ConvBnRelu::new(
+                store,
+                "head.shared",
+                f,
+                f,
+                Conv2dParams::same(3),
+                true,
+                0xA6,
+            ),
             head_cls: Conv2d::new(store, "head.cls", f, a * (NUM_CLASSES + 1), k1, true, 0xA7),
             head_box: Conv2d::new(store, "head.box", f, a * 4, k1, true, 0xA8),
             head_coeff: Conv2d::new(store, "head.coeff", f, a * NUM_PROTOS, k1, true, 0xA9),
@@ -248,7 +279,13 @@ impl YolactLite {
         let boxes = self.head_box.forward(tape, store, h);
         let coeff_raw = self.head_coeff.forward(tape, store, h);
         let coeffs = ops::tanh(tape, coeff_raw);
-        DetOutputs { cls, boxes, coeffs, protos, feat_hw }
+        DetOutputs {
+            cls,
+            boxes,
+            coeffs,
+            protos,
+            feat_hw,
+        }
     }
 }
 
@@ -282,7 +319,12 @@ fn softmax_ce(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
 /// Classification loss with OHEM-style negative mining: all positives plus
 /// the `neg_ratio`× hardest negatives contribute, averaged by the number of
 /// contributors. Gradients flow into the class map.
-pub fn det_class_loss(tape: &mut Tape, cls: Var, assignments: &[Assignment], neg_ratio: usize) -> Var {
+pub fn det_class_loss(
+    tape: &mut Tape,
+    cls: Var,
+    assignments: &[Assignment],
+    neg_ratio: usize,
+) -> Var {
     let map = tape.value(cls).clone();
     let (bsz, _, hf, wf) = map.shape().nchw();
     let scales = ANCHOR_SCALES.len();
@@ -304,9 +346,18 @@ pub fn det_class_loss(tape: &mut Tape, cls: Var, assignments: &[Assignment], neg
             for y in 0..hf {
                 for x in 0..wf {
                     let ai = anchor_index(s, y, x, hf, wf);
-                    let Some(label) = asg.labels[ai] else { continue };
+                    let Some(label) = asg.labels[ai] else {
+                        continue;
+                    };
                     let (loss, _) = softmax_ce(&anchor_logits(&map, b, s, y, x), label);
-                    let item = Item { b, s, y, x, label, loss };
+                    let item = Item {
+                        b,
+                        s,
+                        y,
+                        x,
+                        label,
+                        loss,
+                    };
                     if label > 0 {
                         positives.push(item);
                     } else {
@@ -318,7 +369,9 @@ pub fn det_class_loss(tape: &mut Tape, cls: Var, assignments: &[Assignment], neg
     }
     // Hard-negative selection.
     negatives.sort_by(|a, b| b.loss.total_cmp(&a.loss));
-    let keep_neg = (positives.len() * neg_ratio).max(neg_ratio).min(negatives.len());
+    let keep_neg = (positives.len() * neg_ratio)
+        .max(neg_ratio)
+        .min(negatives.len());
     negatives.truncate(keep_neg);
     let selected: Vec<Item> = positives.into_iter().chain(negatives).collect();
     let denom = selected.len().max(1) as f32;
@@ -344,7 +397,13 @@ pub fn det_class_loss(tape: &mut Tape, cls: Var, assignments: &[Assignment], neg
 }
 
 /// Smooth-L1 box-regression loss over positive anchors.
-pub fn det_box_loss(tape: &mut Tape, boxes: Var, anchors: &[Anchor], assignments: &[Assignment], samples: &[Sample]) -> Var {
+pub fn det_box_loss(
+    tape: &mut Tape,
+    boxes: Var,
+    anchors: &[Anchor],
+    assignments: &[Assignment],
+    samples: &[Sample],
+) -> Var {
     let map = tape.value(boxes).clone();
     let (bsz, _, hf, wf) = map.shape().nchw();
     let scales = ANCHOR_SCALES.len();
@@ -365,7 +424,13 @@ pub fn det_box_loss(tape: &mut Tape, boxes: Var, anchors: &[Anchor], assignments
                     let ai = anchor_index(s, y, x, hf, wf);
                     if matches!(asg.labels[ai], Some(l) if l > 0) {
                         let gt = &samples[b].objects[asg.gt_index[ai]];
-                        items.push(Item { b, s, y, x, target: encode_box(&anchors[ai], &gt.bbox) });
+                        items.push(Item {
+                            b,
+                            s,
+                            y,
+                            x,
+                            target: encode_box(&anchors[ai], &gt.bbox),
+                        });
                     }
                 }
             }
@@ -377,7 +442,11 @@ pub fn det_box_loss(tape: &mut Tape, boxes: Var, anchors: &[Anchor], assignments
         for d in 0..4 {
             let pred = map.at4(it.b, it.s * 4 + d, it.y, it.x);
             let diff = (pred - it.target[d]).abs();
-            total += if diff < beta { 0.5 * diff * diff / beta } else { diff - 0.5 * beta };
+            total += if diff < beta {
+                0.5 * diff * diff / beta
+            } else {
+                diff - 0.5 * beta
+            };
         }
     }
     total /= denom;
@@ -393,7 +462,11 @@ pub fn det_box_loss(tape: &mut Tape, boxes: Var, anchors: &[Anchor], assignments
                 for d in 0..4 {
                     let pred = map.at4(it.b, it.s * 4 + d, it.y, it.x);
                     let diff = pred - it.target[d];
-                    let gd = if diff.abs() < beta { diff / beta } else { diff.signum() };
+                    let gd = if diff.abs() < beta {
+                        diff / beta
+                    } else {
+                        diff.signum()
+                    };
                     *grad.at4_mut(it.b, it.s * 4 + d, it.y, it.x) += g * gd;
                 }
             }
@@ -460,7 +533,8 @@ pub fn det_mask_loss(
                             for iy in 0..ds {
                                 for ix in 0..ds {
                                     let (yy, xx) = (py * ds + iy, px * ds + ix);
-                                    if yy < img_size && xx < img_size && gt.mask[yy * img_size + xx] {
+                                    if yy < img_size && xx < img_size && gt.mask[yy * img_size + xx]
+                                    {
                                         cnt += 1;
                                     }
                                 }
@@ -468,7 +542,14 @@ pub fn det_mask_loss(
                             gt_ds.push(if cnt * 2 >= ds * ds { 1.0 } else { 0.0 });
                         }
                     }
-                    items.push(Item { b, s, y, x, crop, gt: gt_ds });
+                    items.push(Item {
+                        b,
+                        s,
+                        y,
+                        x,
+                        crop,
+                        gt: gt_ds,
+                    });
                 }
             }
         }
@@ -481,7 +562,8 @@ pub fn det_mask_loss(
             for px in it.crop[1]..it.crop[3] {
                 let mut acc = 0.0f32;
                 for k in 0..NUM_PROTOS {
-                    acc += cmap.at4(it.b, it.s * NUM_PROTOS + k, it.y, it.x) * pmap.at4(it.b, k, py, px);
+                    acc += cmap.at4(it.b, it.s * NUM_PROTOS + k, it.y, it.x)
+                        * pmap.at4(it.b, k, py, px);
                 }
                 vals.push(1.0 / (1.0 + (-acc).exp()));
             }
@@ -606,7 +688,12 @@ pub fn decode_detections(
                     for (k, cv) in coeff.iter_mut().enumerate() {
                         *cv = coeffs.at4(b, s * NUM_PROTOS + k, y, x);
                     }
-                    cands.push(Cand { class: c - 1, score, bbox, coeff });
+                    cands.push(Cand {
+                        class: c - 1,
+                        score,
+                        bbox,
+                        coeff,
+                    });
                 }
             }
         }
@@ -647,14 +734,23 @@ pub fn decode_detections(
                         for ix in 0..ds {
                             let (yy, xx) = (py * ds + iy, px * ds + ix);
                             let (yf, xf) = (yy as f32, xx as f32);
-                            if yf >= c.bbox[0] && yf < c.bbox[2] && xf >= c.bbox[1] && xf < c.bbox[3] {
+                            if yf >= c.bbox[0]
+                                && yf < c.bbox[2]
+                                && xf >= c.bbox[1]
+                                && xf < c.bbox[3]
+                            {
                                 mask[yy * img_size + xx] = true;
                             }
                         }
                     }
                 }
             }
-            Detection { class: c.class, score: c.score, bbox: c.bbox, mask }
+            Detection {
+                class: c.class,
+                score: c.score,
+                bbox: c.bbox,
+                mask,
+            }
         })
         .collect()
 }
@@ -686,7 +782,12 @@ mod tests {
 
     #[test]
     fn box_encode_decode_round_trip() {
-        let a = Anchor { cy: 24.0, cx: 24.0, h: 16.0, w: 16.0 };
+        let a = Anchor {
+            cy: 24.0,
+            cx: 24.0,
+            h: 16.0,
+            w: 16.0,
+        };
         let gt = [10.0, 12.0, 30.0, 40.0];
         let t = encode_box(&a, &gt);
         let back = decode_box(&a, &t);
@@ -727,7 +828,10 @@ mod tests {
         let cfg = DeformedShapesConfig::default();
         let samples = cfg.generate(1, 7);
         let anchors = build_anchors(12, 12);
-        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let asg: Vec<Assignment> = samples
+            .iter()
+            .map(|s| assign_anchors(&anchors, s))
+            .collect();
         let map = Tensor::randn(&[1, 2 * 4, 12, 12], 0.0, 1.0, 8);
         let run = |m: &Tensor| {
             let mut t = Tape::new();
@@ -758,7 +862,11 @@ mod tests {
             let fd = (run(&p) - run(&m2)) / 2e-3;
             // OHEM selection may flip for borderline negatives under the
             // perturbation; allow a loose tolerance.
-            assert!((g.data()[idx] - fd).abs() < 5e-2, "idx {idx}: {} vs {fd}", g.data()[idx]);
+            assert!(
+                (g.data()[idx] - fd).abs() < 5e-2,
+                "idx {idx}: {} vs {fd}",
+                g.data()[idx]
+            );
         }
     }
 
@@ -767,7 +875,10 @@ mod tests {
         let cfg = DeformedShapesConfig::default();
         let samples = cfg.generate(1, 9);
         let anchors = build_anchors(12, 12);
-        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let asg: Vec<Assignment> = samples
+            .iter()
+            .map(|s| assign_anchors(&anchors, s))
+            .collect();
         let map = Tensor::randn(&[1, 2 * 4, 12, 12], 0.0, 0.5, 10);
         let run = |m: &Tensor| {
             let mut t = Tape::new();
@@ -780,8 +891,14 @@ mod tests {
         let l = det_box_loss(&mut t, v, &anchors, &asg, &samples);
         t.backward(l);
         let g = t.grad(v).unwrap().clone();
-        let probes: Vec<usize> =
-            g.data().iter().enumerate().filter(|(_, &v)| v.abs() > 1e-5).map(|(i, _)| i).take(4).collect();
+        let probes: Vec<usize> = g
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v.abs() > 1e-5)
+            .map(|(i, _)| i)
+            .take(4)
+            .collect();
         assert!(!probes.is_empty());
         for idx in probes {
             let mut p = map.clone();
@@ -789,7 +906,11 @@ mod tests {
             let mut m2 = map.clone();
             m2.data_mut()[idx] -= 1e-3;
             let fd = (run(&p) - run(&m2)) / 2e-3;
-            assert!((g.data()[idx] - fd).abs() < 1e-3, "idx {idx}: {} vs {fd}", g.data()[idx]);
+            assert!(
+                (g.data()[idx] - fd).abs() < 1e-3,
+                "idx {idx}: {} vs {fd}",
+                g.data()[idx]
+            );
         }
     }
 
@@ -798,7 +919,10 @@ mod tests {
         let cfg = DeformedShapesConfig::default();
         let samples = cfg.generate(1, 11);
         let anchors = build_anchors(12, 12);
-        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let asg: Vec<Assignment> = samples
+            .iter()
+            .map(|s| assign_anchors(&anchors, s))
+            .collect();
         let pmap = Tensor::randn(&[1, NUM_PROTOS, 12, 12], 0.0, 1.0, 12);
         let cmap = Tensor::randn(&[1, 2 * NUM_PROTOS, 12, 12], 0.0, 0.7, 13);
         let run = |p: &Tensor, c: &Tensor| {
@@ -821,17 +945,31 @@ mod tests {
             let mut b = pmap.clone();
             b.data_mut()[idx] -= 1e-3;
             let fd = (run(&a, &cmap) - run(&b, &cmap)) / 2e-3;
-            assert!((gp.data()[idx] - fd).abs() < 1e-3, "proto idx {idx}: {} vs {fd}", gp.data()[idx]);
+            assert!(
+                (gp.data()[idx] - fd).abs() < 1e-3,
+                "proto idx {idx}: {} vs {fd}",
+                gp.data()[idx]
+            );
         }
-        let probes: Vec<usize> =
-            gc.data().iter().enumerate().filter(|(_, &v)| v.abs() > 1e-6).map(|(i, _)| i).take(3).collect();
+        let probes: Vec<usize> = gc
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v.abs() > 1e-6)
+            .map(|(i, _)| i)
+            .take(3)
+            .collect();
         for idx in probes {
             let mut a = cmap.clone();
             a.data_mut()[idx] += 1e-3;
             let mut b = cmap.clone();
             b.data_mut()[idx] -= 1e-3;
             let fd = (run(&pmap, &a) - run(&pmap, &b)) / 2e-3;
-            assert!((gc.data()[idx] - fd).abs() < 1e-3, "coeff idx {idx}: {} vs {fd}", gc.data()[idx]);
+            assert!(
+                (gc.data()[idx] - fd).abs() < 1e-3,
+                "coeff idx {idx}: {} vs {fd}",
+                gc.data()[idx]
+            );
         }
     }
 
@@ -869,7 +1007,10 @@ mod tests {
         let cfg = DeformedShapesConfig::default();
         let samples = cfg.generate(4, 31);
         let anchors = build_anchors(12, 12);
-        let asg: Vec<Assignment> = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
+        let asg: Vec<Assignment> = samples
+            .iter()
+            .map(|s| assign_anchors(&anchors, s))
+            .collect();
         let images = batch_images(&samples);
         let mut first = None;
         let mut last = 0.0;

@@ -64,7 +64,10 @@ fn average_precision(mut flags: Vec<(f32, bool)>, num_gt: usize) -> f64 {
         if *tp {
             tp_cum += 1;
         }
-        points.push((tp_cum as f64 / num_gt as f64, tp_cum as f64 / (i + 1) as f64));
+        points.push((
+            tp_cum as f64 / num_gt as f64,
+            tp_cum as f64 / (i + 1) as f64,
+        ));
     }
     // Precision envelope (monotone non-increasing from the right).
     for i in (0..points.len().saturating_sub(1)).rev() {
@@ -83,7 +86,11 @@ fn average_precision(mut flags: Vec<(f32, bool)>, num_gt: usize) -> f64 {
 /// Evaluates detections against ground truth over a dataset split.
 ///
 /// `detections[i]` are the decoded detections of `samples[i]`.
-pub fn evaluate_map(samples: &[Sample], detections: &[Vec<Detection>], num_classes: usize) -> MapResult {
+pub fn evaluate_map(
+    samples: &[Sample],
+    detections: &[Vec<Detection>],
+    num_classes: usize,
+) -> MapResult {
     assert_eq!(samples.len(), detections.len());
     let thresholds: Vec<f32> = (0..10).map(|i| 0.5 + 0.05 * i as f32).collect();
 
@@ -98,9 +105,11 @@ pub fn evaluate_map(samples: &[Sample], detections: &[Vec<Detection>], num_class
         }
         // Greedy match per threshold: each GT claimed at most once.
         for class in 0..num_classes {
-            let gts: Vec<usize> =
-                (0..sample.objects.len()).filter(|&g| sample.objects[g].class == class).collect();
-            let mut class_dets: Vec<&Detection> = dets.iter().filter(|d| d.class == class).collect();
+            let gts: Vec<usize> = (0..sample.objects.len())
+                .filter(|&g| sample.objects[g].class == class)
+                .collect();
+            let mut class_dets: Vec<&Detection> =
+                dets.iter().filter(|d| d.class == class).collect();
             class_dets.sort_by(|a, b| b.score.total_cmp(&a.score));
 
             for (kind, flags) in [(0usize, &mut box_flags), (1usize, &mut mask_flags)] {
@@ -146,7 +155,8 @@ pub fn evaluate_map(samples: &[Sample], detections: &[Vec<Detection>], num_class
             }
             let mut per_thr = Vec::with_capacity(thresholds.len());
             for ti in 0..thresholds.len() {
-                let fl: Vec<(f32, bool)> = flags[class].iter().map(|f| (f.score, f.tp[ti])).collect();
+                let fl: Vec<(f32, bool)> =
+                    flags[class].iter().map(|f| (f.score, f.tp[ti])).collect();
                 per_thr.push(average_precision(fl, gt_count[class]));
             }
             ap50s.push(per_thr[0]);
@@ -163,7 +173,12 @@ pub fn evaluate_map(samples: &[Sample], detections: &[Vec<Detection>], num_class
     };
     let (box_map, box_ap50) = summarize(&box_flags);
     let (mask_map, mask_ap50) = summarize(&mask_flags);
-    MapResult { box_map, mask_map, box_ap50, mask_ap50 }
+    MapResult {
+        box_map,
+        mask_map,
+        box_ap50,
+        mask_ap50,
+    }
 }
 
 #[cfg(test)]
@@ -173,14 +188,21 @@ mod tests {
     use defcon_tensor::Tensor;
 
     fn sample_with(objects: Vec<GtObject>, size: usize) -> Sample {
-        Sample { image: Tensor::zeros(&[1, 1, size, size]), objects }
+        Sample {
+            image: Tensor::zeros(&[1, 1, size, size]),
+            objects,
+        }
     }
 
     fn rect_mask(size: usize, bbox: &[f32; 4]) -> Vec<bool> {
         let mut m = vec![false; size * size];
         for y in 0..size {
             for x in 0..size {
-                if (y as f32) >= bbox[0] && (y as f32) < bbox[2] && (x as f32) >= bbox[1] && (x as f32) < bbox[3] {
+                if (y as f32) >= bbox[0]
+                    && (y as f32) < bbox[2]
+                    && (x as f32) >= bbox[1]
+                    && (x as f32) < bbox[3]
+                {
                     m[y * size + x] = true;
                 }
             }
@@ -193,8 +215,20 @@ mod tests {
         let size = 32;
         let bbox = [4.0, 4.0, 20.0, 20.0];
         let mask = rect_mask(size, &bbox);
-        let s = sample_with(vec![GtObject { class: 0, bbox, mask: mask.clone() }], size);
-        let d = Detection { class: 0, score: 0.9, bbox, mask };
+        let s = sample_with(
+            vec![GtObject {
+                class: 0,
+                bbox,
+                mask: mask.clone(),
+            }],
+            size,
+        );
+        let d = Detection {
+            class: 0,
+            score: 0.9,
+            bbox,
+            mask,
+        };
         let r = evaluate_map(&[s], &[vec![d]], 3);
         assert!((r.box_map - 100.0).abs() < 1e-9, "{}", r.box_map);
         assert!((r.mask_map - 100.0).abs() < 1e-9);
@@ -205,7 +239,14 @@ mod tests {
     fn missed_detection_scores_0() {
         let size = 32;
         let bbox = [4.0, 4.0, 20.0, 20.0];
-        let s = sample_with(vec![GtObject { class: 1, bbox, mask: rect_mask(size, &bbox) }], size);
+        let s = sample_with(
+            vec![GtObject {
+                class: 1,
+                bbox,
+                mask: rect_mask(size, &bbox),
+            }],
+            size,
+        );
         let r = evaluate_map(&[s], &[vec![]], 3);
         assert_eq!(r.box_map, 0.0);
         assert_eq!(r.mask_map, 0.0);
@@ -217,8 +258,20 @@ mod tests {
         let gt = [4.0, 4.0, 20.0, 20.0];
         // Shift by 2px: IoU = (14*14)/(16*16*2 - 14*14) ≈ 0.62.
         let pred = [6.0, 6.0, 22.0, 22.0];
-        let s = sample_with(vec![GtObject { class: 0, bbox: gt, mask: rect_mask(size, &gt) }], size);
-        let d = Detection { class: 0, score: 0.9, bbox: pred, mask: rect_mask(size, &pred) };
+        let s = sample_with(
+            vec![GtObject {
+                class: 0,
+                bbox: gt,
+                mask: rect_mask(size, &gt),
+            }],
+            size,
+        );
+        let d = Detection {
+            class: 0,
+            score: 0.9,
+            bbox: pred,
+            mask: rect_mask(size, &pred),
+        };
         let r = evaluate_map(&[s], &[vec![d]], 3);
         assert!((r.box_ap50 - 100.0).abs() < 1e-9, "AP50 {}", r.box_ap50);
         // Passes thresholds 0.50..0.60 → 3 of 10 columns.
@@ -229,11 +282,28 @@ mod tests {
     fn false_positives_lower_precision() {
         let size = 32;
         let gt = [4.0, 4.0, 20.0, 20.0];
-        let s = sample_with(vec![GtObject { class: 0, bbox: gt, mask: rect_mask(size, &gt) }], size);
+        let s = sample_with(
+            vec![GtObject {
+                class: 0,
+                bbox: gt,
+                mask: rect_mask(size, &gt),
+            }],
+            size,
+        );
         // One perfect detection with low score, one confident FP elsewhere.
-        let good = Detection { class: 0, score: 0.3, bbox: gt, mask: rect_mask(size, &gt) };
+        let good = Detection {
+            class: 0,
+            score: 0.3,
+            bbox: gt,
+            mask: rect_mask(size, &gt),
+        };
         let fp_box = [24.0, 24.0, 30.0, 30.0];
-        let fp = Detection { class: 0, score: 0.9, bbox: fp_box, mask: rect_mask(size, &fp_box) };
+        let fp = Detection {
+            class: 0,
+            score: 0.9,
+            bbox: fp_box,
+            mask: rect_mask(size, &fp_box),
+        };
         let r = evaluate_map(&[s], &[vec![good, fp]], 3);
         // Recall reaches 1 at precision 1/2 → AP = 0.5.
         assert!((r.box_ap50 - 50.0).abs() < 1e-6, "{}", r.box_ap50);
@@ -243,9 +313,26 @@ mod tests {
     fn duplicate_detections_count_once() {
         let size = 32;
         let gt = [4.0, 4.0, 20.0, 20.0];
-        let s = sample_with(vec![GtObject { class: 0, bbox: gt, mask: rect_mask(size, &gt) }], size);
-        let d1 = Detection { class: 0, score: 0.9, bbox: gt, mask: rect_mask(size, &gt) };
-        let d2 = Detection { class: 0, score: 0.8, bbox: gt, mask: rect_mask(size, &gt) };
+        let s = sample_with(
+            vec![GtObject {
+                class: 0,
+                bbox: gt,
+                mask: rect_mask(size, &gt),
+            }],
+            size,
+        );
+        let d1 = Detection {
+            class: 0,
+            score: 0.9,
+            bbox: gt,
+            mask: rect_mask(size, &gt),
+        };
+        let d2 = Detection {
+            class: 0,
+            score: 0.8,
+            bbox: gt,
+            mask: rect_mask(size, &gt),
+        };
         let r = evaluate_map(&[s], &[vec![d1, d2]], 3);
         // The duplicate is a false positive beyond recall 1 — AP stays 1.
         assert!((r.box_ap50 - 100.0).abs() < 1e-6, "{}", r.box_ap50);

@@ -3,7 +3,8 @@
 use crate::backbone::BackboneConfig;
 use crate::dataset::{batch_images, DeformedShapesConfig, Sample};
 use crate::detector::{
-    assign_anchors, build_anchors, decode_detections, detection_loss, Anchor, Assignment, YolactLite, NUM_CLASSES,
+    assign_anchors, build_anchors, decode_detections, detection_loss, Anchor, Assignment,
+    YolactLite, NUM_CLASSES,
 };
 use crate::map::{evaluate_map, MapResult};
 use defcon_core::lut::LatencyKey;
@@ -60,8 +61,15 @@ pub fn prepare(cfg: &DeformedShapesConfig, n: usize, seed: u64) -> PreparedData 
     let samples = cfg.generate(n, seed);
     let feat = cfg.size / crate::detector::STRIDE;
     let anchors = build_anchors(feat, feat);
-    let assignments = samples.iter().map(|s| assign_anchors(&anchors, s)).collect();
-    PreparedData { samples, assignments, anchors }
+    let assignments = samples
+        .iter()
+        .map(|s| assign_anchors(&anchors, s))
+        .collect();
+    PreparedData {
+        samples,
+        assignments,
+        anchors,
+    }
 }
 
 /// Trains `det` on freshly generated data; returns per-epoch mean losses.
@@ -144,7 +152,10 @@ pub fn evaluate_detector(
 
 /// Convenience: build → train → evaluate one backbone layout; returns the
 /// trained detector and its validation mAP.
-pub fn train_and_eval(backbone: BackboneConfig, cfg: &TrainConfig) -> (YolactLite, ParamStore, MapResult) {
+pub fn train_and_eval(
+    backbone: BackboneConfig,
+    cfg: &TrainConfig,
+) -> (YolactLite, ParamStore, MapResult) {
     let mut store = ParamStore::new();
     let mut det = YolactLite::new(&mut store, backbone);
     train_detector(&mut det, &mut store, cfg);
@@ -167,10 +178,20 @@ pub struct DetectorSuperNet {
 
 impl DetectorSuperNet {
     /// Builds the supernet (backbone slots should be `SlotKind::Searchable`).
-    pub fn new(store: &mut ParamStore, backbone: BackboneConfig, data: PreparedData, batch_size: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        backbone: BackboneConfig,
+        data: PreparedData,
+        batch_size: usize,
+    ) -> Self {
         let detector = YolactLite::new(store, backbone);
         let searchable_blocks = detector.backbone.searchable_slots();
-        DetectorSuperNet { detector, data, batch_size, searchable_blocks }
+        DetectorSuperNet {
+            detector,
+            data,
+            batch_size,
+            searchable_blocks,
+        }
     }
 }
 
@@ -184,7 +205,9 @@ impl SearchModel for DetectorSuperNet {
     }
 
     fn latency_key(&self, i: usize) -> LatencyKey {
-        self.detector.backbone.latency_key_of(self.searchable_blocks[i])
+        self.detector
+            .backbone
+            .latency_key_of(self.searchable_blocks[i])
     }
 
     fn set_temperature(&mut self, tau: f32) {
@@ -217,12 +240,19 @@ mod tests {
     use defcon_kernels::op::{OffsetPredictorKind, SamplingMethod};
 
     fn quick_cfg() -> TrainConfig {
-        TrainConfig { epochs: 2, batch_size: 4, train_size: 16, val_size: 8, ..Default::default() }
+        TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            train_size: 16,
+            val_size: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn training_reduces_loss_and_eval_runs() {
-        let backbone = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+        let backbone =
+            BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
         let cfg = quick_cfg();
         let mut store = ParamStore::new();
         let mut det = YolactLite::new(&mut store, backbone);
@@ -236,7 +266,8 @@ mod tests {
 
     #[test]
     fn supernet_search_end_to_end() {
-        let backbone = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Searchable));
+        let backbone =
+            BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Searchable));
         let mut store = ParamStore::new();
         let data = prepare(&DeformedShapesConfig::default(), 8, 42);
         let mut net = DetectorSuperNet::new(&mut store, backbone, data, 4);
@@ -244,8 +275,18 @@ mod tests {
 
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let keys = net.detector.backbone.all_latency_keys();
-        let lut = LatencyLut::build(&gpu, &keys, SamplingMethod::Tex2dPlusPlus, OffsetPredictorKind::Lightweight);
-        let cfg = SearchConfig { search_epochs: 2, finetune_epochs: 1, iters_per_epoch: 2, ..Default::default() };
+        let lut = LatencyLut::build(
+            &gpu,
+            &keys,
+            SamplingMethod::Tex2dPlusPlus,
+            OffsetPredictorKind::Lightweight,
+        );
+        let cfg = SearchConfig {
+            search_epochs: 2,
+            finetune_epochs: 1,
+            iters_per_epoch: 2,
+            ..Default::default()
+        };
         let out = IntervalSearch::new(cfg, lut).run(&mut net, &mut store);
         assert_eq!(out.choices.len(), 5);
         assert!(!net.detector.backbone.layout().contains('?'));

@@ -6,12 +6,12 @@
 //! convolutions (plus an FPN/protonet/head tail) and simulates the network
 //! end to end on the GPU model under any DEFCON configuration.
 
+use defcon_core::pipeline::DefconConfig;
 use defcon_gpusim::Gpu;
 use defcon_kernels::gemm_kernel::{GemmKernel, RegularConvKernel};
 use defcon_kernels::im2col::address_map;
 use defcon_kernels::op::{simulate_regular_conv_ms, synthetic_inputs};
 use defcon_kernels::DeformLayerShape;
-use defcon_core::pipeline::DefconConfig;
 
 /// One convolution of the full network.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +58,11 @@ pub fn resnet_3x3_slots(depth: usize, layout: DcnLayout) -> Vec<NetLayer> {
         for b in 0..blocks {
             // The first block of stages ≥ 1 downsamples from the previous
             // extent with its 3×3 (stride 2).
-            let (h, stride) = if b == 0 && si > 0 { (extents[si - 1], 2) } else { (extents[si], 1) };
+            let (h, stride) = if b == 0 && si > 0 {
+                (extents[si - 1], 2)
+            } else {
+                (extents[si], 1)
+            };
             slots.push(NetLayer {
                 shape: DeformLayerShape {
                     n: 1,
@@ -84,7 +88,11 @@ fn apply_layout(slots: &mut [NetLayer], stages: &[(usize, usize)], layout: DcnLa
     match layout {
         DcnLayout::None => {}
         DcnLayout::DenseLastStages(k) => {
-            let skip: usize = stages.iter().take(stages.len().saturating_sub(k)).map(|s| s.0).sum();
+            let skip: usize = stages
+                .iter()
+                .take(stages.len().saturating_sub(k))
+                .map(|s| s.0)
+                .sum();
             for s in slots.iter_mut().skip(skip) {
                 s.dcn = true;
             }
@@ -183,7 +191,9 @@ fn fixed_tail_ms(gpu: &Gpu, slots: &[NetLayer]) -> f64 {
     // approximated as three 256-channel 3×3 convolutions.
     let head = DeformLayerShape::same3x3(256, 256, 69, 69);
     for _ in 0..3 {
-        total += gpu.launch(&RegularConvKernel::new(head, "head_conv")).time_ms;
+        total += gpu
+            .launch(&RegularConvKernel::new(head, "head_conv"))
+            .time_ms;
     }
     total
 }
@@ -238,8 +248,11 @@ mod tests {
     fn downsampling_extents_follow_paper_rows() {
         let slots = resnet_3x3_slots(101, DcnLayout::None);
         // conv3 entry downsamples from 138², conv4 from 69², conv5 from 35².
-        let strided: Vec<usize> =
-            slots.iter().filter(|s| s.shape.stride == 2).map(|s| s.shape.h).collect();
+        let strided: Vec<usize> = slots
+            .iter()
+            .filter(|s| s.shape.stride == 2)
+            .map(|s| s.shape.h)
+            .collect();
         assert_eq!(strided, vec![138, 69, 35]);
     }
 
@@ -248,7 +261,8 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::xavier_agx());
         let cfg = DefconConfig::baseline();
         let t_none = simulate_network(&gpu, &resnet_3x3_slots(50, DcnLayout::None), &cfg);
-        let t_interval = simulate_network(&gpu, &resnet_3x3_slots(50, DcnLayout::Interval(3)), &cfg);
+        let t_interval =
+            simulate_network(&gpu, &resnet_3x3_slots(50, DcnLayout::Interval(3)), &cfg);
         assert!(t_interval > t_none, "{t_interval} vs {t_none}");
     }
 }

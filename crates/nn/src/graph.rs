@@ -113,7 +113,12 @@ impl ParamStore {
             let v = &mut self.velocity[i];
             let g = &self.grads[i];
             let p = &mut self.values[i];
-            for ((vv, &gv), pv) in v.data_mut().iter_mut().zip(g.data().iter()).zip(p.data_mut().iter_mut()) {
+            for ((vv, &gv), pv) in v
+                .data_mut()
+                .iter_mut()
+                .zip(g.data().iter())
+                .zip(p.data_mut().iter_mut())
+            {
                 let eff = gv + wd * *pv;
                 *vv = momentum * *vv - lr * eff;
                 *pv += *vv;
@@ -143,7 +148,11 @@ impl Default for Tape {
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new(), param_vars: HashMap::new(), param_of_var: HashMap::new() }
+        Tape {
+            nodes: Vec::new(),
+            param_vars: HashMap::new(),
+            param_of_var: HashMap::new(),
+        }
     }
 
     /// Records a leaf holding input data (no gradient tracking beyond the
@@ -169,7 +178,12 @@ impl Tape {
     /// gradients.
     pub fn push(&mut self, value: Tensor, parents: Vec<Var>, backward: Option<BackwardFn>) -> Var {
         let id = Var(self.nodes.len());
-        self.nodes.push(Node { value, parents, backward, grad: None });
+        self.nodes.push(Node {
+            value,
+            parents,
+            backward,
+            grad: None,
+        });
         id
     }
 
@@ -187,14 +201,26 @@ impl Tape {
     /// Runs reverse-mode accumulation from `loss`, which must be scalar
     /// (numel == 1). Seeds `d loss / d loss = 1`.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.nodes[loss.0].value.numel(), 1, "backward requires a scalar loss");
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss"
+        );
         self.nodes[loss.0].grad = Some(Tensor::ones(self.nodes[loss.0].value.dims()));
         for i in (0..=loss.0).rev() {
-            let Some(gy) = self.nodes[i].grad.clone() else { continue };
-            let Some(back) = self.nodes[i].backward.take() else { continue };
+            let Some(gy) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let Some(back) = self.nodes[i].backward.take() else {
+                continue;
+            };
             let parents = self.nodes[i].parents.clone();
             let pgrads = back(&gy);
-            assert_eq!(pgrads.len(), parents.len(), "backward arity mismatch at node {i}");
+            assert_eq!(
+                pgrads.len(),
+                parents.len(),
+                "backward arity mismatch at node {i}"
+            );
             for (p, g) in parents.into_iter().zip(pgrads.into_iter()) {
                 match &mut self.nodes[p.0].grad {
                     Some(acc) => {

@@ -5,7 +5,7 @@
 //! paper cites) draws Gumbel noise `g = −ln(−ln u)`, `u ~ U(0,1)`. We follow
 //! the canonical form and expose the plain-uniform variant for completeness.
 
-use rand::Rng;
+use defcon_support::rng::Rng;
 
 /// One Gumbel(0, 1) sample.
 pub fn sample_gumbel<R: Rng>(rng: &mut R) -> f32 {
@@ -38,7 +38,11 @@ pub struct TemperatureSchedule {
 impl TemperatureSchedule {
     /// A schedule commonly used for differentiable NAS: 5.0 → 0.5.
     pub fn standard() -> Self {
-        TemperatureSchedule { tau0: 5.0, decay: 0.9, tau_min: 0.5 }
+        TemperatureSchedule {
+            tau0: 5.0,
+            decay: 0.9,
+            tau_min: 0.5,
+        }
     }
 
     /// Temperature at `epoch`.
@@ -50,8 +54,7 @@ impl TemperatureSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use defcon_support::rng::{SeedableRng, StdRng};
 
     #[test]
     fn gumbel_mean_near_euler_gamma() {

@@ -85,7 +85,11 @@ pub fn smooth_l1(t: &mut Tape, pred: Var, target: &Tensor, beta: f32) -> Var {
     let mut loss = 0.0f32;
     for (&p, &tg) in pv.data().iter().zip(target.data().iter()) {
         let d = (p - tg).abs();
-        loss += if d < beta { 0.5 * d * d / beta } else { d - 0.5 * beta };
+        loss += if d < beta {
+            0.5 * d * d / beta
+        } else {
+            d - 0.5 * beta
+        };
     }
     loss /= n;
     let target = target.clone();

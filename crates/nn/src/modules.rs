@@ -9,12 +9,11 @@
 use crate::graph::{ParamId, ParamStore, Tape, Var};
 use crate::gumbel;
 use crate::ops;
+use defcon_support::rng::{SeedableRng, StdRng};
 use defcon_tensor::conv::Conv2dParams;
 use defcon_tensor::init;
 use defcon_tensor::sample::{DeformConv2dParams, OffsetTransform};
 use defcon_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Anything that maps one activation Var to another on a tape.
 pub trait Module {
@@ -61,7 +60,11 @@ impl Conv2d {
         let w = init::kaiming_conv(&[c_out, c_in, p.kernel, p.kernel], derive_seed(seed, name));
         let weight = s.add(&format!("{name}.weight"), w, true);
         let bias = bias.then(|| s.add(&format!("{name}.bias"), Tensor::zeros(&[c_out]), false));
-        Conv2d { weight, bias, params: p }
+        Conv2d {
+            weight,
+            bias,
+            params: p,
+        }
     }
 
     /// Zero-initialized convolution — used for offset predictors so training
@@ -74,9 +77,17 @@ impl Conv2d {
         p: Conv2dParams,
         bias: bool,
     ) -> Self {
-        let weight = s.add(&format!("{name}.weight"), Tensor::zeros(&[c_out, c_in, p.kernel, p.kernel]), false);
+        let weight = s.add(
+            &format!("{name}.weight"),
+            Tensor::zeros(&[c_out, c_in, p.kernel, p.kernel]),
+            false,
+        );
         let bias = bias.then(|| s.add(&format!("{name}.bias"), Tensor::zeros(&[c_out]), false));
-        Conv2d { weight, bias, params: p }
+        Conv2d {
+            weight,
+            bias,
+            params: p,
+        }
     }
 }
 
@@ -104,11 +115,22 @@ pub struct DwConv2d {
 
 impl DwConv2d {
     /// Kaiming-initialized depthwise convolution.
-    pub fn new(s: &mut ParamStore, name: &str, c: usize, p: Conv2dParams, bias: bool, seed: u64) -> Self {
+    pub fn new(
+        s: &mut ParamStore,
+        name: &str,
+        c: usize,
+        p: Conv2dParams,
+        bias: bool,
+        seed: u64,
+    ) -> Self {
         let w = init::kaiming_conv(&[c, 1, p.kernel, p.kernel], derive_seed(seed, name));
         let weight = s.add(&format!("{name}.weight"), w, true);
         let bias = bias.then(|| s.add(&format!("{name}.bias"), Tensor::zeros(&[c]), false));
-        DwConv2d { weight, bias, params: p }
+        DwConv2d {
+            weight,
+            bias,
+            params: p,
+        }
     }
 }
 
@@ -158,7 +180,16 @@ impl Module for BatchNorm2d {
         let g = t.param(s, self.gamma);
         let b = t.param(s, self.beta);
         if self.training {
-            ops::batch_norm2d_op(t, x, g, b, &mut self.running_mean, &mut self.running_var, self.momentum, self.eps)
+            ops::batch_norm2d_op(
+                t,
+                x,
+                g,
+                b,
+                &mut self.running_mean,
+                &mut self.running_var,
+                self.momentum,
+                self.eps,
+            )
         } else {
             // Inference: affine transform with frozen statistics (still
             // differentiable w.r.t. γ/β, though that rarely matters here).
@@ -190,7 +221,8 @@ impl Module for BatchNorm2d {
                                 for ww in 0..w {
                                     let gyv = gy.at4(ni, ci, hh, ww);
                                     *gx.at4_mut(ni, ci, hh, ww) = gyv * gv.data()[ci] * is;
-                                    gg.data_mut()[ci] += gyv * (xv.at4(ni, ci, hh, ww) - rm[ci]) * is;
+                                    gg.data_mut()[ci] +=
+                                        gyv * (xv.at4(ni, ci, hh, ww) - rm[ci]) * is;
                                     gb.data_mut()[ci] += gyv;
                                 }
                             }
@@ -277,9 +309,7 @@ impl OffsetPredictor {
     pub fn macs_per_position(&self, c_in: usize, k: usize, deform_groups: usize) -> usize {
         let off_ch = 2 * deform_groups * k * k;
         match self {
-            OffsetPredictor::Standard(c) => {
-                c_in * c.params.kernel * c.params.kernel * off_ch
-            }
+            OffsetPredictor::Standard(c) => c_in * c.params.kernel * c.params.kernel * off_ch,
             OffsetPredictor::Lightweight { dw, .. } => {
                 c_in * dw.params.kernel * dw.params.kernel + c_in * off_ch
             }
@@ -324,8 +354,18 @@ impl DeformConv2d {
     ) -> Self {
         // Offset conv mirrors the window of the main conv so its output is
         // [N, 2Gk², outH, outW].
-        let off = Conv2d::new_zeroed(s, &format!("{name}.offset"), c_in, p.offset_channels(), p.conv, true);
-        let w = init::kaiming_conv(&[c_out, c_in, p.conv.kernel, p.conv.kernel], derive_seed(seed, name));
+        let off = Conv2d::new_zeroed(
+            s,
+            &format!("{name}.offset"),
+            c_in,
+            p.offset_channels(),
+            p.conv,
+            true,
+        );
+        let w = init::kaiming_conv(
+            &[c_out, c_in, p.conv.kernel, p.conv.kernel],
+            derive_seed(seed, name),
+        );
         DeformConv2d {
             offset_pred: OffsetPredictor::Standard(off),
             weight: s.add(&format!("{name}.weight"), w, true),
@@ -352,7 +392,12 @@ impl DeformConv2d {
             s,
             &format!("{name}.offset_dw"),
             c_in,
-            Conv2dParams { kernel: 3, stride: p.conv.stride, pad: 1, dilation: 1 },
+            Conv2dParams {
+                kernel: 3,
+                stride: p.conv.stride,
+                pad: 1,
+                dilation: 1,
+            },
             false,
             seed,
         );
@@ -362,10 +407,18 @@ impl DeformConv2d {
             &format!("{name}.offset_pw"),
             c_in,
             p.offset_channels(),
-            Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 },
+            Conv2dParams {
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                dilation: 1,
+            },
             true,
         );
-        let w = init::kaiming_conv(&[c_out, c_in, p.conv.kernel, p.conv.kernel], derive_seed(seed, name));
+        let w = init::kaiming_conv(
+            &[c_out, c_in, p.conv.kernel, p.conv.kernel],
+            derive_seed(seed, name),
+        );
         DeformConv2d {
             offset_pred: OffsetPredictor::Lightweight { dw, bn, pw },
             weight: s.add(&format!("{name}.weight"), w, true),
@@ -446,11 +499,33 @@ impl DualPathConv {
         lightweight: bool,
         seed: u64,
     ) -> Self {
-        let regular = Conv2d::new(s, &format!("{name}.regular"), c_in, c_out, p.conv, false, seed);
+        let regular = Conv2d::new(
+            s,
+            &format!("{name}.regular"),
+            c_in,
+            c_out,
+            p.conv,
+            false,
+            seed,
+        );
         let deform = if lightweight {
-            DeformConv2d::new_lightweight(s, &format!("{name}.deform"), c_in, c_out, p, seed.wrapping_add(1))
+            DeformConv2d::new_lightweight(
+                s,
+                &format!("{name}.deform"),
+                c_in,
+                c_out,
+                p,
+                seed.wrapping_add(1),
+            )
         } else {
-            DeformConv2d::new_standard(s, &format!("{name}.deform"), c_in, c_out, p, seed.wrapping_add(1))
+            DeformConv2d::new_standard(
+                s,
+                &format!("{name}.deform"),
+                c_in,
+                c_out,
+                p,
+                seed.wrapping_add(1),
+            )
         };
         let alpha = s.add(&format!("{name}.alpha"), Tensor::zeros(&[2]), false);
         DualPathConv {
@@ -490,7 +565,9 @@ impl Module for DualPathConv {
                 let reg = self.regular.forward(t, s, x);
                 let def = self.deform.forward(t, s, x);
                 let alpha = t.param(s, self.alpha);
-                let noise: Vec<f32> = (0..2).map(|_| gumbel::sample_gumbel(&mut self.rng)).collect();
+                let noise: Vec<f32> = (0..2)
+                    .map(|_| gumbel::sample_gumbel(&mut self.rng))
+                    .collect();
                 let wts = ops::gumbel_softmax_weights(t, alpha, &noise, self.tau);
                 ops::mix2(t, reg, def, wts)
             }
@@ -618,7 +695,10 @@ mod tests {
         t.backward(l2);
         t.write_param_grads(&mut s);
         let ga = s.grad(dp.alpha);
-        assert!(ga.data().iter().any(|&v| v != 0.0), "alpha gradient is zero");
+        assert!(
+            ga.data().iter().any(|&v| v != 0.0),
+            "alpha gradient is zero"
+        );
     }
 }
 
@@ -655,8 +735,12 @@ impl ModulatedDeformConv2d {
     ) -> Self {
         let kk = p.conv.kernel * p.conv.kernel;
         let pred_out = 3 * p.deform_groups * kk;
-        let predictor = Conv2d::new_zeroed(s, &format!("{name}.pred"), c_in, pred_out, p.conv, true);
-        let w = init::kaiming_conv(&[c_out, c_in, p.conv.kernel, p.conv.kernel], derive_seed(seed, name));
+        let predictor =
+            Conv2d::new_zeroed(s, &format!("{name}.pred"), c_in, pred_out, p.conv, true);
+        let w = init::kaiming_conv(
+            &[c_out, c_in, p.conv.kernel, p.conv.kernel],
+            derive_seed(seed, name),
+        );
         ModulatedDeformConv2d {
             predictor,
             weight: s.add(&format!("{name}.weight"), w, true),
@@ -795,6 +879,9 @@ mod v2_tests {
         // init, so the weight gradient flows but may be small; the bias
         // gradient comes through both the mask sigmoid and the offsets).
         let gb = s.grad(m.predictor.bias.unwrap());
-        assert!(gb.data().iter().any(|&v| v.abs() > 0.0), "predictor bias got no gradient");
+        assert!(
+            gb.data().iter().any(|&v| v.abs() > 0.0),
+            "predictor bias got no gradient"
+        );
     }
 }

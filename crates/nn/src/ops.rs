@@ -6,14 +6,17 @@
 
 use crate::graph::{Tape, Var};
 use defcon_tensor::conv::{
-    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, pointwise_conv2d, Conv2dParams,
+    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, pointwise_conv2d,
+    Conv2dParams,
 };
 use defcon_tensor::norm::{batch_norm2d_backward, batch_norm2d_train};
 use defcon_tensor::pool::{
-    global_avg_pool, global_avg_pool_backward, max_pool2x2, max_pool2x2_backward, upsample_nearest_2x,
-    upsample_nearest_2x_backward,
+    global_avg_pool, global_avg_pool_backward, max_pool2x2, max_pool2x2_backward,
+    upsample_nearest_2x, upsample_nearest_2x_backward,
 };
-use defcon_tensor::sample::{deform_conv2d_backward_ref, deform_conv2d_ref, DeformConv2dParams, OffsetTransform};
+use defcon_tensor::sample::{
+    deform_conv2d_backward_ref, deform_conv2d_ref, DeformConv2dParams, OffsetTransform,
+};
 use defcon_tensor::{gemm, Tensor};
 
 // ---------------------------------------------------------------------------
@@ -37,7 +40,11 @@ pub fn add(t: &mut Tape, a: Var, b: Var) -> Var {
 /// `a - b` (same shape).
 pub fn sub(t: &mut Tape, a: Var, b: Var) -> Var {
     let v = t.value(a).sub(t.value(b));
-    t.push(v, vec![a, b], Some(Box::new(move |gy| vec![gy.clone(), gy.scale(-1.0)])))
+    t.push(
+        v,
+        vec![a, b],
+        Some(Box::new(move |gy| vec![gy.clone(), gy.scale(-1.0)])),
+    )
 }
 
 /// `a * b` elementwise (same shape).
@@ -45,7 +52,11 @@ pub fn mul(t: &mut Tape, a: Var, b: Var) -> Var {
     let av = t.value(a).clone();
     let bv = t.value(b).clone();
     let v = av.mul(&bv);
-    t.push(v, vec![a, b], Some(Box::new(move |gy| vec![gy.mul(&bv), gy.mul(&av)])))
+    t.push(
+        v,
+        vec![a, b],
+        Some(Box::new(move |gy| vec![gy.mul(&bv), gy.mul(&av)])),
+    )
 }
 
 /// `a * s` for a constant scalar.
@@ -64,7 +75,11 @@ pub fn add_scalar(t: &mut Tape, a: Var, s: f32) -> Var {
 pub fn square(t: &mut Tape, a: Var) -> Var {
     let av = t.value(a).clone();
     let v = av.map(|x| x * x);
-    t.push(v, vec![a], Some(Box::new(move |gy| vec![gy.zip(&av, |g, x| 2.0 * g * x)])))
+    t.push(
+        v,
+        vec![a],
+        Some(Box::new(move |gy| vec![gy.zip(&av, |g, x| 2.0 * g * x)])),
+    )
 }
 
 /// ReLU.
@@ -74,7 +89,9 @@ pub fn relu(t: &mut Tape, a: Var) -> Var {
     t.push(
         v,
         vec![a],
-        Some(Box::new(move |gy| vec![gy.zip(&av, |g, x| if x > 0.0 { g } else { 0.0 })])),
+        Some(Box::new(move |gy| {
+            vec![gy.zip(&av, |g, x| if x > 0.0 { g } else { 0.0 })]
+        })),
     )
 }
 
@@ -82,14 +99,26 @@ pub fn relu(t: &mut Tape, a: Var) -> Var {
 pub fn sigmoid(t: &mut Tape, a: Var) -> Var {
     let v = t.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
     let sv = v.clone();
-    t.push(v, vec![a], Some(Box::new(move |gy| vec![gy.zip(&sv, |g, s| g * s * (1.0 - s))])))
+    t.push(
+        v,
+        vec![a],
+        Some(Box::new(move |gy| {
+            vec![gy.zip(&sv, |g, s| g * s * (1.0 - s))]
+        })),
+    )
 }
 
 /// Hyperbolic tangent.
 pub fn tanh(t: &mut Tape, a: Var) -> Var {
     let v = t.value(a).map(|x| x.tanh());
     let tv = v.clone();
-    t.push(v, vec![a], Some(Box::new(move |gy| vec![gy.zip(&tv, |g, y| g * (1.0 - y * y))])))
+    t.push(
+        v,
+        vec![a],
+        Some(Box::new(move |gy| {
+            vec![gy.zip(&tv, |g, y| g * (1.0 - y * y))]
+        })),
+    )
 }
 
 /// Sum of all elements -> scalar `[1]`.
@@ -117,7 +146,11 @@ pub fn mean_all(t: &mut Tape, a: Var) -> Var {
 pub fn reshape(t: &mut Tape, a: Var, dims: &[usize]) -> Var {
     let v = t.value(a).reshape(dims);
     let src_dims = t.value(a).dims().to_vec();
-    t.push(v, vec![a], Some(Box::new(move |gy| vec![gy.reshape(&src_dims)])))
+    t.push(
+        v,
+        vec![a],
+        Some(Box::new(move |gy| vec![gy.reshape(&src_dims)])),
+    )
 }
 
 /// Channel concatenation of NCHW vars.
@@ -216,7 +249,12 @@ pub fn pointwise_conv2d_op(t: &mut Tape, x: Var, w: Var, b: Option<Var>) -> Var 
         parents.push(bb);
     }
     let has_bias = b.is_some();
-    let p = Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 };
+    let p = Conv2dParams {
+        kernel: 1,
+        stride: 1,
+        pad: 0,
+        dilation: 1,
+    };
     t.push(
         v,
         parents,
@@ -350,7 +388,13 @@ pub fn max_pool2x2_op(t: &mut Tape, x: Var) -> Var {
     let xv = t.value(x).clone();
     let (y, arg) = max_pool2x2(&xv);
     let in_dims = xv.dims().to_vec();
-    t.push(y, vec![x], Some(Box::new(move |gy| vec![max_pool2x2_backward(gy, &arg, &in_dims)])))
+    t.push(
+        y,
+        vec![x],
+        Some(Box::new(move |gy| {
+            vec![max_pool2x2_backward(gy, &arg, &in_dims)]
+        })),
+    )
 }
 
 /// Global average pooling `[N, C, H, W] -> [N, C]`.
@@ -358,13 +402,23 @@ pub fn global_avg_pool_op(t: &mut Tape, x: Var) -> Var {
     let xv = t.value(x).clone();
     let in_dims = xv.dims().to_vec();
     let y = global_avg_pool(&xv);
-    t.push(y, vec![x], Some(Box::new(move |gy| vec![global_avg_pool_backward(gy, &in_dims)])))
+    t.push(
+        y,
+        vec![x],
+        Some(Box::new(move |gy| {
+            vec![global_avg_pool_backward(gy, &in_dims)]
+        })),
+    )
 }
 
 /// Nearest-neighbour 2× upsample.
 pub fn upsample2x_op(t: &mut Tape, x: Var) -> Var {
     let y = upsample_nearest_2x(t.value(x));
-    t.push(y, vec![x], Some(Box::new(move |gy| vec![upsample_nearest_2x_backward(gy)])))
+    t.push(
+        y,
+        vec![x],
+        Some(Box::new(move |gy| vec![upsample_nearest_2x_backward(gy)])),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -387,8 +441,18 @@ pub fn mix2(t: &mut Tape, a: Var, b: Var, w: Var) -> Var {
         Some(Box::new(move |gy| {
             let ga = gy.scale(w0);
             let gb = gy.scale(w1);
-            let gw0: f32 = gy.data().iter().zip(av.data().iter()).map(|(g, x)| g * x).sum();
-            let gw1: f32 = gy.data().iter().zip(bv.data().iter()).map(|(g, x)| g * x).sum();
+            let gw0: f32 = gy
+                .data()
+                .iter()
+                .zip(av.data().iter())
+                .map(|(g, x)| g * x)
+                .sum();
+            let gw1: f32 = gy
+                .data()
+                .iter()
+                .zip(bv.data().iter())
+                .map(|(g, x)| g * x)
+                .sum();
             vec![ga, gb, Tensor::from_vec(vec![gw0, gw1], &[2])]
         })),
     )
@@ -401,7 +465,12 @@ pub fn mix2(t: &mut Tape, a: Var, b: Var, w: Var) -> Var {
 pub fn gumbel_softmax_weights(t: &mut Tape, x: Var, noise: &[f32], tau: f32) -> Var {
     let xv = t.value(x).clone();
     assert_eq!(xv.numel(), noise.len(), "noise length must match logits");
-    let logits: Vec<f32> = xv.data().iter().zip(noise.iter()).map(|(a, e)| (a + e) / tau).collect();
+    let logits: Vec<f32> = xv
+        .data()
+        .iter()
+        .zip(noise.iter())
+        .map(|(a, e)| (a + e) / tau)
+        .collect();
     let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|v| (v - m).exp()).collect();
     let z: f32 = exps.iter().sum();
@@ -434,7 +503,11 @@ pub fn gumbel_softmax_weights(t: &mut Tape, x: Var, noise: &[f32], tau: f32) -> 
 /// values and receives no gradient (paper: "does not require a gradient");
 /// `∂L_s/∂α¹_n` follows Eq. (8) exactly.
 pub fn latency_penalty(t: &mut Tape, alphas: &[Var], lat: &[f32], target: f32) -> Var {
-    assert_eq!(alphas.len(), lat.len(), "one latency per architecture parameter");
+    assert_eq!(
+        alphas.len(),
+        lat.len(),
+        "one latency per architecture parameter"
+    );
     let mut s = -target;
     let mut gates = Vec::with_capacity(alphas.len());
     for (&a, &tn) in alphas.iter().zip(lat.iter()) {
@@ -498,12 +571,7 @@ mod tests {
         t.backward(l);
         let g = t.grad(x).unwrap().clone();
         for i in 0..3 {
-            let fd = finite_diff(
-                |x| x.map(|v| 1.0 / (1.0 + (-v).exp())).sum(),
-                &xv,
-                i,
-                1e-3,
-            );
+            let fd = finite_diff(|x| x.map(|v| 1.0 / (1.0 + (-v).exp())).sum(), &xv, i, 1e-3);
             assert!((g.data()[i] - fd).abs() < 1e-3);
         }
     }
@@ -681,7 +749,8 @@ pub fn deform_conv2d_v2_op(
         v,
         parents,
         Some(Box::new(move |gy| {
-            let (gx, goff, gmask, gw, gb) = deform_conv2d_v2_backward_ref(&xv, &ov, &mv, &wv, gy, &p, transform);
+            let (gx, goff, gmask, gw, gb) =
+                deform_conv2d_v2_backward_ref(&xv, &ov, &mv, &wv, gy, &p, transform);
             if has_bias {
                 vec![gx, goff, gmask, gw, gb]
             } else {

@@ -24,7 +24,15 @@ pub struct Sgd {
 impl Sgd {
     /// Builds an optimizer; milestones are absolute step indices.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay, milestones: Vec::new(), gamma: 0.1, min_lr: 1e-6, step_count: 0 }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            milestones: Vec::new(),
+            gamma: 0.1,
+            min_lr: 1e-6,
+            step_count: 0,
+        }
     }
 
     /// The paper's training configuration scaled to a given run length:
@@ -37,7 +45,11 @@ impl Sgd {
 
     /// Learning rate in effect at the current step.
     pub fn current_lr(&self) -> f32 {
-        let decays = self.milestones.iter().filter(|&&m| self.step_count >= m).count();
+        let decays = self
+            .milestones
+            .iter()
+            .filter(|&&m| self.step_count >= m)
+            .count();
         (self.lr * self.gamma.powi(decays as i32)).max(self.min_lr)
     }
 
@@ -129,7 +141,15 @@ pub struct Adam {
 impl Adam {
     /// Standard Adam with the usual defaults.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Applies one update from the accumulated gradients, then zeroes them.
@@ -149,8 +169,12 @@ impl Adam {
             let lr = self.lr;
             let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
             let p = store.value_mut(id);
-            for (((pv, &gv), mv), vv) in
-                p.data_mut().iter_mut().zip(g.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+            for (((pv, &gv), mv), vv) in p
+                .data_mut()
+                .iter_mut()
+                .zip(g.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
             {
                 *mv = b1 * *mv + (1.0 - b1) * gv;
                 *vv = b2 * *vv + (1.0 - b2) * gv * gv;
@@ -179,7 +203,11 @@ mod adam_tests {
             store.accumulate_grad(w, &g);
             opt.step(&mut store);
         }
-        assert!(store.value(w).sq_norm() < 1e-3, "{:?}", store.value(w).data());
+        assert!(
+            store.value(w).sq_norm() < 1e-3,
+            "{:?}",
+            store.value(w).data()
+        );
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! A wall-clock micro-benchmark harness (replaces `criterion`).
+//!
+//! Each bench target is a plain binary (`harness = false`) whose `main`
+//! builds a [`Bench`], registers groups and functions, and calls
+//! [`Bench::finish`]. Timing is deliberately simple: calibrate an
+//! iteration count so one sample takes a few milliseconds, collect a fixed
+//! number of samples, report min / median / mean per iteration. No plots,
+//! no statistics beyond that — the numbers exist to compare kernels within
+//! one run, not across machines.
+//!
+//! CLI: any non-flag argument is a substring filter on `group/id` names
+//! (matching `cargo bench <filter>`); flags criterion receives, like
+//! `--bench`, are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench code can guard values against the optimizer.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one calibrated sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// The harness: owns the name filter and collected results.
+pub struct Bench {
+    filter: Option<String>,
+    results: Vec<(String, Stats)>,
+}
+
+/// Per-iteration timing summary of one bench function.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean over all samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::from_args()
+    }
+}
+
+impl Bench {
+    /// Builds a harness, reading the optional name filter from `std::env::args`.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Bench {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Starts a named group of related bench functions.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the closing summary. Call last in `main`.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            println!(
+                "(no benchmarks matched{})",
+                match &self.filter {
+                    Some(f) => format!(" filter '{f}'"),
+                    None => String::new(),
+                }
+            );
+        } else {
+            println!("\n{} benchmark(s) completed", self.results.len());
+        }
+    }
+}
+
+/// A named group; mirrors criterion's `BenchmarkGroup` surface.
+pub struct Group<'b> {
+    bench: &'b mut Bench,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per bench function (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and (filter permitting) runs one bench function. `f` is
+    /// called with a [`Bencher`] and must call [`Bencher::iter`] exactly
+    /// once per invocation.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.bench.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Calibrate: grow the iteration count until one sample is slow
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly for the target using the measured rate.
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            let needed = if per_iter > 0.0 {
+                (TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64
+            } else {
+                iters * 16
+            };
+            iters = needed.clamp(iters + 1, (iters * 16).max(2)).min(1 << 24);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let stats = Stats {
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            iters,
+            samples: per_iter_ns.len(),
+        };
+        println!(
+            "{full:<44} min {:>12}  median {:>12}  mean {:>12}  ({} iters x {} samples)",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            stats.iters,
+            stats.samples,
+        );
+        self.bench.results.push((full, stats));
+    }
+
+    /// `bench_function` with an input threaded through, mirroring
+    /// criterion's `bench_with_input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Group teardown (a no-op; exists for criterion call-site parity).
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` the calibrated number of times, timing the whole batch.
+    /// The return value is passed through [`black_box`] so the computation
+    /// cannot be optimized away.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Human-readable nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut harness = Bench {
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = harness.group("g");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(harness.results.len(), 1);
+        let (name, stats) = &harness.results[0];
+        assert_eq!(name, "g/sum");
+        assert!(stats.min_ns > 0.0 && stats.min_ns <= stats.mean_ns * 1.0001);
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut harness = Bench {
+            filter: Some("other".into()),
+            results: Vec::new(),
+        };
+        let mut group = harness.group("g");
+        group.bench_function("skipped", |_| panic!("must not run"));
+        group.finish();
+        assert!(harness.results.is_empty());
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.0e9).ends_with('s'));
+    }
+}

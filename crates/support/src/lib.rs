@@ -1,0 +1,30 @@
+//! # defcon-support
+//!
+//! In-workspace, zero-dependency replacements for the external crates the
+//! DEFCON reproduction used to pull from crates.io. The build must succeed
+//! on a machine with an **empty registry cache** (`cargo build --offline`),
+//! so everything the workspace needs beyond `std` lives here:
+//!
+//! * [`rng`] — seedable xoshiro256** RNG with `gen_range`, normal-sampling
+//!   support and slice shuffling (replaces `rand`);
+//! * [`par`] — scoped-thread `par_chunks_mut` parallel map with
+//!   deterministic chunk assignment (replaces `rayon`);
+//! * [`json`] — a small JSON value type, writer and parser plus
+//!   [`json::ToJson`]/[`json::FromJson`] traits for hand-written impls
+//!   (replaces `serde`/`serde_json`);
+//! * [`prop`] — a seeded property-testing harness with reproducible
+//!   failing-case reports (replaces `proptest`);
+//! * [`bench`] — a wall-clock micro-benchmark harness for the
+//!   `harness = false` bench binaries (replaces `criterion`).
+//!
+//! Design rule: these are *replacements for the slice of API this
+//! workspace uses*, not general-purpose rewrites. Determinism outranks
+//! statistical or ergonomic perfection everywhere — the simulator's claims
+//! are only checkable if two runs with the same seed produce byte-identical
+//! reports.
+
+pub mod bench;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;

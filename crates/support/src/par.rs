@@ -1,0 +1,177 @@
+//! Scoped-thread data parallelism.
+//!
+//! The workspace's hot loops (GEMM row panels, im2col columns, per-channel
+//! deformable sampling) all share one shape: split a big output buffer into
+//! disjoint chunks and fill each independently. This module provides exactly
+//! that — a `par_chunks_mut(..).enumerate().for_each(..)` combinator with
+//! rayon's call-site syntax, built on `std::thread::scope`.
+//!
+//! Chunks are assigned to threads in contiguous bands decided purely by
+//! `len / chunk_size` and the thread count, so a run's output never depends
+//! on scheduling; with every chunk disjoint, results are bit-identical to
+//! the sequential loop.
+//!
+//! Set `DEFCON_THREADS=1` (or any count) to override the default of one
+//! thread per available core.
+
+use std::sync::OnceLock;
+
+/// Worker threads used by [`ParChunksMutEnumerate::for_each`]: the
+/// `DEFCON_THREADS` env var if set, else available parallelism.
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DEFCON_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Extension trait adding `par_chunks_mut` to slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into `chunk_size`-element chunks (the last may be
+    /// shorter) for parallel iteration.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+/// A pending parallel chunk iteration (created by
+/// [`ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T: Send> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate(self)
+    }
+
+    /// Runs `f` on every chunk across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// An enumerated pending parallel chunk iteration.
+pub struct ParChunksMutEnumerate<'a, T: Send>(ParChunksMut<'a, T>);
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f((chunk_index, chunk))` for every chunk, spreading chunks over
+    /// up to [`max_threads`] scoped threads in contiguous bands.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let ParChunksMut { data, chunk_size } = self.0;
+        let n_chunks = data.len().div_ceil(chunk_size);
+        let threads = max_threads().min(n_chunks);
+        if threads <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = data;
+            let mut chunk_base = 0usize;
+            for t in 0..threads {
+                // Balanced contiguous bands: the first `n_chunks % threads`
+                // bands get one extra chunk.
+                let band_chunks = n_chunks / threads + usize::from(t < n_chunks % threads);
+                let band_elems = (band_chunks * chunk_size).min(rest.len());
+                let (band, tail) = rest.split_at_mut(band_elems);
+                rest = tail;
+                let base = chunk_base;
+                chunk_base += band_chunks;
+                scope.spawn(move || {
+                    for (j, chunk) in band.chunks_mut(chunk_size).enumerate() {
+                        f((base + j, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_and_coverage_match_sequential_chunks() {
+        let mut par = vec![0usize; 1013]; // deliberately not a multiple of the chunk size
+        par.par_chunks_mut(32).enumerate().for_each(|(i, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = i * 1000 + k;
+            }
+        });
+        let mut seq = vec![0usize; 1013];
+        for (i, chunk) in seq.chunks_mut(32).enumerate() {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = i * 1000 + k;
+            }
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut data = vec![1.0f32; 10];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            assert_eq!(i, 0);
+            for v in chunk {
+                *v += 1.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        let mut data: Vec<u8> = Vec::new();
+        data.par_chunks_mut(4)
+            .enumerate()
+            .for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn un_enumerated_for_each_visits_every_chunk() {
+        let mut data = vec![0u32; 257];
+        data.par_chunks_mut(16).for_each(|chunk| {
+            for v in chunk {
+                *v = 7;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn more_chunks_than_threads() {
+        let mut data = vec![0u64; 4096];
+        data.par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk[0] = i as u64);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+}

@@ -1,0 +1,175 @@
+//! A tiny seeded property-testing harness (replaces `proptest`).
+//!
+//! A property test here is: a fixed master seed, `N` cases, a generator
+//! closure that draws an input from a per-case RNG, and a property closure
+//! returning `Err(reason)` on violation. Failures panic with the case
+//! number, the per-case seed and the `Debug` form of the input, so any
+//! failure reproduces exactly by re-running the test — no shrinking, no
+//! persistence files, no macros beyond [`prop_assert!`]/[`prop_assert_eq!`].
+//!
+//! ```
+//! use defcon_support::prop::{self, Config};
+//! use defcon_support::rng::Rng;
+//!
+//! prop::check("addition commutes", &Config::cases(16), |rng| {
+//!     (rng.gen_range(-1.0e6f64..1.0e6), rng.gen_range(-1.0e6f64..1.0e6))
+//! }, |&(a, b)| {
+//!     defcon_support::prop_assert!(a + b == b + a, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{SeedableRng, StdRng};
+
+/// How a property is exercised.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Master seed; each case derives its own RNG from it.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 32,
+            seed: 0xDEFC_0000,
+        }
+    }
+}
+
+impl Config {
+    /// The default seed with a custom case count.
+    pub fn cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Fully explicit configuration.
+    pub fn new(cases: u32, seed: u64) -> Self {
+        Config { cases, seed }
+    }
+}
+
+/// Per-case RNG seed: decorrelates cases while keeping each one
+/// individually reproducible from (master seed, case index).
+pub fn case_seed(master: u64, case: u32) -> u64 {
+    master ^ (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `property` on `config.cases` inputs drawn by `generate`.
+///
+/// Panics on the first violated case, reporting the input. The property
+/// returns `Err(reason)` to fail; the [`prop_assert!`] and
+/// [`prop_assert_eq!`] macros build those early returns.
+pub fn check<T: std::fmt::Debug>(
+    name: &str,
+    config: &Config,
+    mut generate: impl FnMut(&mut StdRng) -> T,
+    property: impl Fn(&T) -> Result<(), String>,
+) {
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = generate(&mut rng);
+        if let Err(reason) = property(&input) {
+            panic!(
+                "property '{name}' failed on case {case}/{} (case seed {seed:#x}, master seed {:#x})\n  input: {input:?}\n  {reason}",
+                config.cases, config.seed
+            );
+        }
+    }
+}
+
+/// Early-returns `Err` from a property closure when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Early-returns `Err` from a property closure when the sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n  right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0u32;
+        let cfg = Config::cases(17);
+        check("count", &cfg, |rng| rng.gen_range(0u64..100), |_| Ok(()));
+        // The generator is FnMut, so count there instead.
+        check("count2", &cfg, |_| runs += 1, |_| Ok(()));
+        assert_eq!(runs, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always fails' failed on case 0")]
+    fn failing_property_reports_case_and_input() {
+        check(
+            "always fails",
+            &Config::cases(5),
+            |rng| rng.gen_range(0u64..10),
+            |v| {
+                prop_assert!(*v > 100, "value was {v}");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            check(
+                "collect",
+                &Config::new(8, 7),
+                |rng| rng.gen_range(0u64..1_000_000),
+                |_| Ok(()),
+            );
+            // generate again identically via case_seed to check it is pure
+            for case in 0..8 {
+                let mut rng = StdRng::seed_from_u64(case_seed(7, case));
+                vals.push(rng.gen_range(0u64..1_000_000));
+            }
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        let r = (|| -> Result<(), String> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        })();
+        let msg = r.unwrap_err();
+        assert!(msg.contains("left: 2") && msg.contains("right: 3"), "{msg}");
+    }
+}

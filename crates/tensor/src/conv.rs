@@ -4,7 +4,7 @@
 use crate::gemm::{gemm, gemm_at, gemm_bt};
 use crate::shape::conv_out_dim;
 use crate::Tensor;
-use rayon::prelude::*;
+use defcon_support::par::ParallelSliceMut;
 
 /// Hyper-parameters of a 2-D convolution window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,12 +22,22 @@ pub struct Conv2dParams {
 impl Conv2dParams {
     /// "Same" padding for odd kernels at stride 1 (`pad = k/2`).
     pub fn same(kernel: usize) -> Self {
-        Conv2dParams { kernel, stride: 1, pad: kernel / 2, dilation: 1 }
+        Conv2dParams {
+            kernel,
+            stride: 1,
+            pad: kernel / 2,
+            dilation: 1,
+        }
     }
 
     /// Stride-2 downsampling variant of [`Conv2dParams::same`].
     pub fn downsample(kernel: usize) -> Self {
-        Conv2dParams { kernel, stride: 2, pad: kernel / 2, dilation: 1 }
+        Conv2dParams {
+            kernel,
+            stride: 2,
+            pad: kernel / 2,
+            dilation: 1,
+        }
     }
 
     /// Output spatial dims for an input of `h × w`.
@@ -50,25 +60,27 @@ pub fn im2col(x: &Tensor, n: usize, p: &Conv2dParams, out: &mut [f32]) {
     let cols = oh * ow;
     assert_eq!(out.len(), c_in * p.kernel * p.kernel * cols);
 
-    out.par_chunks_mut(p.kernel * p.kernel * cols).enumerate().for_each(|(c, chunk)| {
-        for ki in 0..p.kernel {
-            for kj in 0..p.kernel {
-                let row = (ki * p.kernel + kj) * cols;
-                for oy in 0..oh {
-                    let iy = (oy * p.stride + ki * p.dilation) as isize - p.pad as isize;
-                    for ox in 0..ow {
-                        let ix = (ox * p.stride + kj * p.dilation) as isize - p.pad as isize;
-                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            x.at4(n, c, iy as usize, ix as usize)
-                        } else {
-                            0.0
-                        };
-                        chunk[row + oy * ow + ox] = v;
+    out.par_chunks_mut(p.kernel * p.kernel * cols)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            for ki in 0..p.kernel {
+                for kj in 0..p.kernel {
+                    let row = (ki * p.kernel + kj) * cols;
+                    for oy in 0..oh {
+                        let iy = (oy * p.stride + ki * p.dilation) as isize - p.pad as isize;
+                        for ox in 0..ow {
+                            let ix = (ox * p.stride + kj * p.dilation) as isize - p.pad as isize;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                x.at4(n, c, iy as usize, ix as usize)
+                            } else {
+                                0.0
+                            };
+                            chunk[row + oy * ow + ox] = v;
+                        }
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 /// Scatters an im2col-shaped gradient matrix (`[C*k*k, outH*outW]`) back into
@@ -112,8 +124,15 @@ pub fn col2im(cols_mat: &[f32], gx: &mut Tensor, n: usize, p: &Conv2dParams) {
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: &Conv2dParams) -> Tensor {
     let (n, c_in, h, w) = x.shape().nchw();
     let (c_out, wc_in, kh, kw) = weight.shape().nchw();
-    assert_eq!(c_in, wc_in, "conv2d channel mismatch: input {c_in}, weight {wc_in}");
-    assert_eq!(kh, p.kernel, "weight kernel {kh} != params kernel {}", p.kernel);
+    assert_eq!(
+        c_in, wc_in,
+        "conv2d channel mismatch: input {c_in}, weight {wc_in}"
+    );
+    assert_eq!(
+        kh, p.kernel,
+        "weight kernel {kh} != params kernel {}",
+        p.kernel
+    );
     assert_eq!(kh, kw, "only square kernels supported");
     let (oh, ow) = p.out_hw(h, w);
     let cols = oh * ow;
@@ -180,10 +199,18 @@ pub fn conv2d_backward(
 
 /// Depthwise 2-D convolution: each input channel is convolved with its own
 /// `k×k` filter. `weight` is `[C, 1, k, k]`; returns `[N, C, outH, outW]`.
-pub fn depthwise_conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: &Conv2dParams) -> Tensor {
+pub fn depthwise_conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: &Conv2dParams,
+) -> Tensor {
     let (n, c, h, w) = x.shape().nchw();
     let (wc, one, kh, kw) = weight.shape().nchw();
-    assert_eq!(wc, c, "depthwise weight channels {wc} != input channels {c}");
+    assert_eq!(
+        wc, c,
+        "depthwise weight channels {wc} != input channels {c}"
+    );
     assert_eq!(one, 1, "depthwise weight must be [C,1,k,k]");
     assert_eq!((kh, kw), (p.kernel, p.kernel));
     let (oh, ow) = p.out_hw(h, w);
@@ -192,29 +219,33 @@ pub fn depthwise_conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: &
     let shape = x.shape().clone();
     let xd = x.data();
     let wd = weight.data();
-    out.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(nc, dst)| {
-        let (ni, ci) = (nc / c, nc % c);
-        let wslice = &wd[ci * kh * kw..(ci + 1) * kh * kw];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0f32;
-                for ki in 0..kh {
-                    let iy = (oy * p.stride + ki * p.dilation) as isize - p.pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kj in 0..kw {
-                        let ix = (ox * p.stride + kj * p.dilation) as isize - p.pad as isize;
-                        if ix < 0 || ix >= w as isize {
+    out.data_mut()
+        .par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(nc, dst)| {
+            let (ni, ci) = (nc / c, nc % c);
+            let wslice = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..kh {
+                        let iy = (oy * p.stride + ki * p.dilation) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        acc += wslice[ki * kw + kj] * xd[shape.offset4(ni, ci, iy as usize, ix as usize)];
+                        for kj in 0..kw {
+                            let ix = (ox * p.stride + kj * p.dilation) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += wslice[ki * kw + kj]
+                                * xd[shape.offset4(ni, ci, iy as usize, ix as usize)];
+                        }
                     }
+                    dst[oy * ow + ox] = acc;
                 }
-                dst[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
     if let Some(b) = bias {
         add_channel_bias(&mut out, b);
     }
@@ -274,7 +305,11 @@ pub fn depthwise_conv2d_backward(
 pub fn pointwise_conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
     let (n, c_in, h, w) = x.shape().nchw();
     let (c_out, wc_in, kh, kw) = weight.shape().nchw();
-    assert_eq!((wc_in, kh, kw), (c_in, 1, 1), "pointwise weight must be [C_out, C_in, 1, 1]");
+    assert_eq!(
+        (wc_in, kh, kw),
+        (c_in, 1, 1),
+        "pointwise weight must be [C_out, C_in, 1, 1]"
+    );
     let cols = h * w;
     let mut out = Tensor::zeros(&[n, c_out, h, w]);
     for ni in 0..n {
@@ -323,8 +358,10 @@ mod tests {
                         for ci in 0..c_in {
                             for ki in 0..k {
                                 for kj in 0..k {
-                                    let iy = (oy * p.stride + ki * p.dilation) as isize - p.pad as isize;
-                                    let ix = (ox * p.stride + kj * p.dilation) as isize - p.pad as isize;
+                                    let iy =
+                                        (oy * p.stride + ki * p.dilation) as isize - p.pad as isize;
+                                    let ix =
+                                        (ox * p.stride + kj * p.dilation) as isize - p.pad as isize;
                                     if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                         acc += weight.at4(co, ci, ki, kj)
                                             * x.at4(ni, ci, iy as usize, ix as usize);
@@ -345,15 +382,30 @@ mod tests {
         let x = Tensor::randn(&[2, 3, 9, 7], 0.0, 1.0, 1);
         let w = Tensor::randn(&[4, 3, 3, 3], 0.0, 0.5, 2);
         let p = Conv2dParams::same(3);
-        assert_close(&conv2d(&x, &w, None, &p), &conv2d_naive(&x, &w, &p), 1e-4, 1e-4);
+        assert_close(
+            &conv2d(&x, &w, None, &p),
+            &conv2d_naive(&x, &w, &p),
+            1e-4,
+            1e-4,
+        );
     }
 
     #[test]
     fn conv2d_matches_naive_strided_dilated() {
         let x = Tensor::randn(&[1, 2, 13, 11], 0.0, 1.0, 3);
         let w = Tensor::randn(&[5, 2, 3, 3], 0.0, 0.5, 4);
-        let p = Conv2dParams { kernel: 3, stride: 2, pad: 2, dilation: 2 };
-        assert_close(&conv2d(&x, &w, None, &p), &conv2d_naive(&x, &w, &p), 1e-4, 1e-4);
+        let p = Conv2dParams {
+            kernel: 3,
+            stride: 2,
+            pad: 2,
+            dilation: 2,
+        };
+        assert_close(
+            &conv2d(&x, &w, None, &p),
+            &conv2d_naive(&x, &w, &p),
+            1e-4,
+            1e-4,
+        );
     }
 
     #[test]
@@ -396,8 +448,18 @@ mod tests {
     fn pointwise_matches_full_conv_k1() {
         let x = Tensor::randn(&[2, 3, 5, 5], 0.0, 1.0, 9);
         let w = Tensor::randn(&[6, 3, 1, 1], 0.0, 0.5, 10);
-        let p = Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 };
-        assert_close(&pointwise_conv2d(&x, &w, None), &conv2d(&x, &w, None, &p), 1e-4, 1e-4);
+        let p = Conv2dParams {
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            dilation: 1,
+        };
+        assert_close(
+            &pointwise_conv2d(&x, &w, None),
+            &conv2d(&x, &w, None, &p),
+            1e-4,
+            1e-4,
+        );
     }
 
     /// Central-difference check of conv2d_backward.
@@ -418,16 +480,26 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let fd = (conv2d(&xp, &w, None, &p).sum() - conv2d(&xm, &w, None, &p).sum()) / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 2e-2, "gx[{idx}]: fd {fd} vs {}", gx.data()[idx]);
+            let fd =
+                (conv2d(&xp, &w, None, &p).sum() - conv2d(&xm, &w, None, &p).sum()) / (2.0 * eps);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 2e-2,
+                "gx[{idx}]: fd {fd} vs {}",
+                gx.data()[idx]
+            );
         }
         for &idx in &[0usize, 5, 17, 53] {
             let mut wp = w.clone();
             wp.data_mut()[idx] += eps;
             let mut wm = w.clone();
             wm.data_mut()[idx] -= eps;
-            let fd = (conv2d(&x, &wp, None, &p).sum() - conv2d(&x, &wm, None, &p).sum()) / (2.0 * eps);
-            assert!((fd - gw.data()[idx]).abs() < 2e-2, "gw[{idx}]: fd {fd} vs {}", gw.data()[idx]);
+            let fd =
+                (conv2d(&x, &wp, None, &p).sum() - conv2d(&x, &wm, None, &p).sum()) / (2.0 * eps);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 2e-2,
+                "gw[{idx}]: fd {fd} vs {}",
+                gw.data()[idx]
+            );
         }
     }
 
@@ -446,25 +518,40 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let fd =
-                (depthwise_conv2d(&xp, &w, None, &p).sum() - depthwise_conv2d(&xm, &w, None, &p).sum()) / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 2e-2, "gx[{idx}]: fd {fd} vs {}", gx.data()[idx]);
+            let fd = (depthwise_conv2d(&xp, &w, None, &p).sum()
+                - depthwise_conv2d(&xm, &w, None, &p).sum())
+                / (2.0 * eps);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 2e-2,
+                "gx[{idx}]: fd {fd} vs {}",
+                gx.data()[idx]
+            );
         }
         for idx in [0usize, 8, 20] {
             let mut wp = w.clone();
             wp.data_mut()[idx] += eps;
             let mut wm = w.clone();
             wm.data_mut()[idx] -= eps;
-            let fd =
-                (depthwise_conv2d(&x, &wp, None, &p).sum() - depthwise_conv2d(&x, &wm, None, &p).sum()) / (2.0 * eps);
-            assert!((fd - gw.data()[idx]).abs() < 2e-2, "gw[{idx}]: fd {fd} vs {}", gw.data()[idx]);
+            let fd = (depthwise_conv2d(&x, &wp, None, &p).sum()
+                - depthwise_conv2d(&x, &wm, None, &p).sum())
+                / (2.0 * eps);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 2e-2,
+                "gw[{idx}]: fd {fd} vs {}",
+                gw.data()[idx]
+            );
         }
     }
 
     #[test]
     fn im2col_col2im_adjoint_property() {
         // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity.
-        let p = Conv2dParams { kernel: 3, stride: 2, pad: 1, dilation: 1 };
+        let p = Conv2dParams {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+            dilation: 1,
+        };
         let x = Tensor::randn(&[1, 2, 7, 7], 0.0, 1.0, 15);
         let (oh, ow) = p.out_hw(7, 7);
         let rows = 2 * 9 * oh * ow;
@@ -474,7 +561,15 @@ mod tests {
         let lhs: f32 = cols.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
         let mut gx = Tensor::zeros(&[1, 2, 7, 7]);
         col2im(&y, &mut gx, 0, &p);
-        let rhs: f32 = gx.data().iter().zip(x.data().iter()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let rhs: f32 = gx
+            .data()
+            .iter()
+            .zip(x.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 }

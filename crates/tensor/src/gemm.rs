@@ -8,7 +8,7 @@
 //! each output element is accumulated by exactly one task, so results are
 //! bitwise reproducible regardless of parallelism.
 
-use rayon::prelude::*;
+use defcon_support::par::ParallelSliceMut;
 
 /// Row-panel height processed per rayon task.
 const PANEL: usize = 32;
@@ -27,28 +27,30 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
 
     // Parallelize over disjoint row panels of C; no two tasks write the same
     // output element, so this is race-free by construction.
-    c.par_chunks_mut(PANEL * n).enumerate().for_each(|(panel_idx, c_panel)| {
-        let row0 = panel_idx * PANEL;
-        let rows = c_panel.len() / n;
-        for k0 in (0..k).step_by(KBLOCK) {
-            let k1 = (k0 + KBLOCK).min(k);
-            for r in 0..rows {
-                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-                let c_row = &mut c_panel[r * n..(r + 1) * n];
-                for kk in k0..k1 {
-                    let aik = a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    // The compiler auto-vectorizes this saxpy loop.
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += aik * bv;
+    c.par_chunks_mut(PANEL * n)
+        .enumerate()
+        .for_each(|(panel_idx, c_panel)| {
+            let row0 = panel_idx * PANEL;
+            let rows = c_panel.len() / n;
+            for k0 in (0..k).step_by(KBLOCK) {
+                let k1 = (k0 + KBLOCK).min(k);
+                for r in 0..rows {
+                    let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                    let c_row = &mut c_panel[r * n..(r + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        // The compiler auto-vectorizes this saxpy loop.
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += aik * bv;
+                        }
                     }
                 }
             }
-        }
-    });
+        });
 }
 
 /// `c = a * b^T` where `a` is `m×k`, `b` is `n×k` (so `b^T` is `k×n`).
@@ -114,7 +116,9 @@ mod tests {
     fn gemm_matches_naive() {
         let (m, k, n) = (37, 53, 29);
         let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 17) as f32 - 8.0).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 104729) % 17) as f32 - 8.0)
+            .collect();
         let mut c = vec![0.0; m * n];
         gemm(&a, &b, &mut c, m, k, n);
         let expect = naive(&a, &b, m, k, n);

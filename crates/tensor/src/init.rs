@@ -2,8 +2,7 @@
 
 use crate::tensor::sample_standard_normal;
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use defcon_support::rng::{SeedableRng, StdRng};
 
 /// Kaiming/He normal initialization for conv weights `[C_out, C_in, k, k]`:
 /// `std = sqrt(2 / fan_in)` with `fan_in = C_in · k · k`. Appropriate for
@@ -14,7 +13,12 @@ pub fn kaiming_conv(dims: &[usize], seed: u64) -> Tensor {
     let std = (2.0 / fan_in).sqrt();
     let mut rng = StdRng::seed_from_u64(seed);
     let n: usize = dims.iter().product();
-    Tensor::from_vec((0..n).map(|_| std * sample_standard_normal(&mut rng)).collect(), dims)
+    Tensor::from_vec(
+        (0..n)
+            .map(|_| std * sample_standard_normal(&mut rng))
+            .collect(),
+        dims,
+    )
 }
 
 /// Xavier/Glorot normal initialization for linear weights `[out, in]`.
@@ -23,7 +27,12 @@ pub fn xavier_linear(dims: &[usize], seed: u64) -> Tensor {
     let std = (2.0 / (dims[0] + dims[1]) as f32).sqrt();
     let mut rng = StdRng::seed_from_u64(seed);
     let n = dims[0] * dims[1];
-    Tensor::from_vec((0..n).map(|_| std * sample_standard_normal(&mut rng)).collect(), dims)
+    Tensor::from_vec(
+        (0..n)
+            .map(|_| std * sample_standard_normal(&mut rng))
+            .collect(),
+        dims,
+    )
 }
 
 /// Zero initialization — the standard choice for the *offset-predicting*
@@ -42,7 +51,10 @@ mod tests {
         let a = kaiming_conv(&[64, 16, 3, 3], 1);
         let var_a = a.sq_norm() / a.numel() as f32;
         let expect = 2.0 / (16.0 * 9.0);
-        assert!((var_a - expect).abs() < 0.2 * expect, "var {var_a} vs {expect}");
+        assert!(
+            (var_a - expect).abs() < 0.2 * expect,
+            "var {var_a} vs {expect}"
+        );
     }
 
     #[test]
@@ -55,6 +67,9 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        assert_eq!(kaiming_conv(&[4, 4, 3, 3], 9), kaiming_conv(&[4, 4, 3, 3], 9));
+        assert_eq!(
+            kaiming_conv(&[4, 4, 3, 3], 9),
+            kaiming_conv(&[4, 4, 3, 3], 9)
+        );
     }
 }

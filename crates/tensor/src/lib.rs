@@ -49,7 +49,13 @@ pub const TEST_EPS: f32 = 1e-4;
 /// `atol + rtol * |b|`. Panics with a diagnostic including the first
 /// offending index.
 pub fn assert_close(a: &Tensor, b: &Tensor, atol: f32, rtol: f32) {
-    assert_eq!(a.dims(), b.dims(), "shape mismatch: {:?} vs {:?}", a.dims(), b.dims());
+    assert_eq!(
+        a.dims(),
+        b.dims(),
+        "shape mismatch: {:?} vs {:?}",
+        a.dims(),
+        b.dims()
+    );
     for (i, (&x, &y)) in a.data().iter().zip(b.data().iter()).enumerate() {
         let tol = atol + rtol * y.abs();
         assert!(

@@ -48,7 +48,10 @@ pub fn batch_norm2d_train(
     for ni in 0..n {
         for ci in 0..c {
             let base = x.shape().offset4(ni, ci, 0, 0);
-            var[ci] += x.data()[base..base + h * w].iter().map(|v| (v - mean[ci]).powi(2)).sum::<f32>();
+            var[ci] += x.data()[base..base + h * w]
+                .iter()
+                .map(|v| (v - mean[ci]).powi(2))
+                .sum::<f32>();
         }
     }
     for v in &mut var {
@@ -74,7 +77,14 @@ pub fn batch_norm2d_train(
             }
         }
     }
-    (y, BnCache { mean, inv_std, x_hat })
+    (
+        y,
+        BnCache {
+            mean,
+            inv_std,
+            x_hat,
+        },
+    )
 }
 
 /// Inference-mode batch norm using running statistics.
@@ -105,7 +115,11 @@ pub fn batch_norm2d_infer(
 ///
 /// Uses the standard closed form:
 /// `dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy * x_hat))`.
-pub fn batch_norm2d_backward(gy: &Tensor, gamma: &Tensor, cache: &BnCache) -> (Tensor, Tensor, Tensor) {
+pub fn batch_norm2d_backward(
+    gy: &Tensor,
+    gamma: &Tensor,
+    cache: &BnCache,
+) -> (Tensor, Tensor, Tensor) {
     let (n, c, h, w) = gy.shape().nchw();
     let m = (n * h * w) as f32;
     let mut sum_dy = vec![0.0f32; c];
@@ -125,8 +139,8 @@ pub fn batch_norm2d_backward(gy: &Tensor, gamma: &Tensor, cache: &BnCache) -> (T
             let base = gy.shape().offset4(ni, ci, 0, 0);
             let coeff = gamma.data()[ci] * cache.inv_std[ci] / m;
             for i in base..base + h * w {
-                gx.data_mut()[i] =
-                    coeff * (m * gy.data()[i] - sum_dy[ci] - cache.x_hat.data()[i] * sum_dy_xhat[ci]);
+                gx.data_mut()[i] = coeff
+                    * (m * gy.data()[i] - sum_dy[ci] - cache.x_hat.data()[i] * sum_dy_xhat[ci]);
             }
         }
     }
@@ -189,7 +203,11 @@ mod tests {
             let mut rv = vec![1.0; 2];
             let (y, _) = batch_norm2d_train(x, &gamma, &beta, &mut rm, &mut rv, 0.1, 1e-5);
             // Weighted sum so gradient is non-trivial.
-            y.data().iter().enumerate().map(|(i, v)| v * ((i % 5) as f32 - 2.0)).sum::<f32>()
+            y.data()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * ((i % 5) as f32 - 2.0))
+                .sum::<f32>()
         };
         let mut rm = vec![0.0; 2];
         let mut rv = vec![1.0; 2];

@@ -13,7 +13,7 @@
 
 use crate::conv::Conv2dParams;
 use crate::Tensor;
-use rayon::prelude::*;
+use defcon_support::par::ParallelSliceMut;
 
 /// Hyper-parameters of a deformable 2-D convolution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,7 +28,10 @@ pub struct DeformConv2dParams {
 impl DeformConv2dParams {
     /// 3×3, stride 1, "same" padding, one deformable group.
     pub fn same3x3() -> Self {
-        DeformConv2dParams { conv: Conv2dParams::same(3), deform_groups: 1 }
+        DeformConv2dParams {
+            conv: Conv2dParams::same(3),
+            deform_groups: 1,
+        }
     }
 
     /// Number of offset channels: `2 · G · k · k` (paper Fig. 1).
@@ -204,30 +207,38 @@ pub fn deform_conv2d_ref(
     let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
     let conv = p.conv;
     let dgroups = p.deform_groups;
-    out.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(flat, dst)| {
-        let (ni, co) = (flat / c_out, flat % c_out);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0f32;
-                for ci in 0..c_in {
-                    let g = ci / ch_per_group;
-                    debug_assert!(g < dgroups);
-                    for ki in 0..k {
-                        for kj in 0..k {
-                            let tap = ki * k + kj;
-                            let oc = 2 * (g * kk + tap);
-                            let dy = transform.apply(offsets.at4(ni, oc, oy, ox));
-                            let dx = transform.apply(offsets.at4(ni, oc + 1, oy, ox));
-                            let py = (oy * conv.stride + ki * conv.dilation) as f32 - conv.pad as f32 + dy;
-                            let px = (ox * conv.stride + kj * conv.dilation) as f32 - conv.pad as f32 + dx;
-                            acc += weight.at4(co, ci, ki, kj) * bilinear_sample(x, ni, ci, py, px);
+    out.data_mut()
+        .par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(flat, dst)| {
+            let (ni, co) = (flat / c_out, flat % c_out);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c_in {
+                        let g = ci / ch_per_group;
+                        debug_assert!(g < dgroups);
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let tap = ki * k + kj;
+                                let oc = 2 * (g * kk + tap);
+                                let dy = transform.apply(offsets.at4(ni, oc, oy, ox));
+                                let dx = transform.apply(offsets.at4(ni, oc + 1, oy, ox));
+                                let py = (oy * conv.stride + ki * conv.dilation) as f32
+                                    - conv.pad as f32
+                                    + dy;
+                                let px = (ox * conv.stride + kj * conv.dilation) as f32
+                                    - conv.pad as f32
+                                    + dx;
+                                acc +=
+                                    weight.at4(co, ci, ki, kj) * bilinear_sample(x, ni, ci, py, px);
+                            }
                         }
                     }
+                    dst[oy * ow + ox] = acc;
                 }
-                dst[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
     if let Some(b) = bias {
         crate::conv::add_channel_bias(&mut out, b);
     }
@@ -270,8 +281,12 @@ pub fn deform_conv2d_backward_ref(
                             let raw_dx = offsets.at4(ni, oc + 1, oy, ox);
                             let dy = transform.apply(raw_dy);
                             let dx = transform.apply(raw_dx);
-                            let py = (oy * conv.stride + ki * conv.dilation) as f32 - conv.pad as f32 + dy;
-                            let px = (ox * conv.stride + kj * conv.dilation) as f32 - conv.pad as f32 + dx;
+                            let py = (oy * conv.stride + ki * conv.dilation) as f32
+                                - conv.pad as f32
+                                + dy;
+                            let px = (ox * conv.stride + kj * conv.dilation) as f32
+                                - conv.pad as f32
+                                + dx;
 
                             let sampled = bilinear_sample(x, ni, ci, py, px);
                             let (gpy, gpx) = bilinear_sample_grad_pos(x, ni, ci, py, px);
@@ -288,8 +303,10 @@ pub fn deform_conv2d_backward_ref(
                                 *gw.at4_mut(co, ci, ki, kj) += gout * sampled;
                             }
                             if gsum != 0.0 {
-                                *goff.at4_mut(ni, oc, oy, ox) += gsum * gpy * transform.grad(raw_dy);
-                                *goff.at4_mut(ni, oc + 1, oy, ox) += gsum * gpx * transform.grad(raw_dx);
+                                *goff.at4_mut(ni, oc, oy, ox) +=
+                                    gsum * gpy * transform.grad(raw_dy);
+                                *goff.at4_mut(ni, oc + 1, oy, ox) +=
+                                    gsum * gpx * transform.grad(raw_dx);
                                 bilinear_scatter(h, w, py, px, |qy, qx, wgt| {
                                     *gx.at4_mut(ni, ci, qy, qx) += gsum * wgt;
                                 });
@@ -317,7 +334,10 @@ mod tests {
         let t = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
         for y in 0..4 {
             for x in 0..4 {
-                assert_eq!(bilinear_sample(&t, 0, 0, y as f32, x as f32), t.at4(0, 0, y, x));
+                assert_eq!(
+                    bilinear_sample(&t, 0, 0, y as f32, x as f32),
+                    t.at4(0, 0, y, x)
+                );
             }
         }
     }
@@ -343,8 +363,12 @@ mod tests {
         let eps = 1e-3f32;
         for &(y, x) in &[(1.3f32, 2.7f32), (0.2, 0.2), (4.6, 4.9), (0.4, 5.2)] {
             let (gy, gx) = bilinear_sample_grad_pos(&t, 0, 0, y, x);
-            let fy = (bilinear_sample(&t, 0, 0, y + eps, x) - bilinear_sample(&t, 0, 0, y - eps, x)) / (2.0 * eps);
-            let fx = (bilinear_sample(&t, 0, 0, y, x + eps) - bilinear_sample(&t, 0, 0, y, x - eps)) / (2.0 * eps);
+            let fy = (bilinear_sample(&t, 0, 0, y + eps, x)
+                - bilinear_sample(&t, 0, 0, y - eps, x))
+                / (2.0 * eps);
+            let fx = (bilinear_sample(&t, 0, 0, y, x + eps)
+                - bilinear_sample(&t, 0, 0, y, x - eps))
+                / (2.0 * eps);
             assert!((gy - fy).abs() < 1e-2, "dy at ({y},{x}): {gy} vs {fy}");
             assert!((gx - fx).abs() < 1e-2, "dx at ({y},{x}): {gx} vs {fx}");
         }
@@ -366,7 +390,12 @@ mod tests {
         // A single-pixel image and a 1x1 kernel: offset (1, 0) should read
         // the pixel below.
         let p = DeformConv2dParams {
-            conv: Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 },
+            conv: Conv2dParams {
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                dilation: 1,
+            },
             deform_groups: 1,
         };
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
@@ -381,7 +410,10 @@ mod tests {
 
     #[test]
     fn deform_groups_share_offsets_within_group() {
-        let p = DeformConv2dParams { conv: Conv2dParams::same(3), deform_groups: 2 };
+        let p = DeformConv2dParams {
+            conv: Conv2dParams::same(3),
+            deform_groups: 2,
+        };
         assert_eq!(p.offset_channels(), 36);
         let x = Tensor::randn(&[1, 4, 5, 5], 0.0, 1.0, 34);
         let w = Tensor::randn(&[2, 4, 3, 3], 0.0, 0.5, 35);
@@ -432,7 +464,10 @@ mod tests {
 
     #[test]
     fn backward_matches_finite_difference() {
-        let p = DeformConv2dParams { conv: Conv2dParams::same(3), deform_groups: 1 };
+        let p = DeformConv2dParams {
+            conv: Conv2dParams::same(3),
+            deform_groups: 1,
+        };
         let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, 37);
         let w = Tensor::randn(&[2, 2, 3, 3], 0.0, 0.5, 38);
         let off = Tensor::rand_uniform(&[1, 18, 5, 5], -0.8, 0.8, 39);
@@ -440,7 +475,12 @@ mod tests {
 
         let y = deform_conv2d_ref(&x, &off, &w, None, &p, tr);
         // Weighted-sum loss for non-trivial gy.
-        let gy = Tensor::from_vec((0..y.numel()).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect(), y.dims());
+        let gy = Tensor::from_vec(
+            (0..y.numel())
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.5)
+                .collect(),
+            y.dims(),
+        );
         let loss = |x: &Tensor, off: &Tensor, w: &Tensor| {
             deform_conv2d_ref(x, off, w, None, &p, tr)
                 .data()
@@ -458,7 +498,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
             let fd = (loss(&xp, &off, &w) - loss(&xm, &off, &w)) / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 3e-2, "gx[{idx}]: {fd} vs {}", gx.data()[idx]);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 3e-2,
+                "gx[{idx}]: {fd} vs {}",
+                gx.data()[idx]
+            );
         }
         for &idx in &[0usize, 10, 100, 300] {
             let mut op = off.clone();
@@ -466,7 +510,11 @@ mod tests {
             let mut om = off.clone();
             om.data_mut()[idx] -= eps;
             let fd = (loss(&x, &op, &w) - loss(&x, &om, &w)) / (2.0 * eps);
-            assert!((fd - goff.data()[idx]).abs() < 3e-2, "goff[{idx}]: {fd} vs {}", goff.data()[idx]);
+            assert!(
+                (fd - goff.data()[idx]).abs() < 3e-2,
+                "goff[{idx}]: {fd} vs {}",
+                goff.data()[idx]
+            );
         }
         for &idx in &[0usize, 9, 20] {
             let mut wp = w.clone();
@@ -474,7 +522,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[idx] -= eps;
             let fd = (loss(&x, &off, &wp) - loss(&x, &off, &wm)) / (2.0 * eps);
-            assert!((fd - gw.data()[idx]).abs() < 3e-2, "gw[{idx}]: {fd} vs {}", gw.data()[idx]);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 3e-2,
+                "gw[{idx}]: {fd} vs {}",
+                gw.data()[idx]
+            );
         }
     }
 
@@ -526,30 +578,39 @@ pub fn deform_conv2d_v2_ref(
     let conv = p.conv;
 
     let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-    out.data_mut().par_chunks_mut(oh * ow).enumerate().for_each(|(flat, dst)| {
-        let (ni, co) = (flat / c_out, flat % c_out);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0f32;
-                for ci in 0..c_in {
-                    let g = ci / ch_per_group;
-                    for ki in 0..k {
-                        for kj in 0..k {
-                            let tap = ki * k + kj;
-                            let oc = 2 * (g * kk + tap);
-                            let dy = transform.apply(offsets.at4(ni, oc, oy, ox));
-                            let dx = transform.apply(offsets.at4(ni, oc + 1, oy, ox));
-                            let m = mask.at4(ni, g * kk + tap, oy, ox);
-                            let py = (oy * conv.stride + ki * conv.dilation) as f32 - conv.pad as f32 + dy;
-                            let px = (ox * conv.stride + kj * conv.dilation) as f32 - conv.pad as f32 + dx;
-                            acc += weight.at4(co, ci, ki, kj) * m * bilinear_sample(x, ni, ci, py, px);
+    out.data_mut()
+        .par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(flat, dst)| {
+            let (ni, co) = (flat / c_out, flat % c_out);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c_in {
+                        let g = ci / ch_per_group;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let tap = ki * k + kj;
+                                let oc = 2 * (g * kk + tap);
+                                let dy = transform.apply(offsets.at4(ni, oc, oy, ox));
+                                let dx = transform.apply(offsets.at4(ni, oc + 1, oy, ox));
+                                let m = mask.at4(ni, g * kk + tap, oy, ox);
+                                let py = (oy * conv.stride + ki * conv.dilation) as f32
+                                    - conv.pad as f32
+                                    + dy;
+                                let px = (ox * conv.stride + kj * conv.dilation) as f32
+                                    - conv.pad as f32
+                                    + dx;
+                                acc += weight.at4(co, ci, ki, kj)
+                                    * m
+                                    * bilinear_sample(x, ni, ci, py, px);
+                            }
                         }
                     }
+                    dst[oy * ow + ox] = acc;
                 }
-                dst[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
     if let Some(b) = bias {
         crate::conv::add_channel_bias(&mut out, b);
     }
@@ -595,8 +656,12 @@ pub fn deform_conv2d_v2_backward_ref(
                             let dy = transform.apply(raw_dy);
                             let dx = transform.apply(raw_dx);
                             let m = mask.at4(ni, g * kk + tap, oy, ox);
-                            let py = (oy * conv.stride + ki * conv.dilation) as f32 - conv.pad as f32 + dy;
-                            let px = (ox * conv.stride + kj * conv.dilation) as f32 - conv.pad as f32 + dx;
+                            let py = (oy * conv.stride + ki * conv.dilation) as f32
+                                - conv.pad as f32
+                                + dy;
+                            let px = (ox * conv.stride + kj * conv.dilation) as f32
+                                - conv.pad as f32
+                                + dx;
 
                             let sampled = bilinear_sample(x, ni, ci, py, px);
                             let (gpy, gpx) = bilinear_sample_grad_pos(x, ni, ci, py, px);
@@ -615,7 +680,8 @@ pub fn deform_conv2d_v2_backward_ref(
                                 *gmask.at4_mut(ni, g * kk + tap, oy, ox) += gsum * sampled;
                                 let gm = gsum * m;
                                 *goff.at4_mut(ni, oc, oy, ox) += gm * gpy * transform.grad(raw_dy);
-                                *goff.at4_mut(ni, oc + 1, oy, ox) += gm * gpx * transform.grad(raw_dx);
+                                *goff.at4_mut(ni, oc + 1, oy, ox) +=
+                                    gm * gpx * transform.grad(raw_dx);
                                 bilinear_scatter(h, w, py, px, |qy, qx, wgt| {
                                     *gx.at4_mut(ni, ci, qy, qx) += gm * wgt;
                                 });
@@ -664,7 +730,12 @@ mod v2_tests {
     fn per_tap_modulation_gates_only_its_tap() {
         // 1x1 kernel: masking the single tap scales the whole output.
         let p = DeformConv2dParams {
-            conv: crate::conv::Conv2dParams { kernel: 1, stride: 1, pad: 0, dilation: 1 },
+            conv: crate::conv::Conv2dParams {
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                dilation: 1,
+            },
             deform_groups: 1,
         };
         let x = Tensor::randn(&[1, 1, 4, 4], 0.0, 1.0, 205);
@@ -684,7 +755,12 @@ mod v2_tests {
         let m = Tensor::rand_uniform(&[1, 9, 5, 5], 0.2, 0.9, 209);
         let tr = OffsetTransform::Identity;
         let y = deform_conv2d_v2_ref(&x, &off, &m, &w, None, &p, tr);
-        let gy = Tensor::from_vec((0..y.numel()).map(|i| ((i % 5) as f32 - 2.0) * 0.4).collect(), y.dims());
+        let gy = Tensor::from_vec(
+            (0..y.numel())
+                .map(|i| ((i % 5) as f32 - 2.0) * 0.4)
+                .collect(),
+            y.dims(),
+        );
         let loss = |x: &Tensor, off: &Tensor, m: &Tensor, w: &Tensor| {
             deform_conv2d_v2_ref(x, off, m, w, None, &p, tr)
                 .data()
@@ -702,7 +778,11 @@ mod v2_tests {
             let mut b = x.clone();
             b.data_mut()[idx] -= eps;
             let fd = (loss(&a, &off, &m, &w) - loss(&b, &off, &m, &w)) / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 3e-2, "gx[{idx}]: {fd} vs {}", gx.data()[idx]);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 3e-2,
+                "gx[{idx}]: {fd} vs {}",
+                gx.data()[idx]
+            );
         }
         for &idx in &[5usize, 77, 200] {
             let mut a = off.clone();
@@ -710,7 +790,11 @@ mod v2_tests {
             let mut b = off.clone();
             b.data_mut()[idx] -= eps;
             let fd = (loss(&x, &a, &m, &w) - loss(&x, &b, &m, &w)) / (2.0 * eps);
-            assert!((fd - goff.data()[idx]).abs() < 3e-2, "goff[{idx}]: {fd} vs {}", goff.data()[idx]);
+            assert!(
+                (fd - goff.data()[idx]).abs() < 3e-2,
+                "goff[{idx}]: {fd} vs {}",
+                goff.data()[idx]
+            );
         }
         for &idx in &[0usize, 60, 150] {
             let mut a = m.clone();
@@ -718,7 +802,11 @@ mod v2_tests {
             let mut b = m.clone();
             b.data_mut()[idx] -= eps;
             let fd = (loss(&x, &off, &a, &w) - loss(&x, &off, &b, &w)) / (2.0 * eps);
-            assert!((fd - gmask.data()[idx]).abs() < 3e-2, "gmask[{idx}]: {fd} vs {}", gmask.data()[idx]);
+            assert!(
+                (fd - gmask.data()[idx]).abs() < 3e-2,
+                "gmask[{idx}]: {fd} vs {}",
+                gmask.data()[idx]
+            );
         }
         for &idx in &[0usize, 17] {
             let mut a = w.clone();
@@ -726,7 +814,11 @@ mod v2_tests {
             let mut b = w.clone();
             b.data_mut()[idx] -= eps;
             let fd = (loss(&x, &off, &m, &a) - loss(&x, &off, &m, &b)) / (2.0 * eps);
-            assert!((fd - gw.data()[idx]).abs() < 3e-2, "gw[{idx}]: {fd} vs {}", gw.data()[idx]);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 3e-2,
+                "gw[{idx}]: {fd} vs {}",
+                gw.data()[idx]
+            );
         }
     }
 }

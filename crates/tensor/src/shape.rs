@@ -1,11 +1,11 @@
 //! Shape bookkeeping: dimension vectors, strides and NCHW helpers.
 
-use serde::{Deserialize, Serialize};
+use defcon_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// A tensor shape: a list of dimension extents, outermost first.
 ///
 /// Shapes are value types — cheap to clone, compared structurally.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {
@@ -40,7 +40,12 @@ impl Shape {
 
     /// Interprets the shape as `[N, C, H, W]`. Panics unless rank == 4.
     pub fn nchw(&self) -> (usize, usize, usize, usize) {
-        assert_eq!(self.rank(), 4, "expected NCHW tensor, got rank {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            4,
+            "expected NCHW tensor, got rank {}",
+            self.rank()
+        );
         (self.0[0], self.0[1], self.0[2], self.0[3])
     }
 
@@ -49,6 +54,28 @@ impl Shape {
     pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         debug_assert_eq!(self.rank(), 4);
         ((n * self.0[1] + c) * self.0[2] + h) * self.0[3] + w
+    }
+}
+
+impl ToJson for Shape {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.0.iter().map(|&d| Json::from(d)).collect())
+    }
+}
+
+impl FromJson for Shape {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let items = j
+            .as_arr()
+            .ok_or_else(|| JsonError::msg("shape must be a JSON array"))?;
+        let dims = items
+            .iter()
+            .map(|d| {
+                d.as_usize()
+                    .ok_or_else(|| JsonError::msg("shape dims must be non-negative integers"))
+            })
+            .collect::<Result<Vec<usize>, _>>()?;
+        Ok(Shape(dims))
     }
 }
 
@@ -76,7 +103,13 @@ impl std::fmt::Display for Shape {
 /// `floor((input + 2*pad - dilation*(kernel-1) - 1) / stride) + 1`, the same
 /// formula PyTorch documents for `Conv2d`.
 #[inline]
-pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize, dilation: usize) -> usize {
+pub fn conv_out_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    dilation: usize,
+) -> usize {
     let eff = dilation * (kernel - 1) + 1;
     debug_assert!(input + 2 * pad >= eff, "window larger than padded input");
     (input + 2 * pad - eff) / stride + 1
@@ -97,7 +130,10 @@ mod tests {
     fn offset4_matches_strides() {
         let s = Shape::new(&[2, 3, 4, 5]);
         let st = s.strides();
-        assert_eq!(s.offset4(1, 2, 3, 4), st[0] + 2 * st[1] + 3 * st[2] + 4 * st[3]);
+        assert_eq!(
+            s.offset4(1, 2, 3, 4),
+            st[0] + 2 * st[1] + 3 * st[2] + 4 * st[3]
+        );
     }
 
     #[test]
@@ -127,5 +163,18 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Shape::new(&[1, 2]).to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        let j = s.to_json();
+        assert_eq!(j.to_string(), "[2,3,4,5]");
+        assert_eq!(
+            Shape::from_json(&Json::parse(&j.to_string()).unwrap()).unwrap(),
+            s
+        );
+        assert!(Shape::from_json(&Json::parse("[1,-2]").unwrap()).is_err());
+        assert!(Shape::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 }

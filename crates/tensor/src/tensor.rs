@@ -1,8 +1,7 @@
 //! The dense `f32` tensor type.
 
 use crate::shape::Shape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use defcon_support::rng::{Rng, SeedableRng, StdRng};
 
 /// A dense, row-major, `f32` tensor.
 ///
@@ -20,26 +19,41 @@ impl Tensor {
     /// A tensor of zeros with the given dims.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// A tensor of ones with the given dims.
     pub fn ones(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![1.0; shape.numel()], shape }
+        Tensor {
+            data: vec![1.0; shape.numel()],
+            shape,
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Wraps an existing buffer. Panics if `data.len()` does not match the
     /// shape's element count.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        assert_eq!(data.len(), shape.numel(), "buffer length {} != shape {} numel", data.len(), shape);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} != shape {} numel",
+            data.len(),
+            shape
+        );
         Tensor { data, shape }
     }
 
@@ -48,7 +62,9 @@ impl Tensor {
     pub fn randn(dims: &[usize], mean: f32, std: f32, seed: u64) -> Self {
         let shape = Shape::new(dims);
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..shape.numel()).map(|_| mean + std * sample_standard_normal(&mut rng)).collect();
+        let data = (0..shape.numel())
+            .map(|_| mean + std * sample_standard_normal(&mut rng))
+            .collect();
         Tensor { data, shape }
     }
 
@@ -111,8 +127,17 @@ impl Tensor {
     /// Returns a tensor with the same data but a new shape of equal numel.
     pub fn reshape(&self, dims: &[usize]) -> Tensor {
         let shape = Shape::new(dims);
-        assert_eq!(shape.numel(), self.numel(), "reshape {} -> {} changes element count", self.shape, shape);
-        Tensor { data: self.data.clone(), shape }
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape {} -> {} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// In-place elementwise map.
@@ -124,14 +149,25 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Elementwise binary op; shapes must match exactly.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.dims(), other.dims(), "zip shape mismatch");
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { data, shape: self.shape.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
     }
 
     /// `self + other`, elementwise.
@@ -183,7 +219,10 @@ impl Tensor {
         let (nn, c, h, w) = self.shape.nchw();
         assert!(n < nn, "batch index {n} out of range {nn}");
         let stride = c * h * w;
-        Tensor::from_vec(self.data[n * stride..(n + 1) * stride].to_vec(), &[1, c, h, w])
+        Tensor::from_vec(
+            self.data[n * stride..(n + 1) * stride].to_vec(),
+            &[1, c, h, w],
+        )
     }
 
     /// Concatenates NCHW tensors along the channel axis. All inputs must
@@ -195,7 +234,11 @@ impl Tensor {
             .iter()
             .map(|p| {
                 let (pn, pc, ph, pw) = p.shape.nchw();
-                assert_eq!((pn, ph, pw), (n, h, w), "cat_channels non-channel dims must match");
+                assert_eq!(
+                    (pn, ph, pw),
+                    (n, h, w),
+                    "cat_channels non-channel dims must match"
+                );
                 pc
             })
             .sum();
@@ -284,7 +327,10 @@ mod tests {
 
     #[test]
     fn slice_batch_extracts_contiguous_item() {
-        let t = Tensor::from_vec((0..2 * 2 * 2 * 2).map(|v| v as f32).collect(), &[2, 2, 2, 2]);
+        let t = Tensor::from_vec(
+            (0..2 * 2 * 2 * 2).map(|v| v as f32).collect(),
+            &[2, 2, 2, 2],
+        );
         let b1 = t.slice_batch(1);
         assert_eq!(b1.dims(), &[1, 2, 2, 2]);
         assert_eq!(b1.data()[0], 8.0);

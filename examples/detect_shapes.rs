@@ -8,13 +8,16 @@
 //! (Training runs on one CPU core; a couple of minutes with the default
 //! budget. Set `DEFCON_FAST=1` for a ~20 s smoke run.)
 
-use defcon::models::trainer::{evaluate_detector, prepare, train_detector};
 use defcon::models::detector::decode_detections;
+use defcon::models::trainer::{evaluate_detector, prepare, train_detector};
 use defcon::prelude::*;
 
 fn main() {
     let fast = std::env::var("DEFCON_FAST").is_ok();
-    let dataset = DeformedShapesConfig { deformation: 1.0, ..Default::default() };
+    let dataset = DeformedShapesConfig {
+        deformation: 1.0,
+        ..Default::default()
+    };
     let cfg = TrainConfig {
         epochs: if fast { 2 } else { 10 },
         batch_size: 8,
@@ -28,7 +31,11 @@ fn main() {
     let mut store = ParamStore::new();
     let backbone = BackboneConfig::mini(48, BackboneConfig::interval_slots(5, 3));
     let mut det = YolactLite::new(&mut store, backbone);
-    println!("backbone layout: {} ({} parameters)", det.backbone.layout(), store.num_scalars());
+    println!(
+        "backbone layout: {} ({} parameters)",
+        det.backbone.layout(),
+        store.num_scalars()
+    );
 
     let history = train_detector(&mut det, &mut store, &cfg);
     println!("per-epoch loss: {history:?}");
@@ -56,14 +63,28 @@ fn main() {
         0.05,
         0.5,
     );
-    println!("ground truth: {:?}", sample.objects.iter().map(|o| (o.class, o.bbox)).collect::<Vec<_>>());
+    println!(
+        "ground truth: {:?}",
+        sample
+            .objects
+            .iter()
+            .map(|o| (o.class, o.bbox))
+            .collect::<Vec<_>>()
+    );
     if let Some(d) = dets.first() {
-        println!("top detection: class {} score {:.2} bbox {:?}", d.class, d.score, d.bbox);
+        println!(
+            "top detection: class {} score {:.2} bbox {:?}",
+            d.class, d.score, d.bbox
+        );
         println!("\nimage ('#' = object pixel) vs predicted mask ('*'):");
         for y in 0..48 {
             let mut row = String::with_capacity(100);
             for xx in 0..48 {
-                row.push(if sample.image.at4(0, 0, y, xx) > 0.45 { '#' } else { '.' });
+                row.push(if sample.image.at4(0, 0, y, xx) > 0.45 {
+                    '#'
+                } else {
+                    '.'
+                });
             }
             row.push_str("   ");
             for xx in 0..48 {

@@ -13,7 +13,10 @@ use defcon::prelude::*;
 
 fn main() {
     let fast = std::env::var("DEFCON_FAST").is_ok();
-    let dataset = DeformedShapesConfig { deformation: 1.0, ..Default::default() };
+    let dataset = DeformedShapesConfig {
+        deformation: 1.0,
+        ..Default::default()
+    };
 
     // 1. Build the dual-path supernet: every backbone 3×3 is searchable.
     let mut store = ParamStore::new();
@@ -25,8 +28,17 @@ fn main() {
     //    operator we intend to deploy (tex2D++ + lightweight offsets).
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     let keys = net.detector.backbone.all_latency_keys();
-    let lut = LatencyLut::build(&gpu, &keys, SamplingMethod::Tex2dPlusPlus, OffsetPredictorKind::Lightweight);
-    println!("latency LUT ({} keys, device {}):", lut.len(), gpu.config().name);
+    let lut = LatencyLut::build(
+        &gpu,
+        &keys,
+        SamplingMethod::Tex2dPlusPlus,
+        OffsetPredictorKind::Lightweight,
+    );
+    println!(
+        "latency LUT ({} keys, device {}):",
+        lut.len(),
+        gpu.config().name
+    );
     for k in &keys {
         println!("  {k:?} -> DCN overhead {:.4} ms", lut.dcn_overhead_ms(k));
     }
@@ -45,6 +57,9 @@ fn main() {
 
     println!("\nsearched layout : {}", net.detector.backbone.layout());
     println!("#DCN            : {}", outcome.num_dcn());
-    println!("DCN overhead    : {:.4} ms (target 0.05 ms)", outcome.dcn_overhead_ms);
+    println!(
+        "DCN overhead    : {:.4} ms (target 0.05 ms)",
+        outcome.dcn_overhead_ms
+    );
     println!("loss trajectory : {:?}", outcome.loss_history);
 }

@@ -36,7 +36,12 @@ impl BlockTrace for GatherKernel {
         256
     }
     fn label(&self) -> String {
-        if self.tex.is_some() { "gather_tex" } else { "gather_sw" }.into()
+        if self.tex.is_some() {
+            "gather_tex"
+        } else {
+            "gather_sw"
+        }
+        .into()
     }
     fn trace_block(&self, block: usize, sink: &mut TraceSink) {
         let mut out = Vec::with_capacity(32);
@@ -44,8 +49,9 @@ impl BlockTrace for GatherKernel {
             for i in 0..16 {
                 match &self.tex {
                     Some(tex) => {
-                        let coords: Vec<(f32, f32)> =
-                            (0..32).map(|lane| Self::position(block, warp, lane, i)).collect();
+                        let coords: Vec<(f32, f32)> = (0..32)
+                            .map(|lane| Self::position(block, warp, lane, i))
+                            .collect();
                         out.clear();
                         sink.tex_fetch_warp(tex, 0, &coords, &mut out);
                     }
@@ -82,10 +88,19 @@ fn main() {
         println!("  time               : {:.3} ms", r.time_ms);
         println!("  MFLOP              : {:.2}", r.counters.mflop());
         println!("  gld requests       : {}", r.counters.gld_requests);
-        println!("  gld transactions/rq: {:.2}", r.counters.gld_transactions_per_request());
-        println!("  gld efficiency     : {:.1} %", r.counters.gld_efficiency());
+        println!(
+            "  gld transactions/rq: {:.2}",
+            r.counters.gld_transactions_per_request()
+        );
+        println!(
+            "  gld efficiency     : {:.1} %",
+            r.counters.gld_efficiency()
+        );
         println!("  tex requests       : {}", r.counters.tex_requests);
         println!("  tex hit rate       : {:.2}", r.counters.tex_hit_rate());
-        println!("  DRAM read          : {} KB\n", r.counters.dram_read_bytes / 1024);
+        println!(
+            "  DRAM read          : {} KB\n",
+            r.counters.dram_read_bytes / 1024
+        );
     }
 }

@@ -14,25 +14,44 @@ use defcon::prelude::*;
 fn main() {
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     let shape = DeformLayerShape::same3x3(128, 128, 69, 69);
-    println!("layer: c_in={} c_out={} {}x{} (one of the paper's Table II rows)", shape.c_in, shape.c_out, shape.h, shape.w);
+    println!(
+        "layer: c_in={} c_out={} {}x{} (one of the paper's Table II rows)",
+        shape.c_in, shape.c_out, shape.h, shape.w
+    );
 
     // Synthetic activations and a learned-offset field within ±4 px.
     let (x, offsets) = synthetic_inputs(&shape, 4.0, 42);
     let weight = Tensor::randn(&[shape.c_out, shape.c_in, 3, 3], 0.0, 0.05, 43);
 
     let baseline = DeformConvOp::baseline(shape);
-    let tex2d = DeformConvOp { method: SamplingMethod::Tex2d, ..baseline.clone() };
-    let tex2dpp = DeformConvOp { method: SamplingMethod::Tex2dPlusPlus, ..baseline.clone() };
+    let tex2d = DeformConvOp {
+        method: SamplingMethod::Tex2d,
+        ..baseline.clone()
+    };
+    let tex2dpp = DeformConvOp {
+        method: SamplingMethod::Tex2dPlusPlus,
+        ..baseline.clone()
+    };
 
     // 1. Numerics: every implementation computes the same convolution.
     let y_base = baseline.execute(&x, &offsets, &weight, &gpu);
     let y_tex = tex2d.execute(&x, &offsets, &weight, &gpu);
     let y_pp = tex2dpp.execute(&x, &offsets, &weight, &gpu);
     let max_err = |a: &Tensor, b: &Tensor| {
-        a.data().iter().zip(b.data().iter()).map(|(p, q)| (p - q).abs()).fold(0.0f32, f32::max)
+        a.data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f32, f32::max)
     };
-    println!("numeric check: tex2D max |err| = {:.2e} (exact)", max_err(&y_base, &y_tex));
-    println!("               tex2D++ max |err| = {:.2e} (reduced filter precision)", max_err(&y_base, &y_pp));
+    println!(
+        "numeric check: tex2D max |err| = {:.2e} (exact)",
+        max_err(&y_base, &y_tex)
+    );
+    println!(
+        "               tex2D++ max |err| = {:.2e} (reduced filter precision)",
+        max_err(&y_base, &y_pp)
+    );
 
     // 2. Timing on the simulated Xavier.
     let t_base = baseline.simulate_total(&gpu, &x, &offsets).0;
@@ -40,7 +59,10 @@ fn main() {
     let t_pp = tex2dpp.simulate_total(&gpu, &x, &offsets).0;
     println!("\nsimulated {}:", gpu.config().name);
     println!("  PyTorch baseline : {t_base:.2} ms");
-    println!("  tex2D            : {t_tex:.2} ms  ({:.2}x)", t_base / t_tex);
+    println!(
+        "  tex2D            : {t_tex:.2} ms  ({:.2}x)",
+        t_base / t_tex
+    );
     println!("  tex2D++          : {t_pp:.2} ms  ({:.2}x)", t_base / t_pp);
 
     // 3. The lightweight offset predictor on top (paper Eq. 9).
@@ -50,5 +72,8 @@ fn main() {
         ..baseline.clone()
     };
     let t_light = light.simulate_total(&gpu, &x, &offsets).0;
-    println!("  + lightweight    : {t_light:.2} ms  ({:.2}x)", t_base / t_light);
+    println!(
+        "  + lightweight    : {t_light:.2} ms  ({:.2}x)",
+        t_base / t_light
+    );
 }

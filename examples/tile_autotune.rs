@@ -26,7 +26,10 @@ fn main() {
     };
 
     let space = TileConfig::search_space();
-    println!("tile space: {} candidates; budget: 8 evaluations each\n", space.len());
+    println!(
+        "tile space: {} candidates; budget: 8 evaluations each\n",
+        space.len()
+    );
 
     let bo = Autotuner::bayesian(8, 1).run(&space, time);
     println!("Bayesian : best {} at {:.3} ms", bo.best, bo.best_value);
@@ -34,9 +37,22 @@ fn main() {
         println!("  tried {t:>6} -> {v:.3} ms");
     }
 
-    let rnd = Autotuner { strategy: Strategy::Random, budget: 8, seed: 1 }.run(&space, time);
+    let rnd = Autotuner {
+        strategy: Strategy::Random,
+        budget: 8,
+        seed: 1,
+    }
+    .run(&space, time);
     println!("\nRandom   : best {} at {:.3} ms", rnd.best, rnd.best_value);
 
-    let truth = Autotuner { strategy: Strategy::Exhaustive, budget: 0, seed: 0 }.run(&space, time);
-    println!("Exhaustive ground truth: {} at {:.3} ms", truth.best, truth.best_value);
+    let truth = Autotuner {
+        strategy: Strategy::Exhaustive,
+        budget: 0,
+        seed: 0,
+    }
+    .run(&space, time);
+    println!(
+        "Exhaustive ground truth: {} at {:.3} ms",
+        truth.best, truth.best_value
+    );
 }

@@ -51,7 +51,9 @@ pub mod prelude {
     pub use defcon_core::pipeline::{DefconConfig, TileChoice};
     pub use defcon_core::search::{IntervalSearch, SearchConfig, SearchModel};
     pub use defcon_gpusim::{DeviceConfig, Gpu, SamplePolicy};
-    pub use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
+    pub use defcon_kernels::op::{
+        synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod,
+    };
     pub use defcon_kernels::{paper_layer_sweep, DeformLayerShape, TileConfig};
     pub use defcon_models::backbone::{BackboneConfig, SlotKind};
     pub use defcon_models::dataset::DeformedShapesConfig;

@@ -11,12 +11,24 @@ fn full_config_beats_baseline_on_a_paper_layer() {
     let (x, offsets) = synthetic_inputs(&shape, 4.0, 1);
 
     let baseline_cfg = DefconConfig::baseline();
-    let full_cfg = DefconConfig { tile: TileChoice::Autotuned { budget: 8 }, ..DefconConfig::full() };
+    let full_cfg = DefconConfig {
+        tile: TileChoice::Autotuned { budget: 8 },
+        ..DefconConfig::full()
+    };
 
-    let t_base = baseline_cfg.build_op(shape, &gpu).simulate_total(&gpu, &x, &offsets).0;
-    let t_full = full_cfg.build_op(shape, &gpu).simulate_total(&gpu, &x, &offsets).0;
+    let t_base = baseline_cfg
+        .build_op(shape, &gpu)
+        .simulate_total(&gpu, &x, &offsets)
+        .0;
+    let t_full = full_cfg
+        .build_op(shape, &gpu)
+        .simulate_total(&gpu, &x, &offsets)
+        .0;
     let speedup = t_base / t_full;
-    assert!(speedup > 1.5, "full DEFCON config should be well over 1.5x, got {speedup:.2}x");
+    assert!(
+        speedup > 1.5,
+        "full DEFCON config should be well over 1.5x, got {speedup:.2}x"
+    );
 }
 
 #[test]
@@ -61,7 +73,10 @@ fn texture_limits_propagate_to_the_operator() {
     // Batch × channels beyond the 2048-layer limit must fail loudly
     // (paper §III-B), not silently mis-simulate.
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
-    let shape = DeformLayerShape { n: 5, ..DeformLayerShape::same3x3(512, 64, 8, 8) };
+    let shape = DeformLayerShape {
+        n: 5,
+        ..DeformLayerShape::same3x3(512, 64, 8, 8)
+    };
     assert!(shape.n * shape.c_in > 2048);
     let (x, offsets) = synthetic_inputs(&shape, 2.0, 4);
     let op = DeformConvOp {
@@ -71,25 +86,46 @@ fn texture_limits_propagate_to_the_operator() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         op.simulate_deform(&gpu, &x, &offsets)
     }));
-    assert!(result.is_err(), "exceeding the layered-texture limit must panic");
+    assert!(
+        result.is_err(),
+        "exceeding the layered-texture limit must panic"
+    );
 }
 
 #[test]
 fn latency_lut_orders_predictors_and_devices_sensibly() {
     use defcon::core::lut::{LatencyKey, LatencyLut};
-    let key = LatencyKey { c_in: 128, c_out: 128, h: 69, w: 69, stride: 1 };
+    let key = LatencyKey {
+        c_in: 128,
+        c_out: 128,
+        h: 69,
+        w: 69,
+        stride: 1,
+    };
     let xavier = Gpu::new(DeviceConfig::xavier_agx());
     let turing = Gpu::new(DeviceConfig::rtx2080ti());
 
-    let lut_x =
-        LatencyLut::build(&xavier, &[key], SamplingMethod::SoftwareBilinear, OffsetPredictorKind::Standard);
-    let lut_t =
-        LatencyLut::build(&turing, &[key], SamplingMethod::SoftwareBilinear, OffsetPredictorKind::Standard);
+    let lut_x = LatencyLut::build(
+        &xavier,
+        &[key],
+        SamplingMethod::SoftwareBilinear,
+        OffsetPredictorKind::Standard,
+    );
+    let lut_t = LatencyLut::build(
+        &turing,
+        &[key],
+        SamplingMethod::SoftwareBilinear,
+        OffsetPredictorKind::Standard,
+    );
     // The discrete GPU is far faster in absolute terms.
     assert!(lut_t.get(&key).unwrap().deform_ms < lut_x.get(&key).unwrap().deform_ms);
 
-    let lut_light =
-        LatencyLut::build(&xavier, &[key], SamplingMethod::Tex2dPlusPlus, OffsetPredictorKind::Lightweight);
+    let lut_light = LatencyLut::build(
+        &xavier,
+        &[key],
+        SamplingMethod::Tex2dPlusPlus,
+        OffsetPredictorKind::Lightweight,
+    );
     assert!(lut_light.dcn_overhead_ms(&key) < lut_x.dcn_overhead_ms(&key));
 }
 
@@ -120,7 +156,14 @@ fn rounding_changes_numerics_but_bounding_does_not() {
         ..DeformConvOp::baseline(shape)
     }
     .execute(&x, &offsets, &weight, &gpu);
-    let max_err =
-        id.data().iter().zip(rounded.data().iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
-    assert!(max_err > 1e-3, "integer rounding must actually change sampling");
+    let max_err = id
+        .data()
+        .iter()
+        .zip(rounded.data().iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_err > 1e-3,
+        "integer rounding must actually change sampling"
+    );
 }

@@ -1,103 +1,208 @@
 //! Property-based tests over the simulator and kernel stack.
+//!
+//! Ported from `proptest` to the in-workspace `defcon_support::prop`
+//! harness: each test keeps its original property and case count (24), and
+//! pins an explicit master seed so every run exercises the same inputs.
 
 use defcon::prelude::*;
-use proptest::prelude::*;
+use defcon_support::prop::{self, Config};
+use defcon_support::rng::Rng;
+use defcon_support::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u32 = 24;
 
-    /// Bilinear sampling is exact at integer coordinates for any tensor.
-    #[test]
-    fn bilinear_exact_at_integers(h in 2usize..10, w in 2usize..10, seed in 0u64..1000) {
-        let t = Tensor::randn(&[1, 1, h, w], 0.0, 1.0, seed);
-        for y in 0..h {
-            for x in 0..w {
-                let v = defcon::tensor::sample::bilinear_sample(&t, 0, 0, y as f32, x as f32);
-                prop_assert!((v - t.at4(0, 0, y, x)).abs() < 1e-6);
+/// Bilinear sampling is exact at integer coordinates for any tensor.
+#[test]
+fn bilinear_exact_at_integers() {
+    prop::check(
+        "bilinear_exact_at_integers",
+        &Config::new(CASES, 0xDEFC_0001),
+        |rng| {
+            (
+                rng.gen_range(2usize..10),
+                rng.gen_range(2usize..10),
+                rng.gen_range(0u64..1000),
+            )
+        },
+        |&(h, w, seed)| {
+            let t = Tensor::randn(&[1, 1, h, w], 0.0, 1.0, seed);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = defcon::tensor::sample::bilinear_sample(&t, 0, 0, y as f32, x as f32);
+                    prop_assert!((v - t.at4(0, 0, y, x)).abs() < 1e-6);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Bilinear sampling is bounded by the min/max of its 4 neighbours —
-    /// the interpolation property, for any fractional position.
-    #[test]
-    fn bilinear_within_neighbour_hull(y in 0.0f32..6.0, x in 0.0f32..6.0, seed in 0u64..1000) {
-        let t = Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, seed);
-        let v = defcon::tensor::sample::bilinear_sample(&t, 0, 0, y, x);
-        prop_assert!((0.0..=1.0).contains(&v), "sample {v} escaped the value hull");
-    }
+/// Bilinear sampling is bounded by the min/max of its 4 neighbours — the
+/// interpolation property, for any fractional position.
+#[test]
+fn bilinear_within_neighbour_hull() {
+    prop::check(
+        "bilinear_within_neighbour_hull",
+        &Config::new(CASES, 0xDEFC_0002),
+        |rng| {
+            (
+                rng.gen_range(0.0f32..6.0),
+                rng.gen_range(0.0f32..6.0),
+                rng.gen_range(0u64..1000),
+            )
+        },
+        |&(y, x, seed)| {
+            let t = Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, seed);
+            let v = defcon::tensor::sample::bilinear_sample(&t, 0, 0, y, x);
+            prop_assert!(
+                (0.0..=1.0).contains(&v),
+                "sample {v} escaped the value hull"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Zero offsets reduce deformable conv to regular conv for any shape.
-    #[test]
-    fn zero_offsets_are_rigid(c in 1usize..4, hw in 5usize..9, seed in 0u64..500) {
-        let p = defcon::tensor::sample::DeformConv2dParams::same3x3();
-        let x = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, seed);
-        let w = Tensor::randn(&[2, c, 3, 3], 0.0, 0.4, seed ^ 1);
-        let off = Tensor::zeros(&[1, 18, hw, hw]);
-        let a = defcon::tensor::sample::deform_conv2d_ref(&x, &off, &w, None, &p, OffsetTransform::Identity);
-        let b = defcon::tensor::conv::conv2d(&x, &w, None, &p.conv);
-        for (p, q) in a.data().iter().zip(b.data().iter()) {
-            prop_assert!((p - q).abs() < 1e-4);
-        }
-    }
+/// Zero offsets reduce deformable conv to regular conv for any shape.
+#[test]
+fn zero_offsets_are_rigid() {
+    prop::check(
+        "zero_offsets_are_rigid",
+        &Config::new(CASES, 0xDEFC_0003),
+        |rng| {
+            (
+                rng.gen_range(1usize..4),
+                rng.gen_range(5usize..9),
+                rng.gen_range(0u64..500),
+            )
+        },
+        |&(c, hw, seed)| {
+            let p = defcon::tensor::sample::DeformConv2dParams::same3x3();
+            let x = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, seed);
+            let w = Tensor::randn(&[2, c, 3, 3], 0.0, 0.4, seed ^ 1);
+            let off = Tensor::zeros(&[1, 18, hw, hw]);
+            let a = defcon::tensor::sample::deform_conv2d_ref(
+                &x,
+                &off,
+                &w,
+                None,
+                &p,
+                OffsetTransform::Identity,
+            );
+            let b = defcon::tensor::conv::conv2d(&x, &w, None, &p.conv);
+            for (p, q) in a.data().iter().zip(b.data().iter()) {
+                prop_assert!((p - q).abs() < 1e-4);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The coalescer never reports more sectors than active lanes × 2 and
-    /// never under-reports requested bytes.
-    #[test]
-    fn coalescer_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 1..32)) {
-        let r = defcon::gpusim::coalesce::coalesce(&addrs, 4);
-        prop_assert!(r.transactions() <= 2 * addrs.len() as u64);
-        prop_assert!(r.transactions() >= 1);
-        prop_assert_eq!(r.requested_bytes, addrs.len() as u64 * 4);
-        prop_assert!(r.efficiency() <= 1.0 + 1e-12);
-    }
+/// The coalescer never reports more sectors than active lanes × 2 and never
+/// under-reports requested bytes.
+#[test]
+fn coalescer_bounds() {
+    prop::check(
+        "coalescer_bounds",
+        &Config::new(CASES, 0xDEFC_0004),
+        |rng| {
+            let n = rng.gen_range(1usize..32);
+            (0..n)
+                .map(|_| rng.gen_range(0u64..1_000_000))
+                .collect::<Vec<u64>>()
+        },
+        |addrs| {
+            let r = defcon::gpusim::coalesce::coalesce(addrs, 4);
+            prop_assert!(r.transactions() <= 2 * addrs.len() as u64);
+            prop_assert!(r.transactions() >= 1);
+            prop_assert_eq!(r.requested_bytes, addrs.len() as u64 * 4);
+            prop_assert!(r.efficiency() <= 1.0 + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Cache hit/miss counts always sum to the access count, and the hit
-    /// rate is a probability.
-    #[test]
-    fn cache_stats_consistent(lines in proptest::collection::vec(0u64..512, 1..200)) {
-        let geo = defcon::gpusim::device::CacheGeometry {
-            size_bytes: 4096, line_bytes: 64, ways: 2, hit_latency: 1,
-        };
-        let mut c = defcon::gpusim::cache::Cache::new(geo);
-        for &l in &lines {
-            c.access_line(l);
-        }
-        prop_assert_eq!(c.hits() + c.misses(), lines.len() as u64);
-        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
-    }
+/// Cache hit/miss counts always sum to the access count, and the hit rate is
+/// a probability.
+#[test]
+fn cache_stats_consistent() {
+    prop::check(
+        "cache_stats_consistent",
+        &Config::new(CASES, 0xDEFC_0005),
+        |rng| {
+            let n = rng.gen_range(1usize..200);
+            (0..n)
+                .map(|_| rng.gen_range(0u64..512))
+                .collect::<Vec<u64>>()
+        },
+        |lines| {
+            let geo = defcon::gpusim::device::CacheGeometry {
+                size_bytes: 4096,
+                line_bytes: 64,
+                ways: 2,
+                hit_latency: 1,
+            };
+            let mut c = defcon::gpusim::cache::Cache::new(geo);
+            for &l in lines {
+                c.access_line(l);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), lines.len() as u64);
+            prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+            Ok(())
+        },
+    );
+}
 
-    /// Simulated kernel time is positive and scales monotonically with the
-    /// batch dimension for the fused texture kernel.
-    #[test]
-    fn fused_kernel_time_monotone_in_work(c in 4usize..17, hw in 12usize..28) {
-        let gpu = Gpu::new(DeviceConfig::xavier_agx());
-        let small = DeformLayerShape::same3x3(c, c, hw, hw);
-        let big = DeformLayerShape::same3x3(2 * c, 2 * c, hw, hw);
-        let t = |shape: DeformLayerShape| {
-            let (x, off) = synthetic_inputs(&shape, 2.0, 9);
-            DeformConvOp { method: SamplingMethod::Tex2d, ..DeformConvOp::baseline(shape) }
+/// Simulated kernel time is positive and scales monotonically with the batch
+/// dimension for the fused texture kernel.
+#[test]
+fn fused_kernel_time_monotone_in_work() {
+    prop::check(
+        "fused_kernel_time_monotone_in_work",
+        &Config::new(CASES, 0xDEFC_0006),
+        |rng| (rng.gen_range(4usize..17), rng.gen_range(12usize..28)),
+        |&(c, hw)| {
+            let gpu = Gpu::new(DeviceConfig::xavier_agx());
+            let small = DeformLayerShape::same3x3(c, c, hw, hw);
+            let big = DeformLayerShape::same3x3(2 * c, 2 * c, hw, hw);
+            let t = |shape: DeformLayerShape| {
+                let (x, off) = synthetic_inputs(&shape, 2.0, 9);
+                DeformConvOp {
+                    method: SamplingMethod::Tex2d,
+                    ..DeformConvOp::baseline(shape)
+                }
                 .simulate_deform(&gpu, &x, &off)
                 .iter()
                 .map(|r| r.time_ms)
                 .sum::<f64>()
-        };
-        let (ts, tb) = (t(small), t(big));
-        prop_assert!(ts > 0.0);
-        prop_assert!(tb > ts, "4x the MACs should not be faster: {tb} vs {ts}");
-    }
+            };
+            let (ts, tb) = (t(small), t(big));
+            prop_assert!(ts > 0.0);
+            prop_assert!(tb > ts, "4x the MACs should not be faster: {tb} vs {ts}");
+            Ok(())
+        },
+    );
+}
 
-    /// mAP is always within [0, 100] on arbitrary generated scenes with the
-    /// untrained detector.
-    #[test]
-    fn map_bounded(seed in 0u64..50) {
-        use defcon::models::trainer::{evaluate_detector, prepare};
-        let mut store = ParamStore::new();
-        let backbone = BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
-        let mut det = YolactLite::new(&mut store, backbone);
-        let val = prepare(&DeformedShapesConfig::default(), 2, seed).samples;
-        let m = evaluate_detector(&mut det, &store, &val, 0.3);
-        prop_assert!((0.0..=100.0).contains(&m.box_map));
-        prop_assert!((0.0..=100.0).contains(&m.mask_map));
-    }
+/// mAP is always within [0, 100] on arbitrary generated scenes with the
+/// untrained detector.
+#[test]
+fn map_bounded() {
+    prop::check(
+        "map_bounded",
+        &Config::new(CASES, 0xDEFC_0007),
+        |rng| rng.gen_range(0u64..50),
+        |&seed| {
+            use defcon::models::trainer::{evaluate_detector, prepare};
+            let mut store = ParamStore::new();
+            let backbone =
+                BackboneConfig::mini(48, BackboneConfig::uniform_slots(5, SlotKind::Regular));
+            let mut det = YolactLite::new(&mut store, backbone);
+            let val = prepare(&DeformedShapesConfig::default(), 2, seed).samples;
+            let m = evaluate_detector(&mut det, &store, &val, 0.3);
+            prop_assert!((0.0..=100.0).contains(&m.box_map));
+            prop_assert!((0.0..=100.0).contains(&m.mask_map));
+            Ok(())
+        },
+    );
 }
