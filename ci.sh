@@ -12,11 +12,21 @@ cargo fmt --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline (root package: integration suites)"
-cargo test -q --offline
+# The test suite runs twice: once serial (DEFCON_THREADS=1) and once on 4
+# worker threads. The engine's determinism contract (DESIGN.md §4) says
+# reports must not depend on the ambient thread count beyond the documented
+# 1 % L2-shard tolerance — the golden-report and equivalence tests fail on
+# any divergence, so a pass at both counts is the contract's CI enforcement.
+for threads in 1 4; do
+    export DEFCON_THREADS="$threads"
 
-echo "==> cargo test --workspace -q --offline (all member crates)"
-cargo test --workspace -q --offline
+    echo "==> cargo test -q --offline (root integration suites, DEFCON_THREADS=$threads)"
+    cargo test -q --offline
+
+    echo "==> cargo test --workspace -q --offline (all member crates, DEFCON_THREADS=$threads)"
+    cargo test --workspace -q --offline
+done
+unset DEFCON_THREADS
 
 echo "==> cargo check --all-targets --offline (benches + bins compile)"
 cargo check --all-targets --offline

@@ -40,7 +40,10 @@ fn bench_sample_policy(bench: &mut Bench) {
     for budget in [24usize, 96, 384] {
         let gpu = Gpu::with_policy(
             DeviceConfig::xavier_agx(),
-            SamplePolicy { max_blocks: budget },
+            SamplePolicy {
+                max_blocks: budget,
+                ..SamplePolicy::default()
+            },
         );
         let op = DeformConvOp {
             method: SamplingMethod::Tex2d,

@@ -8,13 +8,14 @@
 use defcon_support::json::Json;
 use std::process::Command;
 
-/// Runs a repro binary in tiny+JSON mode and returns (full stdout, parsed
-/// report from the last line).
-fn run_tiny_json(bin: &str) -> (String, Json) {
+/// Runs a repro binary in tiny+JSON mode with an explicit simulator thread
+/// count and returns (full stdout, parsed report from the last line).
+fn run_tiny_json_threads(bin: &str, threads: usize) -> (String, Json) {
     let out = Command::new(bin)
         .env("DEFCON_TINY", "1")
         .env("DEFCON_JSON", "1")
         .env("DEFCON_FAST", "1")
+        .env("DEFCON_THREADS", threads.to_string())
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
     assert!(
@@ -32,6 +33,17 @@ fn run_tiny_json(bin: &str) -> (String, Json) {
     let json = Json::parse(last)
         .unwrap_or_else(|e| panic!("{bin}: last stdout line is not JSON ({e}): {last}"));
     (stdout, json)
+}
+
+/// Runs a repro binary in tiny+JSON mode, pinned to one simulator thread.
+///
+/// Pinning matters: the test *suite* runs under varying `DEFCON_THREADS`
+/// (CI runs it at 1 and 4), and the golden snapshots below are recorded in
+/// the serial-equivalent mode — single-threaded launches are byte-identical
+/// to the serial engine by the determinism contract, so these outputs never
+/// depend on the machine or the ambient env.
+fn run_tiny_json(bin: &str) -> (String, Json) {
+    run_tiny_json_threads(bin, 1)
 }
 
 /// Shared checks: experiment tag, device name, non-empty row array with the
@@ -109,6 +121,100 @@ fn fig10_reports_counters_per_impl() {
             "PyTorch" => assert_eq!(tex, 0, "software path issued texture requests"),
             _ => assert!(tex > 0, "texture path issued no texture requests"),
         }
+    }
+}
+
+/// Compares two parsed reports with identical structure and strings, and
+/// numbers within a relative tolerance (absolute for values near zero).
+fn assert_json_close(a: &Json, b: &Json, rel_tol: f64, path: &str) {
+    match (a, b) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(x), Json::Bool(y)) => assert_eq!(x, y, "{path}: bool differs"),
+        (Json::Str(x), Json::Str(y)) => assert_eq!(x, y, "{path}: string differs"),
+        (Json::Num(x), Json::Num(y)) => {
+            let scale = x.abs().max(y.abs());
+            let diff = (x - y).abs();
+            assert!(
+                diff <= rel_tol * scale.max(1e-9),
+                "{path}: {x} vs {y} differ by {:.3}% (tolerance {:.3}%)",
+                100.0 * diff / scale.max(1e-9),
+                100.0 * rel_tol
+            );
+        }
+        (Json::Arr(x), Json::Arr(y)) => {
+            assert_eq!(x.len(), y.len(), "{path}: array length differs");
+            for (i, (p, q)) in x.iter().zip(y).enumerate() {
+                assert_json_close(p, q, rel_tol, &format!("{path}[{i}]"));
+            }
+        }
+        (Json::Obj(x), Json::Obj(y)) => {
+            assert_eq!(x.len(), y.len(), "{path}: object size differs");
+            for ((kx, vx), (ky, vy)) in x.iter().zip(y) {
+                assert_eq!(kx, ky, "{path}: key order differs");
+                assert_json_close(vx, vy, rel_tol, &format!("{path}.{kx}"));
+            }
+        }
+        _ => panic!("{path}: JSON kind differs"),
+    }
+}
+
+/// Golden-report snapshots: the single-thread tiny-mode JSON report of every
+/// repro binary is checked in under `tests/golden/` and must match byte for
+/// byte. Regenerate after an intentional model change with:
+///
+/// ```sh
+/// DEFCON_BLESS=1 cargo test -p defcon-bench --offline golden
+/// ```
+#[test]
+fn golden_reports_match_snapshots() {
+    let cases = [
+        (env!("CARGO_BIN_EXE_repro_table2_xavier"), "table2_xavier"),
+        (env!("CARGO_BIN_EXE_repro_fig10_counters"), "fig10_counters"),
+        (env!("CARGO_BIN_EXE_repro_fig7_speedup"), "fig7_speedup"),
+    ];
+    for (bin, name) in cases {
+        let (stdout, _) = run_tiny_json(bin);
+        let mut actual = stdout.trim_end().lines().last().unwrap().to_string();
+        actual.push('\n');
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.json"));
+        if std::env::var("DEFCON_BLESS").as_deref() == Ok("1") {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); run with DEFCON_BLESS=1 to record it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            golden,
+            "{name}: report diverged from {}; if the model change is \
+             intentional, re-bless with DEFCON_BLESS=1",
+            path.display()
+        );
+    }
+}
+
+/// The new repro smoke path for parallel simulation: every repro binary must
+/// produce the same report structure at `DEFCON_THREADS=4` as at 1, with all
+/// numbers inside the documented L2-merge tolerance. (Tiny grids often fit
+/// in one band per layer, so most values are exactly equal; the tolerance
+/// covers the layers big enough to actually split.)
+#[test]
+fn reports_agree_across_thread_counts() {
+    for bin in [
+        env!("CARGO_BIN_EXE_repro_table2_xavier"),
+        env!("CARGO_BIN_EXE_repro_fig10_counters"),
+        env!("CARGO_BIN_EXE_repro_fig7_speedup"),
+    ] {
+        let (_, serial) = run_tiny_json_threads(bin, 1);
+        let (_, parallel) = run_tiny_json_threads(bin, 4);
+        assert_json_close(&serial, &parallel, 0.01, bin);
     }
 }
 

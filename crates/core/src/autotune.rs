@@ -8,6 +8,7 @@
 //! baselines for comparison.
 
 use defcon_kernels::TileConfig;
+use defcon_support::par::ParallelSliceMut;
 use defcon_support::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// How the tuner explores the space.
@@ -55,14 +56,27 @@ impl Autotuner {
     }
 
     /// Minimizes `objective` over `space`.
+    ///
+    /// The exhaustive strategy evaluates candidates in parallel (worker
+    /// count from `DEFCON_THREADS`, else all cores); the evaluation list
+    /// stays in space order and each candidate is evaluated exactly once,
+    /// so the result is identical to the sequential sweep for any thread
+    /// count. Bayesian and random search stay sequential — each of their
+    /// evaluations depends on the previous ones.
     pub fn run(
         &self,
         space: &[TileConfig],
-        mut objective: impl FnMut(TileConfig) -> f64,
+        objective: impl Fn(TileConfig) -> f64 + Sync,
     ) -> AutotuneResult {
         assert!(!space.is_empty(), "empty search space");
         let evaluations = match self.strategy {
-            Strategy::Exhaustive => space.iter().map(|&t| (t, objective(t))).collect(),
+            Strategy::Exhaustive => {
+                let mut vals = vec![0.0f64; space.len()];
+                vals.par_chunks_mut(1)
+                    .enumerate()
+                    .for_each(|(i, v)| v[0] = objective(space[i]));
+                space.iter().copied().zip(vals).collect()
+            }
             Strategy::Random => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 let mut order: Vec<TileConfig> = space.to_vec();
@@ -73,7 +87,7 @@ impl Autotuner {
                     .map(|t| (t, objective(t)))
                     .collect()
             }
-            Strategy::Bayesian => self.run_bayesian(space, &mut objective),
+            Strategy::Bayesian => self.run_bayesian(space, &objective),
         };
         let (best, best_value) = evaluations
             .iter()
@@ -91,7 +105,7 @@ impl Autotuner {
     fn run_bayesian(
         &self,
         space: &[TileConfig],
-        objective: &mut impl FnMut(TileConfig) -> f64,
+        objective: &impl Fn(TileConfig) -> f64,
     ) -> Vec<(TileConfig, f64)> {
         let budget = self.budget.min(space.len());
         let mut rng = StdRng::seed_from_u64(self.seed);

@@ -12,6 +12,7 @@ use defcon_kernels::op::simulate_regular_conv_ms;
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
 use defcon_kernels::{DeformLayerShape, TileConfig};
 use defcon_support::json::{FromJson, Json, JsonError, ToJson};
+use defcon_support::par::ParallelSliceMut;
 use defcon_tensor::sample::OffsetTransform;
 use std::collections::HashMap;
 
@@ -131,33 +132,46 @@ impl LatencyLut {
     /// Builds a LUT on `gpu` for every key in `keys`, timing the deformable
     /// operator in the given configuration (the search should penalize the
     /// operator it will actually deploy).
+    ///
+    /// Keys are measured in parallel on `gpu.policy().threads` workers
+    /// (`DEFCON_THREADS` by default), but every key is simulated on a
+    /// *serial* (`threads = 1`) engine, so the table's entries — and its
+    /// serialized bytes — are bit-identical for any thread count: the
+    /// parallelism lives across independent keys, never inside a launch
+    /// where it would change L2 shard semantics.
     pub fn build(
         gpu: &Gpu,
         keys: &[LatencyKey],
         method: SamplingMethod,
         predictor: OffsetPredictorKind,
     ) -> Self {
-        let mut entries = HashMap::with_capacity(keys.len());
-        for key in keys {
-            let shape = key.shape();
-            let (x, offsets) = synthetic_inputs(&shape, 4.0, 0xDEFC);
-            let op = DeformConvOp {
-                shape,
-                tile: TileConfig::default16(),
-                method,
-                offset_predictor: predictor,
-                offset_transform: OffsetTransform::Identity,
-            };
-            let deform_ms = op.simulate_total(gpu, &x, &offsets).0;
-            let regular_ms = simulate_regular_conv_ms(gpu, &shape);
-            entries.insert(
-                *key,
-                LatencyEntry {
-                    regular_ms,
-                    deform_ms,
-                },
-            );
-        }
+        let worker = Gpu::with_policy(gpu.config().clone(), gpu.policy().with_threads(1));
+        let threads = gpu.policy().threads.max(1);
+        let mut slots: Vec<Option<LatencyEntry>> = vec![None; keys.len()];
+        slots
+            .par_chunks_mut(1)
+            .threads(threads)
+            .enumerate()
+            .for_each(|(i, slot)| {
+                let shape = keys[i].shape();
+                let (x, offsets) = synthetic_inputs(&shape, 4.0, 0xDEFC);
+                let op = DeformConvOp {
+                    shape,
+                    tile: TileConfig::default16(),
+                    method,
+                    offset_predictor: predictor,
+                    offset_transform: OffsetTransform::Identity,
+                };
+                slot[0] = Some(LatencyEntry {
+                    regular_ms: simulate_regular_conv_ms(&worker, &shape),
+                    deform_ms: op.simulate_total(&worker, &x, &offsets).0,
+                });
+            });
+        let entries: HashMap<LatencyKey, LatencyEntry> = keys
+            .iter()
+            .zip(slots)
+            .map(|(k, e)| (*k, e.expect("every key slot filled")))
+            .collect();
         LatencyLut {
             device: gpu.config().name.clone(),
             entries,

@@ -80,6 +80,12 @@ impl DefconConfig {
 
     /// Builds the deformable operator for one layer shape, resolving the
     /// tile policy (autotuning simulates candidate tiles on `gpu`).
+    ///
+    /// The autotuner's exhaustive strategy honors `DEFCON_THREADS`
+    /// (candidates evaluated concurrently, result order preserved); the
+    /// Bayesian tuner used here is inherently sequential, but each of its
+    /// objective evaluations is a simulator launch that itself follows the
+    /// engine's determinism contract.
     pub fn build_op(&self, shape: DeformLayerShape, gpu: &Gpu) -> DeformConvOp {
         let tile = match self.tile {
             TileChoice::Fixed(t) => t,

@@ -73,7 +73,9 @@ pub struct DeviceConfig {
     pub dram_bandwidth_gbps: f64,
     /// DRAM access latency in core cycles.
     pub dram_latency: u32,
-    /// L2 slice shared by all SMs.
+    /// L2 slice shared by all SMs. In a parallel launch each engine worker
+    /// instantiates its own shard of this geometry (see the `engine` module
+    /// docs for the determinism contract that implies).
     pub l2: CacheGeometry,
     /// Per-SM L1/unified cache.
     pub l1: CacheGeometry,

@@ -27,6 +27,12 @@
 //! large grids a deterministic stratified sample of blocks is simulated and
 //! scaled ([`engine::SamplePolicy`]).
 //!
+//! Launches run on [`engine::SamplePolicy::threads`] worker threads
+//! (default `DEFCON_THREADS`, else serial) under a determinism contract —
+//! one thread is byte-identical to [`engine::Gpu::launch_serial`], any
+//! fixed thread count is reproducible, and multi-threaded cycle estimates
+//! stay within 1 % of serial. See the [`engine`] module docs.
+//!
 //! This is a *model*, not a cycle-accurate twin: absolute times are
 //! approximate, but the mechanisms that differentiate software bilinear
 //! interpolation from texture-hardware sampling — extra scattered global
@@ -44,7 +50,7 @@ pub mod texture;
 pub mod trace;
 
 pub use device::DeviceConfig;
-pub use engine::{Gpu, SamplePolicy};
+pub use engine::{default_threads, Gpu, SamplePolicy};
 pub use report::{Counters, KernelReport};
 pub use texture::{AddressMode, FilterMode, LayeredTexture2d};
 pub use trace::{BlockTrace, TraceSink};

@@ -14,7 +14,11 @@ use crate::texture::{FilterMode, LayeredTexture2d};
 
 /// A kernel, from the simulator's point of view: a grid of identical thread
 /// blocks, each able to describe its own work.
-pub trait BlockTrace {
+///
+/// `Sync` is a supertrait because [`crate::Gpu::launch`] traces disjoint
+/// block bands from several worker threads at once; `trace_block` takes
+/// `&self`, so kernels are shared, never mutated, across workers.
+pub trait BlockTrace: Sync {
     /// Number of thread blocks in the grid.
     fn grid_blocks(&self) -> usize;
     /// Threads per block.
@@ -50,7 +54,9 @@ pub struct BlockCost {
 /// The event sink handed to kernels.
 ///
 /// Owns the per-SM caches for the current block (L1 and texture cache are
-/// flushed between blocks by the engine) and borrows the launch-wide L2.
+/// flushed between blocks by the engine) and borrows its band's L2 shard —
+/// the launch-wide L2 in a serial launch, a per-worker shard in a parallel
+/// one (see the engine module docs for the determinism contract).
 pub struct TraceSink<'a> {
     cfg: &'a DeviceConfig,
     l1: &'a mut Cache,

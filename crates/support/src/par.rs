@@ -46,6 +46,7 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         ParChunksMut {
             data: self,
             chunk_size,
+            threads: None,
         }
     }
 }
@@ -55,9 +56,20 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 pub struct ParChunksMut<'a, T: Send> {
     data: &'a mut [T],
     chunk_size: usize,
+    threads: Option<usize>,
 }
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Overrides the worker-thread count for this iteration only (instead
+    /// of the process-wide [`max_threads`] default). `n = 1` runs the whole
+    /// iteration inline on the calling thread, which callers use to get the
+    /// exact sequential evaluation order.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "thread count must be positive");
+        self.threads = Some(n);
+        self
+    }
+
     /// Pairs each chunk with its index, like `Iterator::enumerate`.
     pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
         ParChunksMutEnumerate(self)
@@ -82,9 +94,13 @@ impl<T: Send> ParChunksMutEnumerate<'_, T> {
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        let ParChunksMut { data, chunk_size } = self.0;
+        let ParChunksMut {
+            data,
+            chunk_size,
+            threads,
+        } = self.0;
         let n_chunks = data.len().div_ceil(chunk_size);
-        let threads = max_threads().min(n_chunks);
+        let threads = threads.unwrap_or_else(max_threads).min(n_chunks);
         if threads <= 1 {
             for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
                 f((i, chunk));
@@ -173,5 +189,67 @@ mod tests {
             .enumerate()
             .for_each(|(i, chunk)| chunk[0] = i as u64);
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn chunk_size_larger_than_slice_is_one_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut data = vec![0u8; 7];
+        let visits = AtomicUsize::new(0);
+        data.par_chunks_mut(1000)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                assert_eq!(i, 0);
+                assert_eq!(chunk.len(), 7);
+                visits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(visits.load(Ordering::Relaxed), 1);
+    }
+
+    /// Explicit thread counts must not change results: the band assignment
+    /// is a pure function of (len, chunk_size), never of scheduling.
+    #[test]
+    fn results_identical_for_one_vs_many_threads() {
+        let fill = |threads: usize| {
+            let mut data = vec![0u64; 1537];
+            data.par_chunks_mut(8)
+                .threads(threads)
+                .enumerate()
+                .for_each(|(i, chunk)| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = (i as u64) << 32 | k as u64;
+                    }
+                });
+            data
+        };
+        let serial = fill(1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(fill(threads), serial, "threads = {threads}");
+        }
+    }
+
+    /// A panicking worker must propagate to the caller (via the scoped-join
+    /// at the end of `for_each`), never be swallowed.
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut data = vec![0u32; 64];
+            data.par_chunks_mut(4)
+                .threads(4)
+                .enumerate()
+                .for_each(|(i, _)| {
+                    if i == 7 {
+                        panic!("worker 7 exploded");
+                    }
+                });
+        }));
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_thread_override_is_rejected() {
+        let mut data = vec![0u8; 4];
+        data.par_chunks_mut(2).threads(0).for_each(|_| {});
     }
 }

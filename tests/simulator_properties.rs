@@ -4,6 +4,7 @@
 //! harness: each test keeps its original property and case count (24), and
 //! pins an explicit master seed so every run exercises the same inputs.
 
+use defcon::gpusim::report::Counters;
 use defcon::prelude::*;
 use defcon_support::prop::{self, Config};
 use defcon_support::rng::Rng;
@@ -179,6 +180,92 @@ fn fused_kernel_time_monotone_in_work() {
             let (ts, tb) = (t(small), t(big));
             prop_assert!(ts > 0.0);
             prop_assert!(tb > ts, "4x the MACs should not be faster: {tb} vs {ts}");
+            Ok(())
+        },
+    );
+}
+
+/// `SamplePolicy::select` invariants for arbitrary (grid, budget) pairs:
+/// sorted, unique, starts at block 0, never longer than `max_blocks`, never
+/// out of range, and covers the grid up to one stride of the tail.
+#[test]
+fn sample_policy_select_invariants() {
+    prop::check(
+        "sample_policy_select_invariants",
+        &Config::new(CASES, 0xDEFC_0010),
+        |rng| {
+            // Mix everyday grids with the huge ones that used to break the
+            // f64 stride arithmetic.
+            let grid = match rng.gen_range(0u32..3) {
+                0 => rng.gen_range(1usize..1_000),
+                1 => rng.gen_range(1_000usize..2_000_000),
+                _ => rng.gen_range(1usize << 40..1usize << 60),
+            };
+            (grid, rng.gen_range(1usize..2_000))
+        },
+        |&(grid, max_blocks)| {
+            let p = SamplePolicy {
+                max_blocks,
+                ..SamplePolicy::default()
+            };
+            let idx = p.select(grid);
+            prop_assert_eq!(idx.len(), max_blocks.min(grid));
+            prop_assert_eq!(idx[0], 0);
+            prop_assert!(
+                idx.windows(2).all(|w| w[0] < w[1]),
+                "sample must be strictly increasing (sorted + unique)"
+            );
+            prop_assert!(*idx.last().unwrap() < grid, "index out of range");
+            prop_assert!(
+                grid - idx.last().unwrap() <= grid.div_ceil(max_blocks),
+                "tail of the grid left uncovered"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// `Counters::merge` is commutative and `scale(1.0)` is the identity — the
+/// algebra the parallel engine's band merge relies on.
+#[test]
+fn counters_merge_commutative_scale_identity() {
+    // Values stay below 2^53 so the f64 round-trip inside `scale` is exact;
+    // real launches are far below that.
+    fn arbitrary_counters(rng: &mut defcon_support::rng::StdRng, lo: u64) -> Counters {
+        Counters {
+            flops: rng.gen_range(lo..1 << 50),
+            alu_ops: rng.gen_range(lo..1 << 50),
+            gld_requests: rng.gen_range(lo..1 << 40),
+            gld_transactions: rng.gen_range(lo..1 << 40),
+            gld_requested_bytes: rng.gen_range(lo..1 << 50),
+            gst_requests: rng.gen_range(lo..1 << 40),
+            gst_transactions: rng.gen_range(lo..1 << 40),
+            gst_requested_bytes: rng.gen_range(lo..1 << 50),
+            tex_requests: rng.gen_range(lo..1 << 40),
+            tex_line_accesses: rng.gen_range(lo..1 << 40),
+            tex_hits: rng.gen_range(lo..1 << 40),
+            l1_hits: rng.gen_range(lo..1 << 40),
+            l1_accesses: rng.gen_range(lo..1 << 40),
+            l2_hits: rng.gen_range(lo..1 << 40),
+            l2_accesses: rng.gen_range(lo..1 << 40),
+            dram_read_bytes: rng.gen_range(lo..1 << 50),
+            dram_write_bytes: rng.gen_range(lo..1 << 50),
+        }
+    }
+    prop::check(
+        "counters_merge_commutative_scale_identity",
+        &Config::new(CASES, 0xDEFC_0011),
+        |rng| (arbitrary_counters(rng, 0), arbitrary_counters(rng, 1)),
+        |(a, b)| {
+            let mut ab = a.clone();
+            ab.merge(b);
+            let mut ba = b.clone();
+            ba.merge(a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert_eq!(&a.scale(1.0), a);
+            let mut with_zero = a.clone();
+            with_zero.merge(&Counters::default());
+            prop_assert_eq!(&with_zero, a);
             Ok(())
         },
     );
