@@ -31,4 +31,11 @@ unset DEFCON_THREADS
 echo "==> cargo check --all-targets --offline (benches + bins compile)"
 cargo check --all-targets --offline
 
+# Hot-path smoke: the legacy (allocating) and staged (zero-allocation) trace
+# paths must produce byte-identical serial reports. DEFCON_TINY runs the
+# equivalence gate on a small layer without timings, so this stays fast and
+# never rewrites the committed BENCH_hotpath.json.
+echo "==> hot_path bench smoke (DEFCON_TINY)"
+DEFCON_TINY=1 cargo bench --offline -p defcon-bench --bench hot_path
+
 echo "CI OK"

@@ -13,17 +13,35 @@ pub enum Access {
 
 /// A set-associative cache with true-LRU replacement.
 ///
-/// Tags are full line addresses; timestamps implement LRU. The model tracks
-/// hits and misses only — data never moves through it (numerics live on the
-/// CPU side of each kernel).
+/// Tags are full line addresses; each set's ways are kept in
+/// **most-recent-first order** (move-to-front on hit, insert-at-front on
+/// fill), so the last valid entry *is* the LRU victim — no timestamp array,
+/// no second victim scan. The model tracks hits and misses only — data
+/// never moves through it (numerics live on the CPU side of each kernel).
+///
+/// Recency ordering is observationally identical to stamp-based LRU: an
+/// access's hit/miss outcome depends only on the set's membership, and both
+/// schemes evict the least-recently-used line when a full set misses (the
+/// per-set recency order is a strict total order either way). The
+/// `tests/hot_path_equivalence.rs` property test pins this against the
+/// allocating reference walk.
+///
+/// `access_line` is on the simulator's critical path (every sector of every
+/// warp load walks L1→L2 through it), so the layout is tuned for the probe:
+/// a set is one contiguous run of `ways` tags — 32 B for a 4-way L1, one
+/// hardware cache line — and set indexing uses a mask when the set count is
+/// a power of two (`line & (sets-1)` instead of the `%` division), with a
+/// checked modulo fallback for the geometries that are not (the Xavier
+/// texture cache has 96 sets). Both index paths compute the same value
+/// wherever both apply.
 pub struct Cache {
     geometry: CacheGeometry,
     sets: usize,
-    /// `tags[set * ways + way]`, `u64::MAX` = invalid.
+    /// `Some(sets - 1)` when the set count is a power of two.
+    set_mask: Option<u64>,
+    /// `tags[set * geometry.ways ..][..geometry.ways]`, most-recent-first;
+    /// `u64::MAX` = invalid. Valid tags always form a prefix of the set.
     tags: Vec<u64>,
-    /// Per-line last-use stamps for LRU.
-    stamps: Vec<u64>,
-    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -35,9 +53,8 @@ impl Cache {
         Cache {
             geometry,
             sets,
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
             tags: vec![u64::MAX; sets * geometry.ways],
-            stamps: vec![0; sets * geometry.ways],
-            clock: 0,
             hits: 0,
             misses: 0,
         }
@@ -59,36 +76,58 @@ impl Cache {
         self.access_line(self.line_of(addr))
     }
 
-    /// Accesses one *line* address directly (the coalescer works in lines).
-    pub fn access_line(&mut self, line: u64) -> Access {
-        self.clock += 1;
-        let set = (line % self.sets as u64) as usize;
-        let base = set * self.geometry.ways;
-        let ways = &mut self.tags[base..base + self.geometry.ways];
-
-        if let Some(w) = ways.iter().position(|&t| t == line) {
-            self.stamps[base + w] = self.clock;
-            self.hits += 1;
-            return Access::Hit;
+    /// Set index of a line: mask for power-of-two set counts, modulo
+    /// otherwise. Both give `line mod sets`; the mask skips the division.
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.sets as u64) as usize,
         }
-        // Miss: replace LRU way.
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..self.geometry.ways {
-            let s = self.stamps[base + w];
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
+    }
+
+    /// Accesses one *line* address directly (the coalescer works in lines).
+    ///
+    /// One forward scan handles everything: a matching tag is a hit
+    /// (rotated to the front to refresh recency), an invalid tag ends the
+    /// valid prefix so the new line fills that slot (again at the front),
+    /// and scanning off the end means the set is full and the last — least
+    /// recent — entry falls off as the new line is inserted.
+    pub fn access_line(&mut self, line: u64) -> Access {
+        let ways = self.geometry.ways;
+        let base = self.set_of(line) * ways;
+        let set = &mut self.tags[base..base + ways];
+
+        let mut w = ways - 1;
+        for (i, &tag) in set.iter().enumerate() {
+            if tag == line {
+                set.copy_within(0..i, 1);
+                set[0] = line;
+                self.hits += 1;
+                return Access::Hit;
+            }
+            if tag == u64::MAX {
+                w = i;
                 break;
             }
-            if s < oldest {
-                oldest = s;
-                victim = w;
-            }
         }
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        // Miss: insert at the front; the entry at `w` (the first free slot,
+        // or the LRU line when the set is full) is overwritten by the shift.
+        set.copy_within(0..w, 1);
+        set[0] = line;
         self.misses += 1;
         Access::Miss
+    }
+
+    /// Counts a hit for a line the caller knows sits at the MRU front of
+    /// its set — i.e. the line of this cache's immediately preceding
+    /// [`Cache::access_line`], with no flush in between. Equivalent to the
+    /// probe it replaces (which would hit at way 0 and move nothing), just
+    /// without the scan; callers on the sector walk use it to collapse
+    /// runs of same-line sectors.
+    #[inline]
+    pub fn note_mru_hit(&mut self) {
+        self.hits += 1;
     }
 
     /// Hits so far.

@@ -6,6 +6,8 @@
 //! of bytes the program asked for to bytes the memory system had to move —
 //! exactly the two derived metrics Fig. 10 of the paper plots.
 
+use defcon_support::lanebuf::LaneBuf;
+
 /// Sector size in bytes (NVIDIA global-memory transaction granularity).
 pub const SECTOR_BYTES: u64 = 32;
 
@@ -42,8 +44,15 @@ impl CoalesceResult {
 
 /// Coalesces a warp's lane addresses (each lane reads `access_bytes`,
 /// typically 4 for `f32`). Inactive lanes are simply absent from `addrs`.
+///
+/// This is the **reference oracle**: it allocates, sorts and dedups, and is
+/// deliberately kept simple. The engine's hot path uses [`coalesce_into`],
+/// which is proven bit-equal to this function by a seeded property test
+/// (`tests/hot_path_equivalence.rs`).
 pub fn coalesce(addrs: &[u64], access_bytes: u64) -> CoalesceResult {
-    let mut sectors: Vec<u64> = Vec::with_capacity(addrs.len());
+    // Every access can straddle one sector boundary, so the worst case is
+    // two sectors per lane — size for that so the push loop never reallocs.
+    let mut sectors: Vec<u64> = Vec::with_capacity(2 * addrs.len());
     for &a in addrs {
         // An access may straddle a sector boundary; cover all touched sectors.
         let first = a / SECTOR_BYTES;
@@ -58,6 +67,109 @@ pub fn coalesce(addrs: &[u64], access_bytes: u64) -> CoalesceResult {
         sectors,
         requested_bytes: addrs.len() as u64 * access_bytes,
     }
+}
+
+/// Sector span (in 64-sector words) the bitmap fast path of
+/// [`coalesce_into`] covers: 64 words = 4096 sectors = 128 KiB of address
+/// range, far beyond what one warp instruction touches in practice. Must
+/// stay 64 so one `u64` can serve as the touched-word mask.
+const SPAN_WORDS: usize = 64;
+
+/// Allocation-free coalescer: writes the unique sector addresses of a warp
+/// instruction into `sectors` (cleared first), **sorted ascending** — the
+/// same order [`coalesce`] produces, so the cache walk that follows visits
+/// lines identically. Returns the requested byte count.
+///
+/// Instead of the oracle's sort + dedup (a comparison sort is the dominant
+/// cost when deformed sampling scatters the lanes), this marks touched
+/// sectors in a small stack bitmap and emits the set bits in ascending
+/// order — O(lanes), no sort. The bitmap window is anchored on the *first*
+/// lane's sector (±2048 sectors, i.e. ±64 KiB), which saves the min/max
+/// pre-pass an exact-span window would need; a second `u64` tracks which
+/// bitmap words were touched, so the emit scan visits only those. Warps
+/// reaching beyond the window (essentially only adversarial address
+/// patterns) fall back to in-place sort + dedup. Either way the output can
+/// never overflow the buffer: at most 32 lanes × 2 straddled sectors = 64
+/// = `LANE_BUF_CAP` unique entries.
+pub fn coalesce_into(addrs: &[u64], access_bytes: u64, sectors: &mut LaneBuf<u64>) -> u64 {
+    sectors.clear();
+    if addrs.is_empty() {
+        return 0;
+    }
+    let span = (SPAN_WORDS * 64) as u64;
+    let base = (addrs[0] / SECTOR_BYTES).saturating_sub(span / 2);
+    let mut bits = [0u64; SPAN_WORDS];
+    let mut dirty = 0u64;
+    if access_bytes <= SECTOR_BYTES {
+        // A lane touches at most two sectors (`first` and `last`), so both
+        // are marked unconditionally — idempotent when they coincide, and
+        // branch-free where a per-sector loop would mispredict on the
+        // straddle pattern.
+        for &a in addrs {
+            let first = (a / SECTOR_BYTES).wrapping_sub(base);
+            let last = ((a + access_bytes - 1) / SECTOR_BYTES).wrapping_sub(base);
+            // A sector outside the window wraps to a huge offset; both
+            // offsets fit in 12 bits when in-window, so one OR checks both.
+            if (first | last) >= span {
+                return coalesce_into_wide(addrs, access_bytes, sectors);
+            }
+            bits[(first >> 6) as usize] |= 1u64 << (first & 63);
+            dirty |= 1u64 << (first >> 6);
+            bits[(last >> 6) as usize] |= 1u64 << (last & 63);
+            dirty |= 1u64 << (last >> 6);
+        }
+    } else {
+        for &a in addrs {
+            let first = (a / SECTOR_BYTES).wrapping_sub(base);
+            let last = ((a + access_bytes - 1) / SECTOR_BYTES).wrapping_sub(base);
+            if (first | last) >= span {
+                return coalesce_into_wide(addrs, access_bytes, sectors);
+            }
+            for s in first..=last {
+                bits[(s >> 6) as usize] |= 1u64 << (s & 63);
+                dirty |= 1u64 << (s >> 6);
+            }
+        }
+    }
+    while dirty != 0 {
+        let w = dirty.trailing_zeros() as u64;
+        dirty &= dirty - 1;
+        let mut word = bits[w as usize];
+        while word != 0 {
+            let b = word.trailing_zeros() as u64;
+            sectors.push(base + w * 64 + b);
+            word &= word - 1;
+        }
+    }
+    addrs.len() as u64 * access_bytes
+}
+
+/// Out-of-window tail of [`coalesce_into`]: in-place sort + dedup, no
+/// allocation. Correctness backstop only — real kernels never take it.
+fn coalesce_into_wide(addrs: &[u64], access_bytes: u64, sectors: &mut LaneBuf<u64>) -> u64 {
+    sectors.clear();
+    let mut prev = u64::MAX;
+    for &a in addrs {
+        let first = a / SECTOR_BYTES;
+        let last = (a + access_bytes - 1) / SECTOR_BYTES;
+        for s in first..=last {
+            if s != prev {
+                sectors.push(s);
+                prev = s;
+            }
+        }
+    }
+    let buf = sectors.as_mut_slice();
+    buf.sort_unstable();
+    let mut keep = 0;
+    for i in 0..buf.len() {
+        if i == 0 || buf[i] != buf[keep - 1] {
+            buf[keep] = buf[i];
+            keep += 1;
+        }
+    }
+    sectors.truncate(keep);
+    addrs.len() as u64 * access_bytes
 }
 
 #[cfg(test)]
@@ -109,5 +221,38 @@ mod tests {
         let r = coalesce(&[], 4);
         assert_eq!(r.transactions(), 0);
         assert_eq!(r.efficiency(), 1.0);
+    }
+
+    /// The in-place coalescer agrees with the oracle on the canonical warp
+    /// shapes (randomized agreement lives in `tests/hot_path_equivalence.rs`).
+    #[test]
+    fn coalesce_into_matches_reference_on_canonical_warps() {
+        let cases: Vec<Vec<u64>> = vec![
+            (0..32).map(|i| i * 4).collect(),        // fully coalesced
+            (0..32).map(|i| i * 32).collect(),       // strided
+            vec![100; 32],                           // broadcast
+            vec![30],                                // straddling
+            (0..8).map(|i| i * 4).collect(),         // partial warp
+            vec![],                                  // empty
+            (0..32).rev().map(|i| i * 36).collect(), // descending, straddling
+        ];
+        let mut buf = LaneBuf::new();
+        for addrs in cases {
+            let r = coalesce(&addrs, 4);
+            let requested = coalesce_into(&addrs, 4, &mut buf);
+            assert_eq!(buf.as_slice(), r.sectors.as_slice(), "addrs {addrs:?}");
+            assert_eq!(requested, r.requested_bytes);
+        }
+    }
+
+    /// Worst case: every lane straddles a boundary and all sectors are
+    /// distinct — exactly 64 entries, the `LaneBuf` capacity.
+    #[test]
+    fn coalesce_into_worst_case_fills_capacity_exactly() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 64 + 30).collect();
+        let mut buf = LaneBuf::new();
+        coalesce_into(&addrs, 4, &mut buf);
+        assert_eq!(buf.len(), 64);
+        assert_eq!(buf.as_slice(), coalesce(&addrs, 4).sectors.as_slice());
     }
 }

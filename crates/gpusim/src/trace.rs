@@ -7,10 +7,11 @@
 //! accumulating pipe occupancies — so traces never materialize in memory.
 
 use crate::cache::{Access, Cache};
-use crate::coalesce::{coalesce, SECTOR_BYTES};
+use crate::coalesce::{coalesce, coalesce_into, SECTOR_BYTES};
 use crate::device::DeviceConfig;
 use crate::report::Counters;
 use crate::texture::{FilterMode, LayeredTexture2d};
+pub use defcon_support::lanebuf::LaneBuf;
 
 /// A kernel, from the simulator's point of view: a grid of identical thread
 /// blocks, each able to describe its own work.
@@ -57,6 +58,17 @@ pub struct BlockCost {
 /// flushed between blocks by the engine) and borrows its band's L2 shard —
 /// the launch-wide L2 in a serial launch, a per-worker shard in a parallel
 /// one (see the engine module docs for the determinism contract).
+///
+/// # Zero-allocation contract
+///
+/// The sink owns fixed-capacity [`LaneBuf`] scratch for every warp-level
+/// event class (lane addresses, coalesced sectors, texture coordinates,
+/// filtered outputs). Kernels that stage their events through the `_into`
+/// entry points ([`TraceSink::global_load_into`],
+/// [`TraceSink::global_store_into`], [`TraceSink::tex_fetch_warp_into`])
+/// perform **zero heap allocations per traced block** — the contract
+/// `tests/zero_alloc.rs` pins for all four kernel families. The slice-based
+/// entry points are kept as thin wrappers over the same staged path.
 pub struct TraceSink<'a> {
     cfg: &'a DeviceConfig,
     l1: &'a mut Cache,
@@ -66,6 +78,27 @@ pub struct TraceSink<'a> {
     pub counters: Counters,
     /// Pipe occupancies for the current block.
     pub cost: BlockCost,
+    /// Staged lane byte addresses of the current load/store instruction.
+    lane_addrs: LaneBuf<u64>,
+    /// Unique coalesced sectors of the current instruction.
+    sectors: LaneBuf<u64>,
+    /// Staged lane coordinates of the current texture instruction.
+    coords: LaneBuf<(f32, f32)>,
+    /// Filtered outputs of the current texture instruction (one per lane).
+    tex_out: LaneBuf<f32>,
+    /// `Some(shift)` when the L1 line size is a power-of-two multiple of
+    /// the sector size: `line = sector >> shift` replaces the division on
+    /// the per-sector walk.
+    l1_sector_shift: Option<u32>,
+    /// Same for the texture cache's byte-address → line mapping.
+    tex_line_shift: Option<u32>,
+}
+
+/// `Some(log2(bytes / unit))` when `bytes` is a power-of-two multiple of
+/// `unit` — the shift that replaces `addr * unit / bytes` (or `addr / bytes`
+/// for `unit == 1`) on the hot walk.
+fn pow2_shift(bytes: u64, unit: u64) -> Option<u32> {
+    (bytes % unit == 0 && (bytes / unit).is_power_of_two()).then(|| (bytes / unit).trailing_zeros())
 }
 
 impl<'a> TraceSink<'a> {
@@ -77,6 +110,8 @@ impl<'a> TraceSink<'a> {
         l2: &'a mut Cache,
         warps: usize,
     ) -> Self {
+        let l1_sector_shift = pow2_shift(l1.line_bytes() as u64, SECTOR_BYTES);
+        let tex_line_shift = pow2_shift(tex.line_bytes() as u64, 1);
         TraceSink {
             cfg,
             l1,
@@ -87,6 +122,12 @@ impl<'a> TraceSink<'a> {
                 warps,
                 ..Default::default()
             },
+            lane_addrs: LaneBuf::new(),
+            sectors: LaneBuf::new(),
+            coords: LaneBuf::new(),
+            tex_out: LaneBuf::new(),
+            l1_sector_shift,
+            tex_line_shift,
         }
     }
 
@@ -118,6 +159,31 @@ impl<'a> TraceSink<'a> {
         if lane_addrs.is_empty() {
             return;
         }
+        let requested = coalesce_into(lane_addrs, 4, &mut self.sectors);
+        self.global_load_coalesced(requested);
+    }
+
+    /// [`TraceSink::global_load`] fed by an iterator of lane addresses, so
+    /// kernels can stream addresses straight from their index math without
+    /// collecting a `Vec` first. The iterator may borrow the kernel freely —
+    /// it is drained into the sink's scratch before any cache work starts.
+    pub fn global_load_into(&mut self, lane_addrs: impl IntoIterator<Item = u64>) {
+        self.lane_addrs.fill_from(lane_addrs);
+        if self.lane_addrs.is_empty() {
+            return;
+        }
+        let requested = coalesce_into(&self.lane_addrs, 4, &mut self.sectors);
+        self.global_load_coalesced(requested);
+    }
+
+    /// Reference-path load used as the oracle by the hot-path benchmark:
+    /// identical accounting to [`TraceSink::global_load`] but through the
+    /// allocating [`coalesce`] (sort + dedup). Counters, cost and cache
+    /// state evolve byte-identically on either path.
+    pub fn global_load_ref(&mut self, lane_addrs: &[u64]) {
+        if lane_addrs.is_empty() {
+            return;
+        }
         let r = coalesce(lane_addrs, 4);
         self.counters.gld_requests += 1;
         self.counters.gld_transactions += r.transactions();
@@ -133,10 +199,69 @@ impl<'a> TraceSink<'a> {
         self.cost.latency_cycles += worst as u64;
     }
 
+    /// Load path over the coalesced `sectors`: the L1 → L2 → DRAM walk in
+    /// ascending sector order (the same order the reference path visits,
+    /// which the golden snapshots depend on).
+    fn global_load_coalesced(&mut self, requested: u64) {
+        let transactions = self.sectors.len() as u64;
+        self.counters.gld_requests += 1;
+        self.counters.gld_transactions += transactions;
+        self.counters.gld_requested_bytes += requested;
+        let mut worst = 0u32;
+        let line_bytes = self.l1.line_bytes() as u64;
+        // Sectors arrive sorted ascending, so sectors sharing a 128B line
+        // are adjacent; a repeat of the line just accessed is a guaranteed
+        // L1 hit at the MRU front (hit or miss, `access_line` leaves the
+        // line there), so it is counted without re-probing.
+        let mut prev_line = u64::MAX;
+        for i in 0..self.sectors.len() {
+            // Sectors are 32B; the caches track 128B lines. Shift instead
+            // of divide when the ratio is a power of two (it always is on
+            // the shipped geometries).
+            let line = match self.l1_sector_shift {
+                Some(sh) => self.sectors[i] >> sh,
+                None => self.sectors[i] * SECTOR_BYTES / line_bytes,
+            };
+            let lat = if line == prev_line {
+                self.counters.l1_accesses += 1;
+                self.counters.l1_hits += 1;
+                self.l1.note_mru_hit();
+                self.cfg.l1.hit_latency
+            } else {
+                prev_line = line;
+                self.global_line_access(line)
+            };
+            worst = worst.max(lat);
+        }
+        self.cost.lsu_sectors += transactions;
+        self.cost.latency_cycles += worst as u64;
+    }
+
     /// One warp-level global **store** instruction. Stores are modelled as
     /// write-through to DRAM (no allocate), which matches how NVIDIA L1s
     /// treat global writes.
     pub fn global_store(&mut self, lane_addrs: &[u64]) {
+        if lane_addrs.is_empty() {
+            return;
+        }
+        let requested = coalesce_into(lane_addrs, 4, &mut self.sectors);
+        self.global_store_coalesced(requested);
+    }
+
+    /// [`TraceSink::global_store`] fed by an iterator of lane addresses;
+    /// the store-side twin of [`TraceSink::global_load_into`].
+    pub fn global_store_into(&mut self, lane_addrs: impl IntoIterator<Item = u64>) {
+        self.lane_addrs.fill_from(lane_addrs);
+        if self.lane_addrs.is_empty() {
+            return;
+        }
+        let requested = coalesce_into(&self.lane_addrs, 4, &mut self.sectors);
+        self.global_store_coalesced(requested);
+    }
+
+    /// Reference-path store (allocating coalesce); see
+    /// [`TraceSink::global_load_ref`].
+    pub fn global_store_ref(&mut self, lane_addrs: &[u64]) {
         if lane_addrs.is_empty() {
             return;
         }
@@ -146,6 +271,16 @@ impl<'a> TraceSink<'a> {
         self.counters.gst_requested_bytes += r.requested_bytes;
         self.counters.dram_write_bytes += r.moved_bytes();
         self.cost.lsu_sectors += r.transactions();
+    }
+
+    /// Store path over the coalesced `sectors`.
+    fn global_store_coalesced(&mut self, requested: u64) {
+        let transactions = self.sectors.len() as u64;
+        self.counters.gst_requests += 1;
+        self.counters.gst_transactions += transactions;
+        self.counters.gst_requested_bytes += requested;
+        self.counters.dram_write_bytes += transactions * SECTOR_BYTES;
+        self.cost.lsu_sectors += transactions;
     }
 
     fn global_line_access(&mut self, line: u64) -> u32 {
@@ -165,7 +300,7 @@ impl<'a> TraceSink<'a> {
 
     /// One warp-level texture instruction: every lane fetches a
     /// hardware-filtered sample of `tex` in `layer` at its own fractional
-    /// coordinates. Filtered values are written to `out` (one per
+    /// coordinates. Filtered values are *appended* to `out` (one per
     /// coordinate). All cache traffic and filter-pipe occupancy is
     /// accounted here; the warp stalls once on the slowest footprint line,
     /// mirroring how a `TLD` instruction retires. Border handling costs
@@ -177,28 +312,61 @@ impl<'a> TraceSink<'a> {
         coords: &[(f32, f32)],
         out: &mut Vec<f32>,
     ) {
-        debug_assert!(coords.len() <= self.cfg.warp_size);
-        if coords.is_empty() {
+        self.coords.fill_from(coords.iter().copied());
+        self.tex_fetch_staged(tex, layer);
+        out.extend_from_slice(&self.tex_out);
+    }
+
+    /// [`TraceSink::tex_fetch_warp`] fed by an iterator of lane coordinates;
+    /// returns the filtered values (one per coordinate) as a slice of the
+    /// sink's scratch — valid until the next sink call, no allocation.
+    pub fn tex_fetch_warp_into(
+        &mut self,
+        tex: &LayeredTexture2d,
+        layer: usize,
+        coords: impl IntoIterator<Item = (f32, f32)>,
+    ) -> &[f32] {
+        self.coords.fill_from(coords);
+        self.tex_fetch_staged(tex, layer);
+        &self.tex_out
+    }
+
+    /// Texture path over the staged `coords`; filtered values land in
+    /// `tex_out`.
+    fn tex_fetch_staged(&mut self, tex: &LayeredTexture2d, layer: usize) {
+        self.tex_out.clear();
+        debug_assert!(self.coords.len() <= self.cfg.warp_size);
+        if self.coords.is_empty() {
             return;
         }
         self.counters.tex_requests += 1;
         match tex.filter_mode {
             FilterMode::Linear { frac_bits } if frac_bits <= 10 => {
-                self.cost.tex_fetches_fp16 += coords.len() as u64
+                self.cost.tex_fetches_fp16 += self.coords.len() as u64
             }
-            _ => self.cost.tex_fetches_fp32 += coords.len() as u64,
+            _ => self.cost.tex_fetches_fp32 += self.coords.len() as u64,
         }
         let mut worst = 0u32;
-        for &(y, x) in coords {
+        let tex_line_bytes = self.tex.line_bytes() as u64;
+        // Adjacent lanes' bilinear footprints overlap heavily; when a
+        // lane's first line equals the line the previous probe ended on,
+        // it is a guaranteed texture-cache hit at the MRU front and is
+        // counted without re-probing (same shortcut as the global walk).
+        let mut prev_line = u64::MAX;
+        for i in 0..self.coords.len() {
+            let (y, x) = self.coords[i];
             let f = tex.fetch(layer, y, x);
-            out.push(f.value);
+            self.tex_out.push(f.value);
             // Unique lines in this lane's footprint go through the texture
             // cache (the quad almost always stays within 1–2 block-linear
             // lines).
             let mut lines = [u64::MAX; 4];
             let mut n_lines = 0usize;
             for &a in &f.addresses[..f.len as usize] {
-                let line = a / self.tex.line_bytes() as u64;
+                let line = match self.tex_line_shift {
+                    Some(sh) => a >> sh,
+                    None => a / tex_line_bytes,
+                };
                 if !lines[..n_lines].contains(&line) {
                     lines[n_lines] = line;
                     n_lines += 1;
@@ -206,17 +374,24 @@ impl<'a> TraceSink<'a> {
             }
             for &line in &lines[..n_lines] {
                 self.counters.tex_line_accesses += 1;
-                let lat = if self.tex.access_line(line) == Access::Hit {
+                let lat = if line == prev_line {
                     self.counters.tex_hits += 1;
+                    self.tex.note_mru_hit();
                     self.cfg.tex_hit_latency
                 } else {
-                    self.counters.l2_accesses += 1;
-                    if self.l2.access_line(line) == Access::Hit {
-                        self.counters.l2_hits += 1;
-                        self.cfg.l2.hit_latency
+                    prev_line = line;
+                    if self.tex.access_line(line) == Access::Hit {
+                        self.counters.tex_hits += 1;
+                        self.cfg.tex_hit_latency
                     } else {
-                        self.counters.dram_read_bytes += self.tex.line_bytes() as u64;
-                        self.cfg.dram_latency
+                        self.counters.l2_accesses += 1;
+                        if self.l2.access_line(line) == Access::Hit {
+                            self.counters.l2_hits += 1;
+                            self.cfg.l2.hit_latency
+                        } else {
+                            self.counters.dram_read_bytes += tex_line_bytes;
+                            self.cfg.dram_latency
+                        }
                     }
                 };
                 worst = worst.max(lat);
@@ -225,11 +400,14 @@ impl<'a> TraceSink<'a> {
         self.cost.latency_cycles += worst as u64;
     }
 
-    /// Single-lane convenience wrapper over [`TraceSink::tex_fetch_warp`].
+    /// Single-lane convenience wrapper over the staged texture path. Unlike
+    /// the pre-optimization version, it does **not** allocate a per-fetch
+    /// `Vec` — the value comes straight out of the sink's scratch.
     pub fn tex_fetch(&mut self, tex: &LayeredTexture2d, layer: usize, y: f32, x: f32) -> f32 {
-        let mut out = Vec::with_capacity(1);
-        self.tex_fetch_warp(tex, layer, &[(y, x)], &mut out);
-        out[0]
+        self.coords.clear();
+        self.coords.push((y, x));
+        self.tex_fetch_staged(tex, layer);
+        self.tex_out[0]
     }
 }
 

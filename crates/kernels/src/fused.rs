@@ -19,7 +19,7 @@
 use crate::im2col::address_map;
 use crate::layer::{DeformLayerShape, TileConfig};
 use defcon_gpusim::texture::{AddressMode, FilterMode, LayeredTexture2d, TextureLimitError};
-use defcon_gpusim::trace::{BlockTrace, TraceSink};
+use defcon_gpusim::trace::{BlockTrace, LaneBuf, TraceSink};
 use defcon_tensor::sample::OffsetTransform;
 use defcon_tensor::Tensor;
 
@@ -166,16 +166,20 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
             return;
         }
 
+        // All warp events are staged through fixed-capacity `LaneBuf`s /
+        // sink iterators — no heap allocation per block (see
+        // `tests/zero_alloc.rs`).
         let threads = self.tile.threads();
-        let mut tex_out = Vec::with_capacity(32);
+        let mut lanes: LaneBuf<(usize, usize)> = LaneBuf::new();
+        let mut coords: LaneBuf<(f32, f32)> = LaneBuf::new();
         for warp_start in (0..threads).step_by(32) {
-            let lanes: Vec<(usize, usize)> = (warp_start..(warp_start + 32).min(threads))
-                .filter_map(|tid| {
+            lanes.fill_from(
+                (warp_start..(warp_start + 32).min(threads)).filter_map(|tid| {
                     let oy = tile_y * self.tile.h + tid / self.tile.w;
                     let ox = tile_x * self.tile.w + tid % self.tile.w;
                     (oy < oh && ox < ow).then_some((oy, ox))
-                })
-                .collect();
+                }),
+            );
             if lanes.is_empty() {
                 continue;
             }
@@ -185,43 +189,40 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
                 for tap in 0..kk {
                     let ch = 2 * (g * kk + tap);
                     // Offsets loaded once per (group, tap) — coalesced.
-                    let dy_addrs: Vec<u64> = lanes
-                        .iter()
-                        .map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox))
-                        .collect();
-                    let dx_addrs: Vec<u64> = lanes
-                        .iter()
-                        .map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox))
-                        .collect();
-                    sink.global_load(&dy_addrs);
-                    sink.global_load(&dx_addrs);
+                    sink.global_load_into(
+                        lanes
+                            .iter()
+                            .map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox)),
+                    );
+                    sink.global_load_into(
+                        lanes
+                            .iter()
+                            .map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox)),
+                    );
                     sink.alu(4 * nl);
                     sink.flop(4 * nl); // p = p_o + p_i + Δp
 
                     let (ki, kj) = (tap / s.kernel, tap % s.kernel);
                     // Every channel of this deformable group samples at the
-                    // same coordinates; each sample feeds C_out FMAs.
+                    // same coordinates, so compute them once per (g, tap)
+                    // instead of once per channel — `ch_per_group`× fewer
+                    // offset reads and coordinate transforms, identical
+                    // values fed to every fetch.
+                    coords.fill_from(lanes.iter().map(|&(oy, ox)| {
+                        let dy = self
+                            .offset_transform
+                            .apply(self.offsets.at4(ni, ch, oy, ox));
+                        let dx = self
+                            .offset_transform
+                            .apply(self.offsets.at4(ni, ch + 1, oy, ox));
+                        let py = (oy * s.stride + ki) as f32 - s.pad as f32 + dy;
+                        let px = (ox * s.stride + kj) as f32 - s.pad as f32 + dx;
+                        (py, px)
+                    }));
+                    // Each sample feeds C_out FMAs.
                     for ci in g * ch_per_group..(g + 1) * ch_per_group {
                         let layer = ni * s.c_in + ci;
-                        let coords: Vec<(f32, f32)> = lanes
-                            .iter()
-                            .map(|&(oy, ox)| {
-                                let dy = self
-                                    .offset_transform
-                                    .apply(self.offsets.at4(ni, ch, oy, ox));
-                                let dx = self.offset_transform.apply(self.offsets.at4(
-                                    ni,
-                                    ch + 1,
-                                    oy,
-                                    ox,
-                                ));
-                                let py = (oy * s.stride + ki) as f32 - s.pad as f32 + dy;
-                                let px = (ox * s.stride + kj) as f32 - s.pad as f32 + dx;
-                                (py, px)
-                            })
-                            .collect();
-                        tex_out.clear();
-                        sink.tex_fetch_warp(&self.texture, layer, &coords, &mut tex_out);
+                        sink.tex_fetch_warp_into(&self.texture, layer, coords.iter().copied());
                         // The fetched sample multiplies into this block's
                         // output-channel register accumulators.
                         sink.fma(nl * co_here as u64);
@@ -234,31 +235,26 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
         let wf = s.c_in * kk * co_here;
         for w0 in (0..wf).step_by(32) {
             let lanes_w = 32.min(wf - w0);
-            let addrs: Vec<u64> = (0..lanes_w)
-                .map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64)
-                .collect();
-            sink.global_load(&addrs);
+            sink.global_load_into(
+                (0..lanes_w).map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64),
+            );
         }
         // Output stores: C_out values per covered position.
         for warp_start in (0..threads).step_by(32) {
-            let lanes: Vec<(usize, usize)> = (warp_start..(warp_start + 32).min(threads))
-                .filter_map(|tid| {
+            lanes.fill_from(
+                (warp_start..(warp_start + 32).min(threads)).filter_map(|tid| {
                     let oy = tile_y * self.tile.h + tid / self.tile.w;
                     let ox = tile_x * self.tile.w + tid % self.tile.w;
                     (oy < oh && ox < ow).then_some((oy, ox))
-                })
-                .collect();
+                }),
+            );
             if lanes.is_empty() {
                 continue;
             }
             for co in co_lo..co_lo + co_here {
-                let addrs: Vec<u64> = lanes
-                    .iter()
-                    .map(|&(oy, ox)| {
-                        address_map::OUTPUT + 4 * (((ni * s.c_out + co) * oh + oy) * ow + ox) as u64
-                    })
-                    .collect();
-                sink.global_store(&addrs);
+                sink.global_store_into(lanes.iter().map(|&(oy, ox)| {
+                    address_map::OUTPUT + 4 * (((ni * s.c_out + co) * oh + oy) * ow + ox) as u64
+                }));
             }
         }
     }

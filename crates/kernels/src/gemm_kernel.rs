@@ -9,7 +9,7 @@
 
 use crate::im2col::address_map;
 use crate::layer::DeformLayerShape;
-use defcon_gpusim::trace::{BlockTrace, TraceSink};
+use defcon_gpusim::trace::{BlockTrace, LaneBuf, TraceSink};
 
 /// Output tile side of the GEMM blocking (64×64 output tile per block).
 const GEMM_TILE: usize = 64;
@@ -92,21 +92,22 @@ impl BlockTrace for GemmKernel {
             // lane addresses are gathered panel-wide and issued as full
             // 32-lane warp instructions (each lane one float), the way a
             // real tiled GEMM stages its shared-memory tiles.
+            // The panel's lane addresses are streamed straight into the
+            // sink in the same flattened row-major order — and the same
+            // 32-lane warp boundaries — the old collect-then-`chunks(32)`
+            // produced, without materializing the panel address list.
             let mut stage = |base: u64,
                              row_len: usize,
                              rows_here: usize,
                              row0: usize,
                              col0: usize,
                              width: usize| {
-                let mut addrs: Vec<u64> = Vec::with_capacity(rows_here * width);
-                for r in 0..rows_here {
-                    let row_addr = base + (((row0 + r) * row_len + col0) * 4) as u64;
-                    for w0 in 0..width {
-                        addrs.push(row_addr + (w0 * 4) as u64);
-                    }
-                }
-                for chunk in addrs.chunks(32) {
-                    sink.global_load(chunk);
+                let total = rows_here * width;
+                for chunk0 in (0..total).step_by(32) {
+                    sink.global_load_into((chunk0..(chunk0 + 32).min(total)).map(|i| {
+                        let (r, w0) = (i / width, i % width);
+                        base + (((row0 + r) * row_len + col0 + w0) * 4) as u64
+                    }));
                 }
             };
             stage(a_batch, self.k, rows, ti * GEMM_TILE, k0, ksz);
@@ -121,10 +122,7 @@ impl BlockTrace for GemmKernel {
             let row_addr = c_batch + (((ti * GEMM_TILE + r) * self.n + tj * GEMM_TILE) * 4) as u64;
             for w0 in (0..cols).step_by(32) {
                 let lanes = 32.min(cols - w0);
-                let addrs: Vec<u64> = (0..lanes)
-                    .map(|l| row_addr + ((w0 + l) * 4) as u64)
-                    .collect();
-                sink.global_store(&addrs);
+                sink.global_store_into((0..lanes).map(|l| row_addr + ((w0 + l) * 4) as u64));
             }
         }
     }
@@ -194,16 +192,15 @@ impl BlockTrace for RegularConvKernel {
         let co_here = CO_PER_BLOCK.min(s.c_out - co_blk * CO_PER_BLOCK);
 
         // 8 rows × 32 cols of output positions per block; each warp is one
-        // output row (32 consecutive columns).
+        // output row (32 consecutive columns). Lane staging is `LaneBuf` /
+        // iterator based — no heap allocation per block.
+        let mut lanes: LaneBuf<usize> = LaneBuf::new();
         for r in 0..8usize {
             let oy = tile_y * 8 + r;
             if oy >= oh {
                 continue;
             }
-            let lanes: Vec<usize> = (0..32)
-                .map(|l| tile_x * 32 + l)
-                .filter(|&ox| ox < ow)
-                .collect();
+            lanes.fill_from((0..32).map(|l| tile_x * 32 + l).filter(|&ox| ox < ow));
             if lanes.is_empty() {
                 continue;
             }
@@ -217,15 +214,11 @@ impl BlockTrace for RegularConvKernel {
                     for kj in 0..s.kernel {
                         // One coalesced warp load per (ci, tap): lanes read
                         // consecutive x.
-                        let addrs: Vec<u64> = lanes
-                            .iter()
-                            .filter_map(|&ox| {
-                                let ix = ox * s.stride + kj;
-                                (ix >= s.pad && ix - s.pad < s.w)
-                                    .then(|| self.input_addr(ni, ci, iy - s.pad, ix - s.pad))
-                            })
-                            .collect();
-                        sink.global_load(&addrs);
+                        sink.global_load_into(lanes.iter().filter_map(|&ox| {
+                            let ix = ox * s.stride + kj;
+                            (ix >= s.pad && ix - s.pad < s.w)
+                                .then(|| self.input_addr(ni, ci, iy - s.pad, ix - s.pad))
+                        }));
                         // co_here output channels accumulate from this tap.
                         sink.fma(nl * co_here as u64);
                     }
@@ -236,22 +229,17 @@ impl BlockTrace for RegularConvKernel {
             let wf = s.c_in * s.kernel * s.kernel * co_here;
             for w0 in (0..wf).step_by(32) {
                 let lanes_w = 32.min(wf - w0);
-                let addrs: Vec<u64> = (0..lanes_w)
-                    .map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64)
-                    .collect();
-                sink.global_load(&addrs);
+                sink.global_load_into(
+                    (0..lanes_w).map(|l| address_map::WEIGHTS + ((w0 + l) * 4) as u64),
+                );
             }
             // Output stores.
             for co in 0..co_here {
-                let addrs: Vec<u64> = lanes
-                    .iter()
-                    .map(|&ox| {
-                        address_map::OUTPUT
-                            + 4 * (((ni * s.c_out + co_blk * CO_PER_BLOCK + co) * oh + oy) * ow
-                                + ox) as u64
-                    })
-                    .collect();
-                sink.global_store(&addrs);
+                sink.global_store_into(lanes.iter().map(|&ox| {
+                    address_map::OUTPUT
+                        + 4 * (((ni * s.c_out + co_blk * CO_PER_BLOCK + co) * oh + oy) * ow + ox)
+                            as u64
+                }));
             }
         }
     }
@@ -286,15 +274,13 @@ impl BlockTrace for DepthwiseConvKernel {
         let ni = block / (s.c_in * per_c);
         let t = block % per_c;
         let (tile_y, tile_x) = (t / tx_count, t % tx_count);
+        let mut lanes: LaneBuf<usize> = LaneBuf::new();
         for r in 0..8usize {
             let oy = tile_y * 8 + r;
             if oy >= oh {
                 continue;
             }
-            let lanes: Vec<usize> = (0..32)
-                .map(|l| tile_x * 32 + l)
-                .filter(|&ox| ox < ow)
-                .collect();
+            lanes.fill_from((0..32).map(|l| tile_x * 32 + l).filter(|&ox| ox < ow));
             if lanes.is_empty() {
                 continue;
             }
@@ -305,28 +291,20 @@ impl BlockTrace for DepthwiseConvKernel {
                     continue;
                 }
                 for kj in 0..s.kernel {
-                    let addrs: Vec<u64> = lanes
-                        .iter()
-                        .filter_map(|&ox| {
-                            let ix = ox * s.stride + kj;
-                            (ix >= s.pad && ix - s.pad < s.w).then(|| {
-                                address_map::INPUT
-                                    + 4 * (((ni * s.c_in + ci) * s.h + iy - s.pad) * s.w + ix
-                                        - s.pad) as u64
-                            })
+                    sink.global_load_into(lanes.iter().filter_map(|&ox| {
+                        let ix = ox * s.stride + kj;
+                        (ix >= s.pad && ix - s.pad < s.w).then(|| {
+                            address_map::INPUT
+                                + 4 * (((ni * s.c_in + ci) * s.h + iy - s.pad) * s.w + ix - s.pad)
+                                    as u64
                         })
-                        .collect();
-                    sink.global_load(&addrs);
+                    }));
                     sink.fma(nl);
                 }
             }
-            let addrs: Vec<u64> = lanes
-                .iter()
-                .map(|&ox| {
-                    address_map::OUTPUT + 4 * (((ni * s.c_in + ci) * oh + oy) * ow + ox) as u64
-                })
-                .collect();
-            sink.global_store(&addrs);
+            sink.global_store_into(lanes.iter().map(|&ox| {
+                address_map::OUTPUT + 4 * (((ni * s.c_in + ci) * oh + oy) * ow + ox) as u64
+            }));
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::layer::{DeformLayerShape, TileConfig};
 use defcon_gpusim::texture::LayeredTexture2d;
-use defcon_gpusim::trace::{BlockTrace, TraceSink};
+use defcon_gpusim::trace::{BlockTrace, LaneBuf, TraceSink};
 use defcon_tensor::sample::OffsetTransform;
 use defcon_tensor::Tensor;
 
@@ -184,18 +184,20 @@ impl BlockTrace for Im2colDeformKernel<'_> {
 
         // Threads cover the tile row-major; lanes of one warp are
         // consecutive threads (so consecutive output columns, wrapping at
-        // tile width — the standard CUDA mapping).
+        // tile width — the standard CUDA mapping). All warp-level event
+        // staging goes through fixed-capacity `LaneBuf`s / sink iterators:
+        // this loop performs no heap allocation (see `tests/zero_alloc.rs`).
         let threads = self.tile.threads();
-        let mut tex_out = Vec::with_capacity(32);
+        let mut lanes: LaneBuf<(usize, usize)> = LaneBuf::new();
         for warp_start in (0..threads).step_by(32) {
             // Gather the warp's valid output positions.
-            let lanes: Vec<(usize, usize)> = (warp_start..(warp_start + 32).min(threads))
-                .filter_map(|tid| {
+            lanes.fill_from(
+                (warp_start..(warp_start + 32).min(threads)).filter_map(|tid| {
                     let oy = tile_y * self.tile.h + tid / self.tile.w;
                     let ox = tile_x * self.tile.w + tid % self.tile.w;
                     (oy < oh && ox < ow).then_some((oy, ox))
-                })
-                .collect();
+                }),
+            );
             if lanes.is_empty() {
                 continue;
             }
@@ -204,16 +206,16 @@ impl BlockTrace for Im2colDeformKernel<'_> {
             for tap in 0..kk {
                 let ch = 2 * (g * kk + tap);
                 // Two warp loads for (Δy, Δx) — coalesced along ox.
-                let dy_addrs: Vec<u64> = lanes
-                    .iter()
-                    .map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox))
-                    .collect();
-                let dx_addrs: Vec<u64> = lanes
-                    .iter()
-                    .map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox))
-                    .collect();
-                sink.global_load(&dy_addrs);
-                sink.global_load(&dx_addrs);
+                sink.global_load_into(
+                    lanes
+                        .iter()
+                        .map(|&(oy, ox)| self.offset_addr(ni, ch, oy, ox)),
+                );
+                sink.global_load_into(
+                    lanes
+                        .iter()
+                        .map(|&(oy, ox)| self.offset_addr(ni, ch + 1, oy, ox)),
+                );
                 // Address arithmetic for the sampling position.
                 sink.alu(4 * nl);
                 sink.flop(4 * nl); // p = p_o + p_i + Δp (fp adds, x and y)
@@ -222,13 +224,8 @@ impl BlockTrace for Im2colDeformKernel<'_> {
                     Sampling::Software => {
                         // 4 neighbour loads; out-of-bounds neighbours are
                         // branched around (no load, but branch ALU cost).
-                        let mut neigh: [Vec<u64>; 4] = [
-                            Vec::with_capacity(32),
-                            Vec::with_capacity(32),
-                            Vec::with_capacity(32),
-                            Vec::with_capacity(32),
-                        ];
-                        for &(oy, ox) in &lanes {
+                        let mut neigh: [LaneBuf<u64>; 4] = [LaneBuf::new(); 4];
+                        for &(oy, ox) in lanes.iter() {
                             let (py, px) = self.sample_coord(ni, g, tap, oy, ox);
                             let (y0, x0) = (py.floor() as isize, px.floor() as isize);
                             for (slot, (qy, qx)) in
@@ -262,22 +259,23 @@ impl BlockTrace for Im2colDeformKernel<'_> {
                             .as_ref()
                             .expect("texture sampling without texture");
                         let layer = ni * s.c_in + ci;
-                        let coords: Vec<(f32, f32)> = lanes
-                            .iter()
-                            .map(|&(oy, ox)| self.sample_coord(ni, g, tap, oy, ox))
-                            .collect();
-                        tex_out.clear();
-                        sink.tex_fetch_warp(tex, layer, &coords, &mut tex_out);
+                        sink.tex_fetch_warp_into(
+                            tex,
+                            layer,
+                            lanes
+                                .iter()
+                                .map(|&(oy, ox)| self.sample_coord(ni, g, tap, oy, ox)),
+                        );
                     }
                 }
 
                 // One coalesced column store per tap.
                 let row = ci * kk + tap;
-                let col_addrs: Vec<u64> = lanes
-                    .iter()
-                    .map(|&(oy, ox)| self.col_addr(ni, row, oy * ow + ox))
-                    .collect();
-                sink.global_store(&col_addrs);
+                sink.global_store_into(
+                    lanes
+                        .iter()
+                        .map(|&(oy, ox)| self.col_addr(ni, row, oy * ow + ox)),
+                );
             }
         }
     }

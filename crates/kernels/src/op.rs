@@ -1,6 +1,13 @@
 //! The complete deformable operation: offset prediction → deformable
 //! sampling (im2col) → GEMM, composable in every configuration the paper
 //! evaluates, with numeric execution and simulator timing.
+//!
+//! Every kernel this operator launches — the im2col sampling stage, the
+//! fused texture kernel, the GEMM epilogue, and both offset-predictor
+//! convolutions (regular and depthwise+pointwise) — stages its warp events
+//! through the sink's fixed-capacity scratch (`global_load_into` /
+//! `tex_fetch_warp_into`), so a simulated block allocates nothing on the
+//! heap. `tests/zero_alloc.rs` pins that contract for each family.
 
 use crate::gemm_kernel::{DepthwiseConvKernel, GemmKernel, RegularConvKernel};
 use crate::im2col::{im2col_deform_numeric, Im2colDeformKernel, Sampling};

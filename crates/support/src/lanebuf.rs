@@ -1,0 +1,182 @@
+//! A fixed-capacity, stack-allocated buffer sized for warp-level work.
+//!
+//! The simulator's inner loop handles one warp instruction at a time: at
+//! most 32 lane addresses, each of which can straddle one 32-byte sector
+//! boundary — so no warp-level event ever needs more than **64** slots. A
+//! [`LaneBuf`] is a plain `[T; 64]` plus a length: pushing, clearing and
+//! iterating never touch the heap, which is what makes the trace→coalesce→
+//! cache path allocation-free (see DESIGN.md, "Zero-allocation trace hot
+//! path").
+
+/// Capacity of a [`LaneBuf`]: warp width (32) × 2 for sector straddle.
+pub const LANE_BUF_CAP: usize = 64;
+
+/// A fixed-capacity vector of `Copy` elements living entirely on the stack
+/// (or inline in its owner). Pushing past [`LANE_BUF_CAP`] panics — by
+/// construction no warp-level event produces more entries.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneBuf<T: Copy + Default> {
+    data: [T; LANE_BUF_CAP],
+    len: usize,
+}
+
+impl<T: Copy + Default> Default for LaneBuf<T> {
+    fn default() -> Self {
+        LaneBuf::new()
+    }
+}
+
+impl<T: Copy + Default> LaneBuf<T> {
+    /// An empty buffer.
+    #[inline]
+    pub fn new() -> Self {
+        LaneBuf {
+            data: [T::default(); LANE_BUF_CAP],
+            len: 0,
+        }
+    }
+
+    /// Number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no element is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all elements (O(1): elements are `Copy`).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends `value`. Panics if the buffer is full.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.data[self.len] = value;
+        self.len += 1;
+    }
+
+    /// Inserts `value` at `index`, shifting the tail right. Panics if the
+    /// buffer is full or `index > len`.
+    #[inline]
+    pub fn insert(&mut self, index: usize, value: T) {
+        assert!(index <= self.len, "insert index out of bounds");
+        self.data.copy_within(index..self.len, index + 1);
+        self.data[index] = value;
+        self.len += 1;
+    }
+
+    /// The live elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[..self.len]
+    }
+
+    /// The live elements as a mutable slice (for in-place sort/compaction).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data[..self.len]
+    }
+
+    /// Shortens the buffer to `len` elements. Panics if `len > self.len()`.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len, "truncate beyond length");
+        self.len = len;
+    }
+
+    /// Refills the buffer from an iterator (clearing it first).
+    #[inline]
+    pub fn fill_from(&mut self, iter: impl IntoIterator<Item = T>) {
+        self.clear();
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default> std::ops::Deref for LaneBuf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default> PartialEq for LaneBuf<T>
+where
+    T: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_len_and_slice() {
+        let mut b: LaneBuf<u64> = LaneBuf::new();
+        assert!(b.is_empty());
+        b.push(3);
+        b.push(1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.as_slice(), &[3, 1]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn insert_shifts_tail() {
+        let mut b: LaneBuf<u64> = LaneBuf::new();
+        b.push(1);
+        b.push(3);
+        b.insert(1, 2);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        b.insert(0, 0);
+        assert_eq!(b.as_slice(), &[0, 1, 2, 3]);
+        b.insert(4, 9);
+        assert_eq!(b.as_slice(), &[0, 1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn fill_from_replaces_contents() {
+        let mut b: LaneBuf<u64> = LaneBuf::new();
+        b.push(7);
+        b.fill_from(0..5u64);
+        assert_eq!(b.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_is_warp_times_two() {
+        let mut b: LaneBuf<u64> = LaneBuf::new();
+        for i in 0..LANE_BUF_CAP as u64 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut b: LaneBuf<u64> = LaneBuf::new();
+        for i in 0..=LANE_BUF_CAP as u64 {
+            b.push(i);
+        }
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let mut b: LaneBuf<(f32, f32)> = LaneBuf::new();
+        b.push((1.0, 2.0));
+        assert_eq!(b.iter().count(), 1);
+        assert_eq!(b[0], (1.0, 2.0));
+    }
+}

@@ -15,7 +15,11 @@
 //! * [`prop`] — a seeded property-testing harness with reproducible
 //!   failing-case reports (replaces `proptest`);
 //! * [`bench`] — a wall-clock micro-benchmark harness for the
-//!   `harness = false` bench binaries (replaces `criterion`).
+//!   `harness = false` bench binaries (replaces `criterion`);
+//! * [`lanebuf`] — a fixed-capacity, stack-allocated buffer for warp-level
+//!   events (the zero-allocation trace hot path, replaces ad-hoc `Vec`s);
+//! * [`testalloc`] — a per-thread counting global allocator for
+//!   allocation-budget tests.
 //!
 //! Design rule: these are *replacements for the slice of API this
 //! workspace uses*, not general-purpose rewrites. Determinism outranks
@@ -25,6 +29,8 @@
 
 pub mod bench;
 pub mod json;
+pub mod lanebuf;
 pub mod par;
 pub mod prop;
 pub mod rng;
+pub mod testalloc;

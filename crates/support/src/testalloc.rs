@@ -1,0 +1,90 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! Install it in a test binary with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: defcon_support::testalloc::CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! and bracket the region under test with [`thread_allocations`]: the
+//! counter is **per-thread** (a `const`-initialized thread-local `Cell`, so
+//! reading it never allocates), which keeps counts exact even when the test
+//! harness runs other tests — or its own bookkeeping — on sibling threads.
+//!
+//! Only used by tests (the zero-allocation trace-hot-path contract); the
+//! production binaries use the system allocator untouched.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Heap allocations performed by the current thread since it started.
+    /// `realloc` and `alloc_zeroed` count as one allocation each.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations performed by the calling thread so far. Subtract two
+/// readings to get the count for a region.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+/// A `System`-backed allocator that counts allocations per thread.
+pub struct CountingAllocator;
+
+#[inline]
+fn bump() {
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: defers all memory management to `System`; only adds counting.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the allocator is not installed in this crate's own test binary
+    // (that would tax every unrelated test); these tests only cover the
+    // counter plumbing. The end-to-end zero-allocation assertion lives in
+    // the workspace-root `tests/zero_alloc.rs`, which does install it.
+
+    #[test]
+    fn counter_starts_reads_and_is_monotonic() {
+        let a = thread_allocations();
+        let b = thread_allocations();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn bump_increments_this_thread_only() {
+        let before = thread_allocations();
+        bump();
+        assert_eq!(thread_allocations(), before + 1);
+        let handle = std::thread::spawn(thread_allocations);
+        // The spawned thread's count is independent of this thread's.
+        let other = handle.join().unwrap();
+        assert!(other < u64::MAX);
+        assert_eq!(thread_allocations(), before + 1);
+    }
+}

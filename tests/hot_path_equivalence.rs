@@ -1,0 +1,181 @@
+//! Equivalence tests for the zero-allocation trace hot path.
+//!
+//! Two families:
+//!
+//! 1. The in-place coalescer (`coalesce_into`) must be **bit-equal** to the
+//!    allocating reference oracle (`coalesce`) on every warp shape — the
+//!    golden snapshots depend on the sector order the cache walk sees.
+//! 2. The cache's masked set indexing must agree with plain modulo wherever
+//!    the set count is a power of two, and the shipped device geometries
+//!    must exercise both paths. NOTE: not every shipped geometry has a
+//!    power-of-two set count — the Xavier texture cache is 48 KB / (128 B ×
+//!    4 ways) = **96 sets**, which is exactly why `Cache` keeps a checked
+//!    modulo fallback. The test below pins the actual status of each
+//!    geometry rather than assuming pow2 everywhere.
+
+use defcon::gpusim::cache::{Access, Cache};
+use defcon::gpusim::coalesce::{coalesce, coalesce_into};
+use defcon::gpusim::device::{CacheGeometry, DeviceConfig};
+use defcon_support::lanebuf::LaneBuf;
+use defcon_support::prop::{self, Config};
+use defcon_support::prop_assert_eq;
+use defcon_support::rng::Rng;
+
+const CASES: u32 = 64;
+
+/// Random warps across every shape class the kernels generate: broadcast,
+/// contiguous, strided, straddling, partial-warp, empty, and fully random —
+/// the in-place coalescer must reproduce the oracle's sectors byte for byte.
+#[test]
+fn coalesce_into_bit_equal_to_reference() {
+    prop::check(
+        "coalesce_into_bit_equal_to_reference",
+        &Config::new(CASES, 0xDEFC_0020),
+        |rng| {
+            let shape = rng.gen_range(0u32..7);
+            let n = rng.gen_range(0usize..33);
+            let base = rng.gen_range(0u64..1_000_000);
+            let access_bytes = [1u64, 2, 4, 8][rng.gen_range(0usize..4)];
+            let addrs: Vec<u64> = match shape {
+                0 => vec![base; n],                                          // broadcast
+                1 => (0..n as u64).map(|i| base + i * 4).collect(),          // contiguous
+                2 => (0..n as u64).map(|i| base + i * 32).collect(),         // sector-strided
+                3 => (0..n as u64).map(|i| base + i * 64 + 30).collect(),    // straddling
+                4 => (0..n as u64).rev().map(|i| base + i * 36).collect(),   // descending
+                5 => vec![],                                                 // empty warp
+                _ => (0..n).map(|_| rng.gen_range(0u64..1 << 20)).collect(), // fully random
+            };
+            (addrs, access_bytes)
+        },
+        |(addrs, access_bytes)| {
+            let r = coalesce(addrs, *access_bytes);
+            let mut buf: LaneBuf<u64> = LaneBuf::new();
+            let requested = coalesce_into(addrs, *access_bytes, &mut buf);
+            prop_assert_eq!(buf.as_slice(), r.sectors.as_slice());
+            prop_assert_eq!(requested, r.requested_bytes);
+            Ok(())
+        },
+    );
+}
+
+/// For power-of-two set counts, the mask index `line & (sets-1)` equals the
+/// modulo index `line % sets` for arbitrary line addresses — the identity
+/// `Cache::set_of` relies on when it takes the mask fast path.
+#[test]
+fn mask_index_agrees_with_modulo_for_pow2_sets() {
+    prop::check(
+        "mask_index_agrees_with_modulo_for_pow2_sets",
+        &Config::new(CASES, 0xDEFC_0021),
+        |rng| {
+            let sets = 1u64 << rng.gen_range(0u32..16);
+            (sets, rng.gen_range(0u64..u64::MAX / 2))
+        },
+        |&(sets, line)| {
+            prop_assert_eq!(line & (sets - 1), line % sets);
+            Ok(())
+        },
+    );
+}
+
+/// Pins the set count and pow2 status of every shipped cache geometry. The
+/// Xavier texture cache is the one non-power-of-two geometry in the fleet
+/// (96 sets), so every full simulation exercises the modulo fallback; all
+/// others take the mask fast path.
+#[test]
+fn shipped_geometries_pow2_status() {
+    let xavier = DeviceConfig::xavier_agx();
+    let turing = DeviceConfig::rtx2080ti();
+    let expect: [(&str, &CacheGeometry, usize, bool); 6] = [
+        ("xavier.l1", &xavier.l1, 128, true),
+        ("xavier.l2", &xavier.l2, 256, true),
+        ("xavier.tex", &xavier.tex_cache, 96, false),
+        ("2080ti.l1", &turing.l1, 128, true),
+        ("2080ti.l2", &turing.l2, 2048, true),
+        ("2080ti.tex", &turing.tex_cache, 128, true),
+    ];
+    for (name, geo, sets, pow2) in expect {
+        assert_eq!(geo.num_sets(), sets, "{name} set count");
+        assert_eq!(geo.num_sets().is_power_of_two(), pow2, "{name} pow2");
+    }
+}
+
+/// Behavioral check of the modulo fallback: on the 96-set Xavier texture
+/// geometry, lines congruent mod 96 share a set, so a 4-way set overflows at
+/// the fifth resident line while 4 stay resident — the conflict pattern only
+/// correct `line mod sets` indexing produces.
+#[test]
+fn non_pow2_geometry_conflicts_at_modulo_stride() {
+    let geo = DeviceConfig::xavier_agx().tex_cache;
+    assert_eq!(geo.num_sets(), 96);
+    let mut c = Cache::new(geo);
+    // Four lines in set 7: all resident after first touch.
+    for i in 0..4u64 {
+        assert_eq!(c.access_line(7 + i * 96), Access::Miss);
+    }
+    for i in 0..4u64 {
+        assert_eq!(c.access_line(7 + i * 96), Access::Hit, "way {i}");
+    }
+    // A fifth conflicting line evicts the LRU (line 7).
+    assert_eq!(c.access_line(7 + 4 * 96), Access::Miss);
+    assert_eq!(c.access_line(7), Access::Miss, "LRU line must be evicted");
+    // Neighbouring set untouched by the conflicts.
+    c.access_line(8);
+    assert_eq!(c.access_line(8), Access::Hit);
+}
+
+/// Arbitrary line streams produce identical hit/miss sequences on a
+/// power-of-two cache regardless of which indexing path computes the set —
+/// checked by comparing against a mirror cache fed lines pre-reduced mod
+/// `sets` (same set, same tag behavior requires full-line tags, which the
+/// model uses; reduced lines must therefore give the same sequence only
+/// when tags are distinct per set — use stride-preserving lines).
+#[test]
+fn pow2_cache_hit_sequence_matches_modulo_model() {
+    prop::check(
+        "pow2_cache_hit_sequence_matches_modulo_model",
+        &Config::new(CASES, 0xDEFC_0022),
+        |rng| {
+            let n = rng.gen_range(1usize..200);
+            (0..n)
+                .map(|_| rng.gen_range(0u64..4096))
+                .collect::<Vec<u64>>()
+        },
+        |lines| {
+            // 128-set pow2 geometry (mask path) vs a handmade modulo model
+            // of the same true-LRU policy.
+            let geo = CacheGeometry {
+                size_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+                hit_latency: 1,
+            };
+            let sets = geo.num_sets() as u64;
+            let ways = geo.ways;
+            let mut c = Cache::new(geo);
+            let mut model: Vec<Vec<(u64, u64)>> = vec![Vec::new(); sets as usize];
+            let mut clock = 0u64;
+            for &line in lines {
+                clock += 1;
+                let set = &mut model[(line % sets) as usize];
+                let expect = if let Some(e) = set.iter_mut().find(|(t, _)| *t == line) {
+                    e.1 = clock;
+                    Access::Hit
+                } else {
+                    if set.len() == ways {
+                        let lru = set
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, (_, s))| *s)
+                            .map(|(i, _)| i)
+                            .unwrap();
+                        set.remove(lru);
+                    }
+                    set.push((line, clock));
+                    Access::Miss
+                };
+                prop_assert_eq!(c.access_line(line), expect);
+            }
+            Ok(())
+        },
+    );
+}

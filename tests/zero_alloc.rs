@@ -1,0 +1,127 @@
+//! The zero-allocation trace contract, pinned.
+//!
+//! Installs the per-thread counting allocator from `defcon_support` and
+//! asserts that — after kernel and sink construction — tracing blocks of
+//! every kernel family performs **zero** heap allocations. This is the
+//! invariant the hot-path rework establishes: all warp-level event staging
+//! goes through the sink's fixed-capacity `LaneBuf` scratch and the
+//! iterator-based `_into` entry points, never through per-instruction
+//! `Vec`s.
+//!
+//! Layer shape: the paper's exhaustive Table II layer (16×16 channels,
+//! 550×550), the same layer the hot-path benchmark times.
+
+use defcon::gpusim::cache::Cache;
+use defcon::gpusim::device::DeviceConfig;
+use defcon::gpusim::trace::{BlockTrace, TraceSink};
+use defcon::kernels::fused::FusedTexDeformKernel;
+use defcon::kernels::gemm_kernel::{DepthwiseConvKernel, GemmKernel, RegularConvKernel};
+use defcon::kernels::im2col::{Im2colDeformKernel, Sampling};
+use defcon::kernels::op::synthetic_inputs;
+use defcon::kernels::{DeformLayerShape, TileConfig};
+use defcon::tensor::sample::OffsetTransform;
+use defcon_support::testalloc::{thread_allocations, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Traces up to `max_blocks` blocks of `kernel` through a fresh sink and
+/// returns the number of heap allocations the traced region performed.
+fn allocations_tracing(kernel: &dyn BlockTrace, cfg: &DeviceConfig, max_blocks: usize) -> u64 {
+    let mut l1 = Cache::new(cfg.l1);
+    let mut tex = Cache::new(cfg.tex_cache);
+    let mut l2 = Cache::new(cfg.l2);
+    let warps = kernel.block_threads().div_ceil(cfg.warp_size);
+    let mut sink = TraceSink::new(cfg, &mut l1, &mut tex, &mut l2, warps);
+    let blocks = kernel.grid_blocks().min(max_blocks);
+    assert!(blocks > 0, "kernel has an empty grid");
+    let before = thread_allocations();
+    for b in 0..blocks {
+        kernel.trace_block(b, &mut sink);
+    }
+    thread_allocations() - before
+}
+
+fn table2_shape() -> DeformLayerShape {
+    DeformLayerShape::same3x3(16, 16, 550, 550)
+}
+
+#[test]
+fn im2col_software_traces_without_allocating() {
+    let shape = table2_shape();
+    let (x, off) = synthetic_inputs(&shape, 2.0, 11);
+    let cfg = DeviceConfig::xavier_agx();
+    let k = Im2colDeformKernel::new(
+        shape,
+        TileConfig::default16(),
+        &x,
+        &off,
+        OffsetTransform::Identity,
+        Sampling::Software,
+        cfg.max_texture_layers,
+        cfg.max_texture_dim,
+    )
+    .unwrap();
+    assert_eq!(allocations_tracing(&k, &cfg, 4), 0);
+}
+
+#[test]
+fn im2col_texture_traces_without_allocating() {
+    let shape = table2_shape();
+    let (x, off) = synthetic_inputs(&shape, 2.0, 12);
+    let cfg = DeviceConfig::xavier_agx();
+    let k = Im2colDeformKernel::new(
+        shape,
+        TileConfig::default16(),
+        &x,
+        &off,
+        OffsetTransform::Identity,
+        Sampling::Texture { frac_bits: 23 },
+        cfg.max_texture_layers,
+        cfg.max_texture_dim,
+    )
+    .unwrap();
+    assert_eq!(allocations_tracing(&k, &cfg, 4), 0);
+}
+
+#[test]
+fn fused_texture_traces_without_allocating() {
+    let shape = table2_shape();
+    let (x, off) = synthetic_inputs(&shape, 2.0, 13);
+    let cfg = DeviceConfig::xavier_agx();
+    let k = FusedTexDeformKernel::new(
+        shape,
+        TileConfig::default16(),
+        &x,
+        &off,
+        OffsetTransform::Identity,
+        8,
+        cfg.max_texture_layers,
+        cfg.max_texture_dim,
+    )
+    .unwrap();
+    assert_eq!(allocations_tracing(&k, &cfg, 2), 0);
+}
+
+#[test]
+fn gemm_traces_without_allocating() {
+    let cfg = DeviceConfig::xavier_agx();
+    let k = GemmKernel::for_conv(&table2_shape());
+    assert_eq!(allocations_tracing(&k, &cfg, 2), 0);
+}
+
+#[test]
+fn regular_conv_traces_without_allocating() {
+    let cfg = DeviceConfig::xavier_agx();
+    let k = RegularConvKernel::new(table2_shape(), "offset_conv");
+    assert_eq!(allocations_tracing(&k, &cfg, 4), 0);
+}
+
+#[test]
+fn depthwise_conv_traces_without_allocating() {
+    let cfg = DeviceConfig::xavier_agx();
+    let k = DepthwiseConvKernel {
+        shape: table2_shape(),
+    };
+    assert_eq!(allocations_tracing(&k, &cfg, 4), 0);
+}
