@@ -17,6 +17,8 @@ cargo build --release --offline
 # reports must not depend on the ambient thread count beyond the documented
 # 1 % L2-shard tolerance — the golden-report and equivalence tests fail on
 # any divergence, so a pass at both counts is the contract's CI enforcement.
+# The root integration suites include tests/fault_injection.rs, so every
+# armed-fault degradation path is also exercised at both thread counts.
 for threads in 1 4; do
     export DEFCON_THREADS="$threads"
 
@@ -30,6 +32,33 @@ unset DEFCON_THREADS
 
 echo "==> cargo check --all-targets --offline (benches + bins compile)"
 cargo check --all-targets --offline
+
+# Unwrap/panic ratchet over the fallible-API modules (DESIGN.md §"Fault
+# injection & graceful degradation"): these files expose typed-DefconError
+# APIs, so a *new* unwrap()/panic! is a regression. The counts below are
+# the blessed baselines (tests included); if you removed some, lower the
+# number here — never raise it without a DESIGN.md note.
+echo "==> unwrap()/panic! ratchet on converted fallible-API modules"
+check_ratchet() {
+    file="$1" max_unwrap="$2" max_panic="$3"
+    unwraps=$(grep -c "unwrap()" "$file" || true)
+    panics=$(grep -c "panic!" "$file" || true)
+    if [ "$unwraps" -gt "$max_unwrap" ] || [ "$panics" -gt "$max_panic" ]; then
+        echo "ratchet FAIL: $file has $unwraps unwrap() (max $max_unwrap)," \
+             "$panics panic! (max $max_panic)" >&2
+        exit 1
+    fi
+}
+check_ratchet crates/support/src/ckpt.rs     14 0
+check_ratchet crates/support/src/env.rs       0 0
+check_ratchet crates/core/src/lut.rs          6 1
+check_ratchet crates/core/src/search.rs      11 1
+check_ratchet crates/core/src/autotune.rs     4 0
+check_ratchet crates/core/src/pipeline.rs     2 0
+check_ratchet crates/gpusim/src/device.rs     4 0
+check_ratchet crates/gpusim/src/texture.rs    1 0
+check_ratchet crates/kernels/src/op.rs        3 0
+check_ratchet crates/models/src/trainer.rs    7 0
 
 # Hot-path smoke: the legacy (allocating) and staged (zero-allocation) trace
 # paths must produce byte-identical serial reports. DEFCON_TINY runs the

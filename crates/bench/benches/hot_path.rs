@@ -775,7 +775,7 @@ fn compare<K: LegacyKernel + BlockTrace>(
 }
 
 fn main() {
-    let tiny = std::env::var_os("DEFCON_TINY").is_some();
+    let tiny = defcon_bench::tiny_mode();
     let shape = if tiny {
         DeformLayerShape::same3x3(4, 4, 40, 40)
     } else {

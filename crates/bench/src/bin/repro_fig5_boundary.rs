@@ -17,7 +17,7 @@ use defcon_nn::graph::ParamStore;
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
-    let fast = std::env::var("DEFCON_FAST").is_ok();
+    let fast = defcon_bench::fast_mode();
     let dataset = DeformedShapesConfig {
         deformation: 1.0,
         ..Default::default()

@@ -23,7 +23,7 @@ use defcon_models::trainer::{
 use defcon_nn::graph::ParamStore;
 
 fn main() {
-    let fast = std::env::var("DEFCON_FAST").is_ok();
+    let fast = defcon_bench::fast_mode();
     let dataset = DeformedShapesConfig {
         deformation: 1.0,
         ..Default::default()

@@ -16,18 +16,20 @@ use defcon_support::json::Json;
 use std::fmt::Write as _;
 
 /// True when `DEFCON_TINY=1`: sweep tiny layer shapes instead of the
-/// paper's.
+/// paper's. A malformed value exits with a clear message rather than
+/// being silently ignored.
 pub fn tiny_mode() -> bool {
-    std::env::var("DEFCON_TINY")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::TINY))
 }
 
 /// True when `DEFCON_JSON=1`: emit a machine-readable report line.
 pub fn json_mode() -> bool {
-    std::env::var("DEFCON_JSON")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::JSON))
+}
+
+/// True when `DEFCON_FAST=1`: shrink an example/repro training budget.
+pub fn fast_mode() -> bool {
+    defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::FAST))
 }
 
 /// The layer shapes a `repro_*` binary should sweep: the paper's Table II

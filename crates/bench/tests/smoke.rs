@@ -179,7 +179,7 @@ fn golden_reports_match_snapshots() {
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("tests/golden")
             .join(format!("{name}.json"));
-        if std::env::var("DEFCON_BLESS").as_deref() == Ok("1") {
+        if defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::BLESS)) {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
             std::fs::write(&path, &actual).unwrap();
             continue;

@@ -8,6 +8,8 @@
 //! baselines for comparison.
 
 use defcon_kernels::TileConfig;
+use defcon_support::error::DefconError;
+use defcon_support::fault;
 use defcon_support::par::ParallelSliceMut;
 use defcon_support::rng::{SeedableRng, SliceRandom, StdRng};
 
@@ -123,7 +125,21 @@ impl Autotuner {
         while evals.len() < budget && !remaining.is_empty() {
             let xs: Vec<[f64; 2]> = evals.iter().map(|(t, _)| features(*t)).collect();
             let ys: Vec<f64> = evals.iter().map(|(_, v)| v).copied().collect();
-            let gp = Gp::fit(&xs, &ys);
+            let gp = match Gp::fit(&xs, &ys) {
+                Ok(gp) => gp,
+                Err(_) => {
+                    // Graceful degradation: the surrogate is unfittable even
+                    // with jitter (degenerate evaluations, duplicate tiles).
+                    // Spend the remaining budget as seeded random search —
+                    // `remaining` is already seed-shuffled, so the fallback
+                    // is as deterministic as the happy path.
+                    while evals.len() < budget {
+                        let Some(t) = remaining.pop() else { break };
+                        evals.push((t, objective(t)));
+                    }
+                    break;
+                }
+            };
             let best_y = ys.iter().copied().fold(f64::INFINITY, f64::min);
             // Pick the remaining candidate with maximal expected improvement.
             let (idx, _) = remaining
@@ -179,6 +195,7 @@ fn erf(x: f64) -> f64 {
 
 /// A small exact Gaussian process (RBF kernel + observation noise) for the
 /// handful of points the tuner evaluates.
+#[derive(Debug)]
 struct Gp {
     xs: Vec<[f64; 2]>,
     alpha: Vec<f64>,
@@ -190,7 +207,14 @@ struct Gp {
 }
 
 impl Gp {
-    fn fit(xs: &[[f64; 2]], ys: &[f64]) -> Gp {
+    /// Fits the GP, retrying a failed Cholesky with escalating diagonal
+    /// jitter (1e-3, 1e-2, 1e-1 on top of the base 1e-4 noise). The first
+    /// attempt is bit-identical to the pre-jitter implementation, so the
+    /// happy path reproduces historical tuning traces exactly. When even
+    /// the largest jitter cannot make the kernel matrix positive definite,
+    /// the error is [`DefconError::RetriesExhausted`] and the caller falls
+    /// back to random search.
+    fn fit(xs: &[[f64; 2]], ys: &[f64]) -> Result<Gp, DefconError> {
         let n = xs.len();
         assert!(n > 0 && n == ys.len());
         let y_mean = ys.iter().sum::<f64>() / n as f64;
@@ -198,27 +222,34 @@ impl Gp {
         let y_std = y_var.sqrt().max(1e-9);
         let ysn: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
         let length_scale = 1.0; // one octave in log2 tile space
-        let noise = 1e-4;
 
-        // K + noise·I, then Cholesky.
-        let mut k = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                k[i * n + j] = rbf(xs[i], xs[j], length_scale);
+        const JITTERS: [f64; 4] = [0.0, 1e-3, 1e-2, 1e-1];
+        for jitter in JITTERS {
+            let noise = 1e-4 + jitter;
+            // K + noise·I, then Cholesky.
+            let mut k = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    k[i * n + j] = rbf(xs[i], xs[j], length_scale);
+                }
+                k[i * n + i] += noise;
             }
-            k[i * n + i] += noise;
+            let Ok(chol) = cholesky(&k, n) else { continue };
+            let alpha = chol_solve(&chol, n, &ysn);
+            return Ok(Gp {
+                xs: xs.to_vec(),
+                alpha,
+                chol,
+                n,
+                y_mean,
+                y_std,
+                length_scale,
+            });
         }
-        let chol = cholesky(&k, n);
-        let alpha = chol_solve(&chol, n, &ysn);
-        Gp {
-            xs: xs.to_vec(),
-            alpha,
-            chol,
-            n,
-            y_mean,
-            y_std,
-            length_scale,
-        }
+        Err(DefconError::RetriesExhausted {
+            what: "GP Cholesky with escalating jitter".to_string(),
+            attempts: JITTERS.len(),
+        })
     }
 
     /// Posterior mean and variance at `x` (in original y units).
@@ -248,8 +279,20 @@ fn rbf(a: [f64; 2], b: [f64; 2], l: f64) -> f64 {
     (-d2 / (2.0 * l * l)).exp()
 }
 
-/// Dense lower-triangular Cholesky of a positive-definite matrix.
-fn cholesky(k: &[f64], n: usize) -> Vec<f64> {
+/// Dense lower-triangular Cholesky of a positive-definite matrix. A
+/// non-positive pivot (the matrix is singular or indefinite — e.g. the
+/// kernel matrix of duplicate sampled tiles) is a typed
+/// [`DefconError::NotPositiveDefinite`], not a panic or a NaN factor.
+///
+/// Fault point `autotune.cholesky` injects a pivot failure for
+/// degradation tests (jitter escalation, random-search fallback).
+fn cholesky(k: &[f64], n: usize) -> Result<Vec<f64>, DefconError> {
+    if fault::fires("autotune.cholesky") {
+        return Err(DefconError::NotPositiveDefinite {
+            pivot: 0,
+            value: f64::NEG_INFINITY, // sentinel: injected, not computed
+        });
+    }
     let mut l = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..=i {
@@ -258,14 +301,16 @@ fn cholesky(k: &[f64], n: usize) -> Vec<f64> {
                 s -= l[i * n + m] * l[j * n + m];
             }
             if i == j {
-                assert!(s > 0.0, "matrix not positive definite (s = {s})");
+                if s <= 0.0 {
+                    return Err(DefconError::NotPositiveDefinite { pivot: i, value: s });
+                }
                 l[i * n + i] = s.sqrt();
             } else {
                 l[i * n + j] = s / l[j * n + j];
             }
         }
     }
-    l
+    Ok(l)
 }
 
 /// Solves `L y = b` (forward substitution).
@@ -320,6 +365,7 @@ mod tests {
 
     #[test]
     fn bayesian_matches_exhaustive_with_half_budget() {
+        let _quiet = fault::quiesce();
         let space = TileConfig::search_space();
         let tuner = Autotuner::bayesian(space.len() / 2, 7);
         let r = tuner.run(&space, bowl);
@@ -329,6 +375,7 @@ mod tests {
 
     #[test]
     fn bayesian_beats_or_matches_random_on_average() {
+        let _quiet = fault::quiesce();
         let space = TileConfig::search_space();
         let budget = 8;
         let mut bo_total = 0.0;
@@ -353,9 +400,10 @@ mod tests {
 
     #[test]
     fn gp_interpolates_training_points() {
+        let _quiet = fault::quiesce();
         let xs = vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [2.0, 2.0]];
         let ys = vec![1.0, 2.0, 3.0, 0.5];
-        let gp = Gp::fit(&xs, &ys);
+        let gp = Gp::fit(&xs, &ys).unwrap();
         for (x, y) in xs.iter().zip(ys.iter()) {
             let (mu, var) = gp.predict(*x);
             assert!((mu - y).abs() < 0.05, "GP mean {mu} vs observed {y}");
@@ -368,12 +416,90 @@ mod tests {
 
     #[test]
     fn gp_uncertainty_grows_away_from_data() {
+        let _quiet = fault::quiesce();
         let xs = vec![[0.0, 0.0], [1.0, 1.0]];
         let ys = vec![1.0, 2.0];
-        let gp = Gp::fit(&xs, &ys);
+        let gp = Gp::fit(&xs, &ys).unwrap();
         let (_, var_near) = gp.predict([0.1, 0.1]);
         let (_, var_far) = gp.predict([6.0, 6.0]);
         assert!(var_far > var_near);
+    }
+
+    #[test]
+    fn cholesky_rejects_degenerate_kernel_matrices() {
+        let _quiet = fault::quiesce();
+        // Singular: the kernel matrix of two duplicate sampled tiles
+        // (identical rows) — the case that used to panic mid-tuning.
+        let dup = [1.0, 1.0, 1.0, 1.0];
+        let err = cholesky(&dup, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            DefconError::NotPositiveDefinite { pivot: 1, .. }
+        ));
+        assert!(err.is_degradable());
+        // Indefinite.
+        let indef = [1.0, 2.0, 2.0, 1.0];
+        assert!(cholesky(&indef, 2).is_err());
+        // Well-conditioned still factors.
+        let ok = cholesky(&[4.0, 2.0, 2.0, 3.0], 2).unwrap();
+        assert!((ok[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gp_fit_recovers_from_transient_cholesky_failure_via_jitter() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let xs = vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        // First factorization attempt fails (injected); the 1e-3-jitter
+        // retry succeeds and the fit still interpolates.
+        let _g = fault::arm(FaultPlan::new(13).point("autotune.cholesky", Schedule::Nth(0)));
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        assert_eq!(fault::log(), vec!["autotune.cholesky#0"]);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let (mu, _) = gp.predict(*x);
+            assert!((mu - y).abs() < 0.1, "jittered GP mean {mu} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gp_fit_exhausts_jitter_into_typed_error() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let _g = fault::arm(FaultPlan::new(13).point("autotune.cholesky", Schedule::Always));
+        let err = Gp::fit(&[[0.0, 0.0]], &[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            DefconError::RetriesExhausted { attempts: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn bayesian_degrades_to_random_search_when_gp_unfittable() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let space = TileConfig::search_space();
+        let budget = 8;
+        let run = || {
+            let _g = fault::arm(FaultPlan::new(5).point("autotune.cholesky", Schedule::Always));
+            Autotuner::bayesian(budget, 3).run(&space, bowl)
+        };
+        let r = run();
+        // The full budget is still spent and a best is produced.
+        assert_eq!(r.evaluations.len(), budget);
+        assert!(r.best_value.is_finite());
+        // The fallback is deterministic: same seed, same evaluations.
+        let r2 = run();
+        let evals = |r: &AutotuneResult| r.evaluations.clone();
+        assert_eq!(evals(&r), evals(&r2));
+    }
+
+    #[test]
+    fn bayesian_survives_constant_objective() {
+        let _quiet = fault::quiesce();
+        // A constant objective makes every y identical (zero variance) —
+        // the GP must either fit it or degrade, never panic.
+        let space = TileConfig::search_space();
+        let r = Autotuner::bayesian(6, 11).run(&space, |_| 2.5);
+        assert_eq!(r.evaluations.len(), 6);
+        assert_eq!(r.best_value, 2.5);
     }
 
     #[test]

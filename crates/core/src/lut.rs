@@ -11,6 +11,8 @@ use defcon_gpusim::Gpu;
 use defcon_kernels::op::simulate_regular_conv_ms;
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
 use defcon_kernels::{DeformLayerShape, TileConfig};
+use defcon_support::error::DefconError;
+use defcon_support::fault;
 use defcon_support::json::{FromJson, Json, JsonError, ToJson};
 use defcon_support::par::ParallelSliceMut;
 use defcon_tensor::sample::OffsetTransform;
@@ -183,6 +185,19 @@ impl LatencyLut {
         self.entries.get(key)
     }
 
+    /// Fallible `t(w_n)` lookup: [`DefconError::MissingKey`] when the key
+    /// was not collected. Prefer this on paths fed by externally loaded
+    /// tables; [`LatencyLut::dcn_overhead_ms`] keeps the hard-fail contract
+    /// for in-process search loops.
+    pub fn try_dcn_overhead_ms(&self, key: &LatencyKey) -> Result<f64, DefconError> {
+        self.entries
+            .get(key)
+            .map(LatencyEntry::dcn_overhead_ms)
+            .ok_or_else(|| DefconError::MissingKey {
+                what: format!("latency LUT key {key:?} (collected on {})", self.device),
+            })
+    }
+
     /// `t(w_n)` for the search penalty; panics if the key was not collected
     /// (the search must not silently treat an unmeasured layer as free).
     pub fn dcn_overhead_ms(&self, key: &LatencyKey) -> f64 {
@@ -251,6 +266,29 @@ impl LatencyLut {
             device: device.to_string(),
             entries,
         })
+    }
+
+    /// Writes the table to `path` (atomic: temp file + rename).
+    pub fn save(&self, path: &std::path::Path) -> Result<(), DefconError> {
+        let text = self.to_json();
+        let tmp = path.with_extension("lut-tmp");
+        let display = path.display().to_string();
+        std::fs::write(&tmp, text.as_bytes()).map_err(|e| DefconError::io(&display, &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| DefconError::io(&display, &e))?;
+        Ok(())
+    }
+
+    /// Loads a table written by [`LatencyLut::save`]. IO failures and
+    /// malformed JSON both come back as typed [`DefconError`]s — a corrupt
+    /// LUT file must never panic the search that consumes it.
+    ///
+    /// Fault point `lut.load` corrupts the file bytes after reading
+    /// (truncation or byte flip), for degradation tests.
+    pub fn load(path: &std::path::Path) -> Result<Self, DefconError> {
+        let display = path.display().to_string();
+        let mut text = std::fs::read_to_string(path).map_err(|e| DefconError::io(&display, &e))?;
+        fault::corrupt_string("lut.load", &mut text);
+        LatencyLut::from_json(&text).map_err(|e| DefconError::json(&display, e))
     }
 }
 
@@ -365,6 +403,49 @@ mod tests {
             a.to_json(),
             LatencyLut::from_json(&a.to_json()).unwrap().to_json()
         );
+    }
+
+    #[test]
+    fn save_load_round_trip_and_corrupt_file_is_typed() {
+        use defcon_support::fault::{self, FaultPlan, Schedule};
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let lut = LatencyLut::build(
+            &gpu,
+            &tiny_keys(),
+            SamplingMethod::Tex2d,
+            OffsetPredictorKind::Lightweight,
+        );
+        let mut path = std::env::temp_dir();
+        path.push(format!("defcon-lut-test-{}.json", std::process::id()));
+        lut.save(&path).unwrap();
+        let back = LatencyLut::load(&path).unwrap();
+        assert_eq!(back.to_json(), lut.to_json());
+        // Injected corruption on load → typed Json error, never a panic.
+        {
+            let _g = fault::arm(FaultPlan::new(17).point("lut.load", Schedule::Always));
+            let err = LatencyLut::load(&path).unwrap_err();
+            assert!(matches!(err, DefconError::Json { .. }));
+        }
+        // A missing file is an Io error naming the path.
+        std::fs::remove_file(&path).unwrap();
+        let err = LatencyLut::load(&path).unwrap_err();
+        assert!(matches!(err, DefconError::Io { .. }));
+    }
+
+    #[test]
+    fn try_overhead_returns_missing_key() {
+        let lut = LatencyLut::default();
+        let key = LatencyKey {
+            c_in: 1,
+            c_out: 1,
+            h: 1,
+            w: 1,
+            stride: 1,
+        };
+        assert!(matches!(
+            lut.try_dcn_overhead_ms(&key),
+            Err(DefconError::MissingKey { .. })
+        ));
     }
 
     #[test]

@@ -17,6 +17,12 @@ use defcon_nn::gumbel::TemperatureSchedule;
 use defcon_nn::modules::LayerChoice;
 use defcon_nn::ops;
 use defcon_nn::optim::Sgd;
+use defcon_support::ckpt;
+use defcon_support::error::DefconError;
+use defcon_support::fault;
+use defcon_support::json::{Json, JsonError};
+use defcon_tensor::Tensor;
+use std::path::PathBuf;
 
 /// What the search needs from a supernet.
 pub trait SearchModel {
@@ -74,6 +80,34 @@ impl Default for SearchConfig {
     }
 }
 
+/// Robustness knobs for [`IntervalSearch::run_robust`].
+#[derive(Clone, Debug)]
+pub struct RobustSearchConfig {
+    /// Where to checkpoint after every epoch (atomic write + CRC). `None`
+    /// disables checkpointing. On start, an existing valid checkpoint at
+    /// this path is resumed; a corrupt/truncated one is discarded and the
+    /// run restarts from scratch (deterministic models then reproduce the
+    /// uninterrupted run exactly).
+    pub checkpoint: Option<PathBuf>,
+    /// How many times one step may be retried after a non-finite
+    /// loss/gradient before the run fails with
+    /// [`DefconError::RetriesExhausted`].
+    pub max_step_retries: usize,
+    /// LR backoff factor applied (multiplicatively, via [`Sgd::backoff`])
+    /// on every rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for RobustSearchConfig {
+    fn default() -> Self {
+        RobustSearchConfig {
+            checkpoint: None,
+            max_step_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 /// The outcome of a search run.
 #[derive(Clone, Debug)]
 pub struct SearchOutcome {
@@ -127,41 +161,87 @@ impl IntervalSearch {
     }
 
     /// Runs Algorithm 1 on `model`, updating `store` in place.
+    ///
+    /// Thin wrapper over [`IntervalSearch::run_robust`] with the default
+    /// robustness knobs (no checkpointing); when no step ever produces a
+    /// non-finite loss or gradient the arithmetic is identical to the
+    /// historical unguarded loop.
     pub fn run<M: SearchModel>(&self, model: &mut M, store: &mut ParamStore) -> SearchOutcome {
+        self.run_robust(model, store, &RobustSearchConfig::default())
+            .expect("interval search could not recover from non-finite steps")
+    }
+
+    /// Algorithm 1 with graceful degradation:
+    ///
+    /// - every optimization step is guarded: a non-finite task loss or any
+    ///   non-finite parameter gradient rolls the store back to the
+    ///   pre-step snapshot, backs off the learning rate
+    ///   ([`Sgd::backoff`]), and retries, up to
+    ///   `robust.max_step_retries` extra attempts before surfacing
+    ///   [`DefconError::RetriesExhausted`];
+    /// - with `robust.checkpoint` set, the full optimization state is
+    ///   written atomically (CRC-framed) after every epoch, and an
+    ///   existing valid checkpoint is resumed from; a corrupt or
+    ///   truncated checkpoint is discarded and the run restarts from
+    ///   scratch.
+    ///
+    /// Resume replays nothing: completed epochs are skipped and training
+    /// continues from the stored parameters, momentum, and LR schedule.
+    /// For models whose `forward_loss` is a pure function of
+    /// `(store, batch, temperature)` this makes a resumed run
+    /// byte-identical to an uninterrupted one; models holding private RNG
+    /// state (e.g. Gumbel noise streams) resume correctly but reproduce
+    /// the uninterrupted trajectory only up to that noise.
+    pub fn run_robust<M: SearchModel>(
+        &self,
+        model: &mut M,
+        store: &mut ParamStore,
+        robust: &RobustSearchConfig,
+    ) -> Result<SearchOutcome, DefconError> {
         let lat: Vec<f32> = (0..model.num_slots())
             .map(|i| self.lut.dcn_overhead_ms(&model.latency_key(i)) as f32)
             .collect();
         let mut opt = Sgd::new(self.config.lr, 0.9, 0.0);
-        let mut loss_history = Vec::new();
+        let mut loss_history: Vec<f32> = Vec::new();
+        let mut final_loss = f32::NAN;
+
+        // --- Resume from a checkpoint when one is present and intact. ---
+        if let Some(path) = &robust.checkpoint {
+            if let Some(payload) = ckpt::load_or_discard(path)? {
+                let pre = store.snapshot();
+                match parse_search_checkpoint(&payload, store) {
+                    Ok(state) => {
+                        loss_history = state.loss_history;
+                        final_loss = state.final_loss;
+                        opt.restore_schedule(state.opt_steps, state.opt_lr_scale);
+                    }
+                    // A CRC-valid but semantically stale checkpoint (e.g.
+                    // from a different model) degrades to a fresh start;
+                    // the store must not keep a partial load.
+                    Err(_) => store.restore(&pre),
+                }
+            }
+        }
 
         // --- Interval search phase (Algorithm 1, top loop). ---
         for epoch in 0..self.config.search_epochs {
+            if loss_history.len() > epoch {
+                continue; // resumed past this epoch
+            }
             model.set_temperature(self.config.temperature.at(epoch));
             let mut epoch_loss = 0.0f32;
             for iter in 0..self.config.iters_per_epoch {
-                store.zero_grads();
-                let mut tape = Tape::new();
-                let task = model.forward_loss(
-                    &mut tape,
-                    store,
-                    epoch * self.config.iters_per_epoch + iter,
-                );
-                let alphas: Vec<Var> = (0..model.num_slots())
-                    .map(|i| tape.param(store, model.alpha(i)))
-                    .collect();
-                let penalty =
-                    ops::latency_penalty(&mut tape, &alphas, &lat, self.config.target_latency_ms);
-                let weighted = ops::scale(&mut tape, penalty, self.config.beta);
-                let total = ops::add(&mut tape, task, weighted);
-                epoch_loss += tape.value(task).data()[0];
-                tape.backward(total);
-                tape.write_param_grads(store);
-                opt.step(store);
+                let batch = epoch * self.config.iters_per_epoch + iter;
+                epoch_loss +=
+                    self.robust_step(model, store, &mut opt, &lat, true, batch, robust)?;
             }
             loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
+            self.save_checkpoint(robust, store, &opt, &loss_history, final_loss)?;
         }
 
         // --- Select layer type by the magnitude of α. ---
+        // `freeze` is a pure function of the α values in the store, so a
+        // resumed run re-derives the same choices the original would have.
         let choices = model.freeze(store);
         let dcn_overhead_ms: f64 = choices
             .iter()
@@ -171,33 +251,175 @@ impl IntervalSearch {
             .sum();
 
         // --- Fine-tune the result architecture (Algorithm 1, bottom loop). ---
-        let mut final_loss = f32::NAN;
         for epoch in 0..self.config.finetune_epochs {
+            if loss_history.len() > self.config.search_epochs + epoch {
+                continue; // resumed past this epoch
+            }
             let mut epoch_loss = 0.0f32;
             for iter in 0..self.config.iters_per_epoch {
-                store.zero_grads();
-                let mut tape = Tape::new();
-                let task = model.forward_loss(
-                    &mut tape,
-                    store,
-                    epoch * self.config.iters_per_epoch + iter,
-                );
-                final_loss = tape.value(task).data()[0];
+                let batch = epoch * self.config.iters_per_epoch + iter;
+                final_loss =
+                    self.robust_step(model, store, &mut opt, &lat, false, batch, robust)?;
                 epoch_loss += final_loss;
-                tape.backward(task);
-                tape.write_param_grads(store);
-                opt.step(store);
             }
             loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
+            self.save_checkpoint(robust, store, &opt, &loss_history, final_loss)?;
         }
 
-        SearchOutcome {
+        Ok(SearchOutcome {
             choices,
             final_loss,
             dcn_overhead_ms,
             loss_history,
-        }
+        })
     }
+
+    /// One guarded optimization step; returns the task-loss value.
+    #[allow(clippy::too_many_arguments)]
+    fn robust_step<M: SearchModel>(
+        &self,
+        model: &mut M,
+        store: &mut ParamStore,
+        opt: &mut Sgd,
+        lat: &[f32],
+        with_penalty: bool,
+        batch: usize,
+        robust: &RobustSearchConfig,
+    ) -> Result<f32, DefconError> {
+        for _attempt in 0..=robust.max_step_retries {
+            let snap = store.snapshot();
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let task = model.forward_loss(&mut tape, store, batch);
+            let total = if with_penalty {
+                let alphas: Vec<Var> = (0..model.num_slots())
+                    .map(|i| tape.param(store, model.alpha(i)))
+                    .collect();
+                let penalty =
+                    ops::latency_penalty(&mut tape, &alphas, lat, self.config.target_latency_ms);
+                let weighted = ops::scale(&mut tape, penalty, self.config.beta);
+                ops::add(&mut tape, task, weighted)
+            } else {
+                task
+            };
+            let mut task_val = tape.value(task).data()[0];
+            fault::nonfinite_f32("search.loss", &mut task_val);
+            if task_val.is_finite() {
+                tape.backward(total);
+                tape.write_param_grads(store);
+                if fault::fires("search.alpha_grad") && model.num_slots() > 0 {
+                    // Inject a poisoned α gradient (offset-gradient blow-up
+                    // surrogate) for the guard below to catch.
+                    let nan = Tensor::from_vec(vec![f32::NAN, f32::NAN], &[2]);
+                    store.accumulate_grad(model.alpha(0), &nan);
+                }
+                if store.grads_finite() {
+                    opt.step(store);
+                    return Ok(task_val);
+                }
+            }
+            // Degradation path: the step diverged — roll back parameters and
+            // momentum, gear the LR down, and retry the same mini-batch.
+            store.restore(&snap);
+            opt.backoff(robust.lr_backoff);
+        }
+        Err(DefconError::RetriesExhausted {
+            what: format!("interval-search step on batch {batch} (non-finite loss/gradient)"),
+            attempts: robust.max_step_retries + 1,
+        })
+    }
+
+    /// Writes the post-epoch checkpoint when checkpointing is enabled.
+    fn save_checkpoint(
+        &self,
+        robust: &RobustSearchConfig,
+        store: &ParamStore,
+        opt: &Sgd,
+        loss_history: &[f32],
+        final_loss: f32,
+    ) -> Result<(), DefconError> {
+        let Some(path) = &robust.checkpoint else {
+            return Ok(());
+        };
+        let doc = Json::obj(vec![
+            ("epochs_done", Json::from(loss_history.len())),
+            (
+                "final_loss",
+                if final_loss.is_finite() {
+                    Json::from(final_loss as f64)
+                } else {
+                    Json::Null
+                },
+            ),
+            (
+                "loss_history",
+                Json::Arr(loss_history.iter().map(|&v| Json::from(v as f64)).collect()),
+            ),
+            ("opt_steps", Json::from(opt.steps())),
+            ("opt_lr_scale", Json::from(opt.lr_scale() as f64)),
+            ("params", store.state_to_json()),
+        ]);
+        ckpt::save(path, &doc.to_string())
+    }
+}
+
+/// Decoded search checkpoint (see [`IntervalSearch::run_robust`]).
+struct SearchCheckpoint {
+    loss_history: Vec<f32>,
+    final_loss: f32,
+    opt_steps: usize,
+    opt_lr_scale: f32,
+}
+
+/// Parses a CRC-valid checkpoint payload and loads the parameter state
+/// into `store`. On error the caller must restore `store` from a
+/// pre-parse snapshot (the load may have been partial).
+fn parse_search_checkpoint(
+    payload: &str,
+    store: &mut ParamStore,
+) -> Result<SearchCheckpoint, JsonError> {
+    let doc = Json::parse(payload)?;
+    let epochs_done = doc
+        .field("epochs_done")?
+        .as_usize()
+        .ok_or_else(|| JsonError::msg("epochs_done must be a non-negative integer"))?;
+    let final_loss = match doc.field("final_loss")? {
+        Json::Null => f32::NAN,
+        v => v
+            .as_f64()
+            .ok_or_else(|| JsonError::msg("final_loss must be a number or null"))?
+            as f32,
+    };
+    let hist = doc
+        .field("loss_history")?
+        .as_arr()
+        .ok_or_else(|| JsonError::msg("loss_history must be an array"))?;
+    let mut loss_history = Vec::with_capacity(hist.len());
+    for v in hist {
+        loss_history.push(
+            v.as_f64()
+                .ok_or_else(|| JsonError::msg("loss_history entries must be numbers"))?
+                as f32,
+        );
+    }
+    if loss_history.len() != epochs_done {
+        return Err(JsonError::msg("epochs_done disagrees with loss_history"));
+    }
+    let opt_steps = doc
+        .field("opt_steps")?
+        .as_usize()
+        .ok_or_else(|| JsonError::msg("opt_steps must be a non-negative integer"))?;
+    let opt_lr_scale =
+        doc.field("opt_lr_scale")?
+            .as_f64()
+            .ok_or_else(|| JsonError::msg("opt_lr_scale must be a number"))? as f32;
+    store.load_state_json(doc.field("params")?)?;
+    Ok(SearchCheckpoint {
+        loss_history,
+        final_loss,
+        opt_steps,
+        opt_lr_scale,
+    })
 }
 
 #[cfg(test)]
@@ -297,6 +519,7 @@ mod tests {
 
     #[test]
     fn search_runs_and_freezes() {
+        let _quiet = fault::quiesce();
         let mut store = ParamStore::new();
         let mut net = ToyNet::new(&mut store);
         let cfg = SearchConfig {
@@ -317,6 +540,7 @@ mod tests {
 
     #[test]
     fn loss_improves_over_search() {
+        let _quiet = fault::quiesce();
         let mut store = ParamStore::new();
         let mut net = ToyNet::new(&mut store);
         let cfg = SearchConfig {
@@ -335,6 +559,7 @@ mod tests {
 
     #[test]
     fn tight_latency_budget_suppresses_dcns() {
+        let _quiet = fault::quiesce();
         // With a zero-latency target and a huge β, the penalty should push
         // α¹ below α⁰ everywhere → no deformable layers survive.
         let mut store = ParamStore::new();
@@ -355,8 +580,166 @@ mod tests {
         assert_eq!(out.num_dcn(), 0, "layout {}", out.layout());
     }
 
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("defcon-search-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn small_cfg() -> SearchConfig {
+        SearchConfig {
+            search_epochs: 2,
+            finetune_epochs: 2,
+            iters_per_epoch: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_and_run_robust_agree_bitwise_when_unfaulted() {
+        let _quiet = fault::quiesce();
+        let mk = || {
+            let mut store = ParamStore::new();
+            let net = ToyNet::new(&mut store);
+            (store, net)
+        };
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let (mut s1, mut n1) = mk();
+        let a = search.run(&mut n1, &mut s1);
+        let (mut s2, mut n2) = mk();
+        let b = search
+            .run_robust(&mut n2, &mut s2, &RobustSearchConfig::default())
+            .unwrap();
+        assert_eq!(a.loss_history, b.loss_history);
+        assert_eq!(a.final_loss, b.final_loss);
+        assert_eq!(a.choices, b.choices);
+    }
+
+    #[test]
+    fn injected_nan_loss_rolls_back_and_recovers() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let _armed = fault::arm(FaultPlan::new(31).point("search.loss", Schedule::Nth(1)));
+        let out = search
+            .run_robust(&mut net, &mut store, &RobustSearchConfig::default())
+            .unwrap();
+        assert_eq!(fault::log(), vec!["search.loss#1"]);
+        assert!(out.loss_history.iter().all(|l| l.is_finite()));
+        assert!(out.final_loss.is_finite());
+    }
+
+    #[test]
+    fn injected_alpha_grad_nan_rolls_back_and_recovers() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let _armed = fault::arm(FaultPlan::new(32).point("search.alpha_grad", Schedule::Nth(0)));
+        let out = search
+            .run_robust(&mut net, &mut store, &RobustSearchConfig::default())
+            .unwrap();
+        assert_eq!(fault::log(), vec!["search.alpha_grad#0"]);
+        assert!(out.final_loss.is_finite());
+        // The rollback path backed the LR off; the store must hold no NaNs.
+        assert!(store.values_finite());
+    }
+
+    #[test]
+    fn persistent_nan_loss_exhausts_retries_into_typed_error() {
+        use defcon_support::error::DefconError;
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let _armed = fault::arm(FaultPlan::new(33).point("search.loss", Schedule::Always));
+        let err = search
+            .run_robust(&mut net, &mut store, &RobustSearchConfig::default())
+            .unwrap_err();
+        match err {
+            DefconError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 4),
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn completed_checkpoint_short_circuits_resume() {
+        let _quiet = fault::quiesce();
+        let path = tmp_path("complete");
+        let _ = std::fs::remove_file(&path);
+        let robust = RobustSearchConfig {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let first = search.run_robust(&mut net, &mut store, &robust).unwrap();
+        // Resume from the completed checkpoint: every epoch is skipped, so
+        // the outcome is reproduced exactly even though the model's Gumbel
+        // noise stream was never replayed.
+        let mut store2 = ParamStore::new();
+        let mut net2 = ToyNet::new(&mut store2);
+        let second = search.run_robust(&mut net2, &mut store2, &robust).unwrap();
+        assert_eq!(first.loss_history, second.loss_history);
+        assert_eq!(first.final_loss, second.final_loss);
+        assert_eq!(first.choices, second.choices);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_discarded_and_run_restarts() {
+        let _quiet = fault::quiesce();
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "deadbeef\nnot the payload").unwrap();
+        let robust = RobustSearchConfig {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let out = search.run_robust(&mut net, &mut store, &robust).unwrap();
+        assert_eq!(out.loss_history.len(), 4);
+        // The run overwrote the corrupt file with a valid checkpoint.
+        assert!(ckpt::load(&path).unwrap().is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_checkpoint_from_other_model_restarts_cleanly() {
+        let _quiet = fault::quiesce();
+        // CRC-valid but for a different parameter set: resume must degrade
+        // to a fresh start without leaving a partial load in the store.
+        let path = tmp_path("stale");
+        let mut other_store = ParamStore::new();
+        other_store.add("unrelated", Tensor::zeros(&[3]), false);
+        let doc = Json::obj(vec![
+            ("epochs_done", Json::from(1usize)),
+            ("final_loss", Json::Null),
+            ("loss_history", Json::Arr(vec![Json::from(0.5)])),
+            ("opt_steps", Json::from(3usize)),
+            ("opt_lr_scale", Json::from(1.0)),
+            ("params", other_store.state_to_json()),
+        ]);
+        ckpt::save(&path, &doc.to_string()).unwrap();
+        let robust = RobustSearchConfig {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        let search = IntervalSearch::new(small_cfg(), tiny_lut());
+        let mut store = ParamStore::new();
+        let mut net = ToyNet::new(&mut store);
+        let out = search.run_robust(&mut net, &mut store, &robust).unwrap();
+        assert_eq!(out.loss_history.len(), 4, "must run all epochs fresh");
+        assert!(store.values_finite());
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn loose_budget_lets_dcns_win_on_deformed_task() {
+        let _quiet = fault::quiesce();
         // With no pressure (β=0) on a task built around spatial shift, at
         // least one slot should pick the deformable path.
         let mut store = ParamStore::new();

@@ -1,6 +1,8 @@
 //! Device configurations: the knobs that distinguish a Jetson AGX Xavier
 //! from an RTX 2080 Ti in this model.
 
+use defcon_support::error::DefconError;
+use defcon_support::fault;
 use defcon_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// Geometry of one cache level.
@@ -26,6 +28,29 @@ impl CacheGeometry {
             "cache too small for its line size and associativity"
         );
         sets
+    }
+
+    /// Checks the geometry is realizable (`what` names the cache level in
+    /// the error). The same condition `num_sets` asserts, but as a typed
+    /// error a config loader can report instead of aborting.
+    pub fn validate(&self, what: &str) -> Result<(), DefconError> {
+        let constraint = |detail: String| DefconError::Constraint {
+            what: "cache-config".to_string(),
+            detail: format!("{what}: {detail}"),
+        };
+        if self.line_bytes == 0 || self.ways == 0 || self.size_bytes == 0 {
+            return Err(constraint(format!(
+                "size/line/ways must all be positive (got {}/{}/{})",
+                self.size_bytes, self.line_bytes, self.ways
+            )));
+        }
+        if self.size_bytes / (self.line_bytes * self.ways) == 0 {
+            return Err(constraint(format!(
+                "{} B is too small for {} B lines × {} ways (zero sets)",
+                self.size_bytes, self.line_bytes, self.ways
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -243,6 +268,60 @@ impl DeviceConfig {
         }
     }
 
+    /// Validates the whole configuration: positive counts and clocks, a
+    /// sane overlap fraction, realizable cache geometries, positive texture
+    /// limits. Launch paths call this before simulating so a hand-edited or
+    /// JSON-loaded config fails with a typed [`DefconError::Constraint`]
+    /// instead of a mid-simulation panic.
+    ///
+    /// Fault point `device.cache_config` injects a constraint violation
+    /// here (modelling an invalid deployed config) for degradation tests.
+    pub fn validate(&self) -> Result<(), DefconError> {
+        if fault::fires("device.cache_config") {
+            return Err(DefconError::Constraint {
+                what: "cache-config".to_string(),
+                detail: format!("injected fault: device.cache_config ({})", self.name),
+            });
+        }
+        let constraint = |detail: String| DefconError::Constraint {
+            what: "device-config".to_string(),
+            detail: format!("{}: {detail}", self.name),
+        };
+        if self.num_sms == 0 || self.warp_size == 0 || self.max_warps_per_sm == 0 {
+            return Err(constraint(format!(
+                "SM/warp counts must be positive (sms={}, warp_size={}, max_warps={})",
+                self.num_sms, self.warp_size, self.max_warps_per_sm
+            )));
+        }
+        if self.fp32_lanes_per_sm == 0 || self.alu_lanes_per_sm == 0 {
+            return Err(constraint("lane counts must be positive".to_string()));
+        }
+        for (name, v) in [
+            ("core_clock_ghz", self.core_clock_ghz),
+            ("dram_bandwidth_gbps", self.dram_bandwidth_gbps),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(constraint(format!(
+                    "{name} must be positive and finite (got {v})"
+                )));
+            }
+        }
+        if !(self.overlap_efficiency.is_finite() && (0.0..=1.0).contains(&self.overlap_efficiency))
+        {
+            return Err(constraint(format!(
+                "overlap_efficiency must be in [0, 1] (got {})",
+                self.overlap_efficiency
+            )));
+        }
+        self.l2.validate("l2")?;
+        self.l1.validate("l1")?;
+        self.tex_cache.validate("tex_cache")?;
+        if self.max_texture_layers == 0 || self.max_texture_dim == 0 {
+            return Err(constraint("texture limits must be positive".to_string()));
+        }
+        Ok(())
+    }
+
     /// Peak FP32 throughput in GFLOP/s (2 flops per FMA).
     pub fn peak_gflops(&self) -> f64 {
         2.0 * self.num_sms as f64 * self.fp32_lanes_per_sm as f64 * self.core_clock_ghz
@@ -312,6 +391,45 @@ mod tests {
             assert_eq!(back.l2.size_bytes, dev.l2.size_bytes);
             assert_eq!(back.core_clock_ghz, dev.core_clock_ghz);
         }
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        let _quiet = defcon_support::fault::quiesce();
+        DeviceConfig::xavier_agx().validate().unwrap();
+        DeviceConfig::rtx2080ti().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_cache_geometry_is_a_typed_constraint_error() {
+        let _quiet = defcon_support::fault::quiesce();
+        let mut dev = DeviceConfig::xavier_agx();
+        dev.l2.size_bytes = 64; // smaller than one line × ways
+        let err = dev.validate().unwrap_err();
+        assert!(matches!(err, DefconError::Constraint { .. }));
+        assert!(err.is_degradable());
+        assert!(err.to_string().contains("l2"));
+    }
+
+    #[test]
+    fn bad_overlap_efficiency_rejected() {
+        let _quiet = defcon_support::fault::quiesce();
+        let mut dev = DeviceConfig::xavier_agx();
+        dev.overlap_efficiency = 1.5;
+        assert!(dev.validate().is_err());
+        dev.overlap_efficiency = f64::NAN;
+        assert!(dev.validate().is_err());
+    }
+
+    #[test]
+    fn injected_cache_config_fault_surfaces_as_constraint() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        let dev = DeviceConfig::xavier_agx();
+        dev.validate().unwrap();
+        let _g = fault::arm(FaultPlan::new(2).point("device.cache_config", Schedule::Always));
+        let err = dev.validate().unwrap_err();
+        assert!(matches!(err, DefconError::Constraint { .. }));
+        assert!(err.to_string().contains("injected"));
     }
 
     #[test]

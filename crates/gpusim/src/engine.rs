@@ -45,11 +45,7 @@ use std::sync::OnceLock;
 pub fn default_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::env::var("DEFCON_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(1)
+        defcon_support::env::or_die(defcon_support::env::threads_override()).unwrap_or(1)
     })
 }
 
@@ -174,6 +170,28 @@ impl Gpu {
     /// results merge in block-index order (see the module docs for the
     /// determinism contract). With one thread this is byte-identical to
     /// [`Gpu::launch_serial`].
+    /// [`Gpu::launch`] behind validation: the device config and launch
+    /// shape are checked first and violations come back as typed
+    /// [`DefconError`]s instead of the panics `launch` raises on malformed
+    /// input. Use this on paths fed by external configuration.
+    pub fn try_launch(
+        &self,
+        kernel: &dyn BlockTrace,
+    ) -> Result<KernelReport, defcon_support::error::DefconError> {
+        self.cfg.validate()?;
+        let constraint = |detail: String| defcon_support::error::DefconError::Constraint {
+            what: "launch".to_string(),
+            detail,
+        };
+        if kernel.grid_blocks() == 0 {
+            return Err(constraint("empty grid (grid_blocks() == 0)".to_string()));
+        }
+        if kernel.block_threads() == 0 {
+            return Err(constraint("empty block (block_threads() == 0)".to_string()));
+        }
+        Ok(self.launch(kernel))
+    }
+
     pub fn launch(&self, kernel: &dyn BlockTrace) -> KernelReport {
         let grid = kernel.grid_blocks();
         assert!(grid > 0, "empty grid");

@@ -117,6 +117,17 @@ impl LayeredTexture2d {
         max_layers: usize,
         max_dim: usize,
     ) -> Result<Self, TextureLimitError> {
+        // Fault point: a texture allocation the driver rejects even though
+        // the request is nominally within limits (fragmentation, transient
+        // driver state). Lets tests exercise the kernel fallback chain
+        // without building >2048-layer inputs.
+        if defcon_support::fault::fires("texture.limit") {
+            return Err(TextureLimitError {
+                message: format!(
+                    "injected fault: texture.limit ({layers} layers, {height}×{width})"
+                ),
+            });
+        }
         if layers > max_layers {
             return Err(TextureLimitError {
                 message: format!(

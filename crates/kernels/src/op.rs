@@ -12,9 +12,20 @@
 use crate::gemm_kernel::{DepthwiseConvKernel, GemmKernel, RegularConvKernel};
 use crate::im2col::{im2col_deform_numeric, Im2colDeformKernel, Sampling};
 use crate::layer::{DeformLayerShape, TileConfig};
+use defcon_gpusim::texture::TextureLimitError;
 use defcon_gpusim::{Gpu, KernelReport};
+use defcon_support::error::DefconError;
 use defcon_tensor::sample::OffsetTransform;
 use defcon_tensor::{gemm, Tensor};
+
+/// Maps a texture-setup failure to the typed constraint error the
+/// degradation layer dispatches on.
+fn texture_constraint(e: TextureLimitError) -> DefconError {
+    DefconError::Constraint {
+        what: "texture-limit".into(),
+        detail: e.message,
+    }
+}
 
 /// The three sampling implementations of the paper's comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,7 +137,22 @@ impl DeformConvOp {
     /// kernel followed by a GEMM over the materialized column matrix. The
     /// texture variants run DEFCON's **fused** kernel (sampling feeds the
     /// convolution accumulators directly; no column buffer).
+    ///
+    /// Panics when the shape exceeds the device's texture limits; see
+    /// [`DeformConvOp::try_simulate_deform`] for the fallible form.
     pub fn simulate_deform(&self, gpu: &Gpu, x: &Tensor, offsets: &Tensor) -> Vec<KernelReport> {
+        self.try_simulate_deform(gpu, x, offsets)
+            .expect("texture limits exceeded")
+    }
+
+    /// [`DeformConvOp::simulate_deform`] with the texture-limit failure
+    /// surfaced as a typed [`DefconError::Constraint`] instead of a panic.
+    pub fn try_simulate_deform(
+        &self,
+        gpu: &Gpu,
+        x: &Tensor,
+        offsets: &Tensor,
+    ) -> Result<Vec<KernelReport>, DefconError> {
         let cfg = gpu.config();
         match self.method {
             SamplingMethod::SoftwareBilinear => {
@@ -140,9 +166,9 @@ impl DeformConvOp {
                     cfg.max_texture_layers,
                     cfg.max_texture_dim,
                 )
-                .expect("texture limits exceeded");
+                .map_err(texture_constraint)?;
                 let gemm_stage = GemmKernel::for_conv(&self.shape);
-                vec![gpu.launch(&im2col), gpu.launch(&gemm_stage)]
+                Ok(vec![gpu.launch(&im2col), gpu.launch(&gemm_stage)])
             }
             SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus => {
                 let frac_bits = match self.method.sampling() {
@@ -159,10 +185,10 @@ impl DeformConvOp {
                     cfg.max_texture_layers,
                     cfg.max_texture_dim,
                 )
-                .expect("texture limits exceeded");
+                .map_err(texture_constraint)?;
                 fused.co_blocks =
                     crate::fused::FusedTexDeformKernel::pick_co_blocks(&self.shape, self.tile, cfg);
-                vec![gpu.launch(&fused)]
+                Ok(vec![gpu.launch(&fused)])
             }
         }
     }
@@ -390,6 +416,20 @@ impl DeformConvOp {
         x: &Tensor,
         offsets: &Tensor,
     ) -> Vec<KernelReport> {
+        self.try_simulate_deform_partitioned(gpu, x, offsets)
+            .expect("texture limits exceeded")
+    }
+
+    /// [`DeformConvOp::simulate_deform_partitioned`] with texture-limit
+    /// failures surfaced as typed [`DefconError::Constraint`]s instead of
+    /// panics — including the unpartitionable case where a *single*
+    /// image's channel count already exceeds the layer limit.
+    pub fn try_simulate_deform_partitioned(
+        &self,
+        gpu: &Gpu,
+        x: &Tensor,
+        offsets: &Tensor,
+    ) -> Result<Vec<KernelReport>, DefconError> {
         let max_layers = gpu.config().max_texture_layers;
         let s = self.shape;
         let needs_partition = matches!(
@@ -397,13 +437,17 @@ impl DeformConvOp {
             SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus
         ) && s.n * s.c_in > max_layers;
         if !needs_partition {
-            return self.simulate_deform(gpu, x, offsets);
+            return self.try_simulate_deform(gpu, x, offsets);
         }
-        assert!(
-            s.c_in <= max_layers,
-            "a single image's channels ({}) exceed the texture layer limit ({max_layers})",
-            s.c_in
-        );
+        if s.c_in > max_layers {
+            return Err(DefconError::Constraint {
+                what: "texture-limit".into(),
+                detail: format!(
+                    "a single image's channels ({}) exceed the texture layer limit ({max_layers})",
+                    s.c_in
+                ),
+            });
+        }
         let per_chunk = max_layers / s.c_in;
         let (oh, ow) = s.out_hw();
         let mut reports = Vec::new();
@@ -426,11 +470,75 @@ impl DeformConvOp {
                 shape: chunk_shape,
                 ..self.clone()
             };
-            reports.extend(op.simulate_deform(gpu, &x_chunk, &o_chunk));
+            reports.extend(op.try_simulate_deform(gpu, &x_chunk, &o_chunk)?);
             n0 += n_here;
         }
-        reports
+        Ok(reports)
     }
+
+    /// Simulates the deformable stage with graceful degradation along the
+    /// paper's method ladder: `tex2D++ → tex2D → software`. Each rung uses
+    /// the batch-partitioned launcher; a rung that fails its texture setup
+    /// (layer/dimension limits, or an injected `texture.limit` fault) is
+    /// recorded in `degradations` and the next rung is tried. The software
+    /// rung reads global memory and cannot hit texture limits, so a
+    /// texture-capable op always completes — at reduced fidelity to the
+    /// requested configuration.
+    pub fn simulate_deform_with_fallback(
+        &self,
+        gpu: &Gpu,
+        x: &Tensor,
+        offsets: &Tensor,
+    ) -> Result<DeformFallback, DefconError> {
+        let chain: &[SamplingMethod] = match self.method {
+            SamplingMethod::Tex2dPlusPlus => &[
+                SamplingMethod::Tex2dPlusPlus,
+                SamplingMethod::Tex2d,
+                SamplingMethod::SoftwareBilinear,
+            ],
+            SamplingMethod::Tex2d => &[SamplingMethod::Tex2d, SamplingMethod::SoftwareBilinear],
+            SamplingMethod::SoftwareBilinear => &[SamplingMethod::SoftwareBilinear],
+        };
+        let mut degradations = Vec::new();
+        let mut last = None;
+        for &method in chain {
+            let op = DeformConvOp {
+                method,
+                ..self.clone()
+            };
+            match op.try_simulate_deform_partitioned(gpu, x, offsets) {
+                Ok(reports) => {
+                    return Ok(DeformFallback {
+                        reports,
+                        method,
+                        degradations,
+                    })
+                }
+                Err(e) if e.is_degradable() => {
+                    degradations.push(format!("{} unavailable: {e}", method.name()));
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(DefconError::Constraint {
+            what: "deform-fallback".into(),
+            detail: "empty fallback chain".into(),
+        }))
+    }
+}
+
+/// Result of [`DeformConvOp::simulate_deform_with_fallback`]: the reports
+/// of the rung that ran, which rung it was, and why earlier rungs were
+/// skipped (empty when the requested method ran as configured).
+#[derive(Clone, Debug)]
+pub struct DeformFallback {
+    /// Per-launch reports from the method that succeeded.
+    pub reports: Vec<KernelReport>,
+    /// The sampling method that actually ran.
+    pub method: SamplingMethod,
+    /// One line per skipped rung, in ladder order.
+    pub degradations: Vec<String>,
 }
 
 #[cfg(test)]
@@ -471,6 +579,90 @@ mod partition_tests {
         let total: f64 = reports.iter().map(|r| r.time_ms).sum();
         let single_overhead = gpu.config().launch_overhead_us * 1e-3;
         assert!(total > 2.0 * single_overhead);
+    }
+
+    /// A shape with `n × c_in` texture layers and a tiny spatial extent.
+    fn layered_shape(n: usize, c_in: usize) -> DeformLayerShape {
+        DeformLayerShape {
+            n,
+            ..DeformLayerShape::same3x3(c_in, 4, 4, 4)
+        }
+    }
+
+    #[test]
+    fn layer_limit_boundary_is_exact() {
+        // Xavier's layered-texture limit is 2048. One layer under, at, and
+        // over the limit must partition into exactly 1, 1, and 2 launches.
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let max = gpu.config().max_texture_layers;
+        assert_eq!(max, 2048, "boundary cases assume the Xavier limit");
+        let launches = |n: usize, c_in: usize| {
+            let shape = layered_shape(n, c_in);
+            let (x, off) = synthetic_inputs(&shape, 2.0, 9);
+            let op = DeformConvOp {
+                method: SamplingMethod::Tex2d,
+                ..DeformConvOp::baseline(shape)
+            };
+            op.try_simulate_deform_partitioned(&gpu, &x, &off)
+                .unwrap()
+                .len()
+        };
+        assert_eq!(launches(1, 2047), 1, "under the limit: single launch");
+        assert_eq!(launches(1, 2048), 1, "exactly at the limit: single launch");
+        // 3 × 683 = 2049: per-chunk capacity is ⌊2048/683⌋ = 2 images.
+        assert_eq!(launches(3, 683), 2, "one over the limit: two launches");
+    }
+
+    #[test]
+    fn unpartitionable_channels_are_a_typed_constraint() {
+        // 2100 channels in a single image cannot be split across launches:
+        // the old assert is now a degradable Constraint error.
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let shape = layered_shape(2, 2100);
+        let (x, off) = synthetic_inputs(&shape, 2.0, 10);
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2dPlusPlus,
+            ..DeformConvOp::baseline(shape)
+        };
+        let err = op
+            .try_simulate_deform_partitioned(&gpu, &x, &off)
+            .unwrap_err();
+        assert!(matches!(err, DefconError::Constraint { .. }), "{err}");
+        assert!(err.is_degradable());
+    }
+
+    #[test]
+    fn fallback_ladder_lands_on_software_when_textures_cannot_hold_the_layer() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let shape = layered_shape(1, 2100);
+        let (x, off) = synthetic_inputs(&shape, 2.0, 11);
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2dPlusPlus,
+            ..DeformConvOp::baseline(shape)
+        };
+        let fb = op.simulate_deform_with_fallback(&gpu, &x, &off).unwrap();
+        assert_eq!(fb.method, SamplingMethod::SoftwareBilinear);
+        assert_eq!(fb.degradations.len(), 2, "{:?}", fb.degradations);
+        assert!(fb.degradations[0].starts_with("tex2D++ unavailable"));
+        assert!(fb.degradations[1].starts_with("tex2D unavailable"));
+        assert_eq!(fb.reports.len(), 2, "software im2col + GEMM");
+    }
+
+    #[test]
+    fn fallback_is_a_no_op_when_the_requested_method_fits() {
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let shape = layered_shape(2, 16);
+        let (x, off) = synthetic_inputs(&shape, 2.0, 12);
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2dPlusPlus,
+            ..DeformConvOp::baseline(shape)
+        };
+        let fb = op.simulate_deform_with_fallback(&gpu, &x, &off).unwrap();
+        assert_eq!(fb.method, SamplingMethod::Tex2dPlusPlus);
+        assert!(fb.degradations.is_empty());
+        let direct = op.simulate_deform(&gpu, &x, &off);
+        assert_eq!(fb.reports.len(), direct.len());
+        assert_eq!(fb.reports[0].time_ms, direct[0].time_ms);
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct Sgd {
     /// LR floor.
     pub min_lr: f32,
     step_count: usize,
+    /// Multiplicative backoff applied on top of the schedule by recovery
+    /// paths (1.0 = none). See [`Sgd::backoff`].
+    lr_scale: f32,
 }
 
 impl Sgd {
@@ -32,6 +35,7 @@ impl Sgd {
             gamma: 0.1,
             min_lr: 1e-6,
             step_count: 0,
+            lr_scale: 1.0,
         }
     }
 
@@ -50,7 +54,30 @@ impl Sgd {
             .iter()
             .filter(|&&m| self.step_count >= m)
             .count();
-        (self.lr * self.gamma.powi(decays as i32)).max(self.min_lr)
+        (self.lr * self.lr_scale * self.gamma.powi(decays as i32)).max(self.min_lr)
+    }
+
+    /// Multiplies the backoff scale by `factor` (0 < factor ≤ 1). Trainer
+    /// recovery paths call this after rolling back a non-finite step:
+    /// divergence from a too-hot LR re-runs at a gentler one. The scale
+    /// composes with (does not replace) the milestone schedule.
+    pub fn backoff(&mut self, factor: f32) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "backoff factor must be in (0, 1]"
+        );
+        self.lr_scale *= factor;
+    }
+
+    /// Current backoff scale (1.0 when no backoff has been applied).
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Restores schedule position and backoff scale (checkpoint resume).
+    pub fn restore_schedule(&mut self, steps: usize, lr_scale: f32) {
+        self.step_count = steps;
+        self.lr_scale = lr_scale;
     }
 
     /// Applies one update from the accumulated gradients, then advances the
@@ -112,6 +139,31 @@ mod tests {
             store.value(w).data()[0]
         };
         assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn backoff_scales_lr_and_composes_with_schedule() {
+        let mut s = Sgd::new(0.1, 0.9, 0.0);
+        s.milestones = vec![1];
+        s.backoff(0.5);
+        assert!((s.current_lr() - 0.05).abs() < 1e-7);
+        s.step_count = 1; // past the milestone: gamma and backoff compose
+        assert!((s.current_lr() - 0.005).abs() < 1e-7);
+    }
+
+    #[test]
+    fn restore_schedule_reproduces_lr() {
+        let mut a = Sgd::paper_schedule(0.01, 100);
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(&[1]), true);
+        for _ in 0..70 {
+            a.step(&mut store);
+        }
+        a.backoff(0.25);
+        let mut b = Sgd::paper_schedule(0.01, 100);
+        b.restore_schedule(a.steps(), a.lr_scale());
+        assert_eq!(a.current_lr(), b.current_lr());
+        assert_eq!(a.steps(), b.steps());
     }
 
     #[test]

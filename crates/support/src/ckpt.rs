@@ -1,0 +1,164 @@
+//! Atomic, integrity-checked checkpoint IO.
+//!
+//! Long-running work (training, interval search) persists progress through
+//! this module so a crash — or an injected fault — never costs the whole
+//! run. The discipline:
+//!
+//! * **Write-to-temp + rename.** The payload goes to `<path>.tmp` first and
+//!   is renamed into place, so the final path only ever holds a complete
+//!   write (rename is atomic on POSIX filesystems).
+//! * **CRC framing.** The stored bytes are `crc32(payload)` in fixed-width
+//!   hex, a newline, then the payload. [`load`] recomputes the CRC; any
+//!   truncation or bit-rot is a typed [`DefconError::Corrupt`], never a
+//!   garbage deserialize.
+//! * **Recovery is explicit.** [`load_or_discard`] maps *missing* and
+//!   *corrupt* both to `None` — the resume path falls back to a fresh start
+//!   (deterministic seeds make that reproduce the uninterrupted run; it
+//!   just costs time), while genuine IO errors still surface.
+//!
+//! Fault points: `ckpt.write` corrupts the framed bytes before they reach
+//! the filesystem (modelling a torn write); `ckpt.load` corrupts them
+//! after reading (modelling media rot). Both are detected by the CRC.
+
+use crate::error::DefconError;
+use crate::fault;
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the same
+/// polynomial as zip/png, computed bitwise (checkpoints are small and
+/// infrequent; no table needed).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames `payload` with its CRC and writes it atomically to `path`
+/// (temp file + rename).
+pub fn save(path: &Path, payload: &str) -> Result<(), DefconError> {
+    let mut framed = format!("{:08x}\n{payload}", crc32(payload.as_bytes()));
+    // Fault point: a torn/corrupted write that still reaches the final
+    // path. The CRC catches it on the next load.
+    fault::corrupt_string("ckpt.write", &mut framed);
+    let tmp = path.with_extension("ckpt-tmp");
+    let display = path.display().to_string();
+    std::fs::write(&tmp, framed.as_bytes()).map_err(|e| DefconError::io(&display, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| DefconError::io(&display, &e))?;
+    Ok(())
+}
+
+/// Reads and verifies a checkpoint written by [`save`]. Returns the
+/// payload; a missing file is `Ok(None)`; a CRC mismatch or malformed
+/// frame is [`DefconError::Corrupt`].
+pub fn load(path: &Path) -> Result<Option<String>, DefconError> {
+    let display = path.display().to_string();
+    let mut framed = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(DefconError::io(&display, &e)),
+    };
+    fault::corrupt_string("ckpt.load", &mut framed);
+    let corrupt = |detail: String| DefconError::Corrupt {
+        what: format!("checkpoint {display}"),
+        detail,
+    };
+    let Some((head, payload)) = framed.split_once('\n') else {
+        return Err(corrupt("missing CRC header line".to_string()));
+    };
+    let Ok(want) = u32::from_str_radix(head.trim(), 16) else {
+        return Err(corrupt(format!("bad CRC header {head:?}")));
+    };
+    let got = crc32(payload.as_bytes());
+    if got != want {
+        return Err(corrupt(format!(
+            "crc mismatch: stored {want:08x}, computed {got:08x}"
+        )));
+    }
+    Ok(Some(payload.to_string()))
+}
+
+/// [`load`], but a corrupt checkpoint is treated like a missing one
+/// (`None`) — the graceful-degradation resume path. Real IO errors
+/// (permissions, hardware) still propagate.
+pub fn load_or_discard(path: &Path) -> Result<Option<String>, DefconError> {
+    match load(path) {
+        Ok(v) => Ok(v),
+        Err(DefconError::Corrupt { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, Schedule};
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("defcon-ckpt-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn crc32_reference_values() {
+        // Published check value for the ASCII string "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let _quiet = crate::fault::quiesce();
+        let p = tmp_path("round");
+        save(&p, "{\"step\":7}").unwrap();
+        assert_eq!(load(&p).unwrap().as_deref(), Some("{\"step\":7}"));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let _quiet = crate::fault::quiesce();
+        assert_eq!(load(&tmp_path("missing-nope")).unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_is_detected_and_discardable() {
+        let _quiet = crate::fault::quiesce();
+        let p = tmp_path("trunc");
+        save(&p, "a payload that will be cut short").unwrap();
+        let full = std::fs::read_to_string(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(load(&p), Err(DefconError::Corrupt { .. })));
+        assert_eq!(load_or_discard(&p).unwrap(), None);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn injected_write_fault_is_caught_on_load() {
+        let p = tmp_path("fault-write");
+        {
+            let _g = crate::fault::arm(FaultPlan::new(11).point("ckpt.write", Schedule::Always));
+            save(&p, "precious state").unwrap();
+        }
+        // The corrupted frame must not verify (overwhelmingly likely: the
+        // corruption changes payload bytes or the CRC line).
+        assert!(matches!(load(&p), Err(DefconError::Corrupt { .. })));
+        assert_eq!(load_or_discard(&p).unwrap(), None);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn no_tmp_file_left_behind() {
+        let _quiet = crate::fault::quiesce();
+        let p = tmp_path("clean");
+        save(&p, "x").unwrap();
+        assert!(!p.with_extension("ckpt-tmp").exists());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! Centralized `DEFCON_*` environment-variable parsing.
+//!
+//! The workspace's behaviour switches (`DEFCON_THREADS`, `DEFCON_TINY`,
+//! `DEFCON_JSON`, `DEFCON_FAST`, `DEFCON_BLESS`) used to be parsed ad hoc
+//! at ~10 call sites with three different conventions (`is_ok()`,
+//! `is_some()`, `== Ok("1")`), and a malformed value — `DEFCON_THREADS=two`
+//! — was silently ignored. This module is the single parser: flags accept
+//! `1/true/yes/on` and `0/false/no/off` (case-insensitive) plus the empty
+//! string as off, counts accept positive integers, and **anything else is a
+//! typed [`DefconError::Env`]** naming the variable, the offending value
+//! and the accepted forms.
+//!
+//! Callers that cannot propagate a `Result` (process-wide thread-count
+//! caches, bench binaries) report the error and exit via [`or_die`] — a
+//! deliberate, clearly-worded configuration failure instead of a panic
+//! backtrace or a silent fallback.
+
+use crate::error::DefconError;
+
+/// `DEFCON_THREADS` — worker-thread override shared by `support::par` and
+/// the gpusim engine.
+pub const THREADS: &str = "DEFCON_THREADS";
+/// `DEFCON_TINY` — swap paper-scale sweeps for tiny smoke shapes.
+pub const TINY: &str = "DEFCON_TINY";
+/// `DEFCON_JSON` — emit machine-readable JSON report lines.
+pub const JSON: &str = "DEFCON_JSON";
+/// `DEFCON_FAST` — shrink example/repro workloads.
+pub const FAST: &str = "DEFCON_FAST";
+/// `DEFCON_BLESS` — re-record golden snapshots.
+pub const BLESS: &str = "DEFCON_BLESS";
+
+/// Reads a boolean flag. Unset and empty mean **off**; `1`, `true`, `yes`,
+/// `on` mean **on**; `0`, `false`, `no`, `off` mean **off** (all
+/// case-insensitive). Anything else is a [`DefconError::Env`].
+pub fn flag(name: &str) -> Result<bool, DefconError> {
+    match std::env::var(name) {
+        Err(_) => Ok(false),
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "false" | "no" | "off" => Ok(false),
+            "1" | "true" | "yes" | "on" => Ok(true),
+            _ => Err(DefconError::Env {
+                var: name.to_string(),
+                value: v,
+                expected: "a boolean flag (1/true/yes/on or 0/false/no/off)",
+            }),
+        },
+    }
+}
+
+/// Reads a positive-integer variable. Unset means `None`; a positive
+/// integer parses; zero, negatives, and garbage are [`DefconError::Env`].
+pub fn positive_usize(name: &str) -> Result<Option<usize>, DefconError> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(DefconError::Env {
+                var: name.to_string(),
+                value: v,
+                expected: "a positive integer",
+            }),
+        },
+    }
+}
+
+/// The `DEFCON_THREADS` override, if set (and valid).
+pub fn threads_override() -> Result<Option<usize>, DefconError> {
+    positive_usize(THREADS)
+}
+
+/// Unwraps an environment-parse result; on `Err`, prints the error to
+/// stderr and exits with status 2. For call sites (process-wide caches,
+/// binary entry points) that cannot propagate — a malformed environment is
+/// a fatal configuration error, reported clearly, never a panic and never
+/// silently defaulted.
+pub fn or_die<T>(r: Result<T, DefconError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("defcon: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var state is process-global; each test uses its own unique
+    // variable name so parallel test threads cannot race.
+
+    #[test]
+    fn unset_flag_is_off_and_unset_count_is_none() {
+        assert_eq!(flag("DEFCON_TEST_UNSET_X"), Ok(false));
+        assert_eq!(positive_usize("DEFCON_TEST_UNSET_Y"), Ok(None));
+    }
+
+    #[test]
+    fn flag_accepts_both_polarities() {
+        let name = "DEFCON_TEST_FLAG_POLARITY";
+        for (v, want) in [
+            ("1", true),
+            ("true", true),
+            ("YES", true),
+            ("on", true),
+            ("0", false),
+            ("false", false),
+            ("No", false),
+            ("off", false),
+            ("", false),
+        ] {
+            std::env::set_var(name, v);
+            assert_eq!(flag(name), Ok(want), "value {v:?}");
+        }
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn malformed_flag_is_a_typed_error() {
+        let name = "DEFCON_TEST_FLAG_BAD";
+        std::env::set_var(name, "maybe");
+        let e = flag(name).unwrap_err();
+        assert!(matches!(e, DefconError::Env { .. }));
+        assert!(e.to_string().contains(name));
+        assert!(e.to_string().contains("maybe"));
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn count_parses_and_rejects() {
+        let name = "DEFCON_TEST_COUNT";
+        std::env::set_var(name, "4");
+        assert_eq!(positive_usize(name), Ok(Some(4)));
+        for bad in ["0", "-1", "two", "4.5"] {
+            std::env::set_var(name, bad);
+            assert!(positive_usize(name).is_err(), "value {bad:?}");
+        }
+        std::env::remove_var(name);
+    }
+}

@@ -1,0 +1,217 @@
+//! The workspace-wide typed error.
+//!
+//! Every fallible public API in the DEFCON stack — LUT loading, JSON-backed
+//! configs, checkpoint IO, launch validation, the autotuner's linear
+//! algebra — reports failure through [`DefconError`] instead of panicking,
+//! so callers can degrade gracefully (retry, fall back, resume) rather than
+//! abort the process. Variants carry enough structure for a caller to
+//! *dispatch* on the failure class; the human-readable rendering goes
+//! through `Display`.
+
+use crate::json::JsonError;
+use std::fmt;
+
+/// A typed error spanning all DEFCON crates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DefconError {
+    /// A JSON document failed to parse or convert; `context` names the
+    /// document (usually a file path).
+    Json {
+        /// What was being parsed.
+        context: String,
+        /// The positioned parse/convert error.
+        source: JsonError,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error rendering (`std::io::Error` is not `Clone`).
+        detail: String,
+    },
+    /// Stored bytes failed an integrity check (CRC mismatch, truncation).
+    Corrupt {
+        /// What was being read.
+        what: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// A numeric quantity that must be finite was NaN or ±∞.
+    NonFinite {
+        /// The quantity (e.g. "training loss", "alpha gradient").
+        what: String,
+        /// The training/search step at which it appeared.
+        step: usize,
+    },
+    /// A kernel matrix was not positive definite (Cholesky pivot failure).
+    NotPositiveDefinite {
+        /// Failing pivot row.
+        pivot: usize,
+        /// The offending diagonal value.
+        value: f64,
+    },
+    /// A hardware/device constraint was violated (texture layer limit,
+    /// cache geometry, launch shape).
+    Constraint {
+        /// The constraint class (e.g. "texture", "cache-config").
+        what: String,
+        /// The specific violation.
+        detail: String,
+    },
+    /// An environment variable held a value that does not parse.
+    Env {
+        /// Variable name.
+        var: String,
+        /// The value found.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// A required lookup key was absent.
+    MissingKey {
+        /// Description of the key and the table it was missing from.
+        what: String,
+    },
+    /// Retries of a degradation path were exhausted without recovery.
+    RetriesExhausted {
+        /// The operation that kept failing.
+        what: String,
+        /// How many attempts were made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for DefconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefconError::Json { context, source } => {
+                write!(f, "invalid JSON in {context}: {source}")
+            }
+            DefconError::Io { path, detail } => write!(f, "io error on {path}: {detail}"),
+            DefconError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+            DefconError::NonFinite { what, step } => {
+                write!(f, "non-finite {what} at step {step}")
+            }
+            DefconError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix not positive definite (pivot {pivot}, value {value:e})"
+            ),
+            DefconError::Constraint { what, detail } => {
+                write!(f, "{what} constraint violated: {detail}")
+            }
+            DefconError::Env {
+                var,
+                value,
+                expected,
+            } => write!(f, "env var {var}={value:?} is invalid: expected {expected}"),
+            DefconError::MissingKey { what } => write!(f, "missing key: {what}"),
+            DefconError::RetriesExhausted { what, attempts } => {
+                write!(f, "{what} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DefconError {}
+
+impl DefconError {
+    /// Wraps a [`JsonError`] with the document it came from.
+    pub fn json(context: impl Into<String>, source: JsonError) -> Self {
+        DefconError::Json {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Wraps an [`std::io::Error`] with the path it hit.
+    pub fn io(path: impl Into<String>, e: &std::io::Error) -> Self {
+        DefconError::Io {
+            path: path.into(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// True for failure classes a caller may sensibly retry or fall back
+    /// from (constraint violations, non-finite values, corrupt inputs);
+    /// false for programming/environment errors that will not heal.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            DefconError::Constraint { .. }
+                | DefconError::NonFinite { .. }
+                | DefconError::NotPositiveDefinite { .. }
+                | DefconError::Corrupt { .. }
+        )
+    }
+}
+
+impl From<JsonError> for DefconError {
+    fn from(source: JsonError) -> Self {
+        DefconError::Json {
+            context: "document".to_string(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_every_variant() {
+        let cases: Vec<DefconError> = vec![
+            DefconError::json("lut.json", JsonError::msg("bad")),
+            DefconError::Io {
+                path: "/x".into(),
+                detail: "denied".into(),
+            },
+            DefconError::Corrupt {
+                what: "checkpoint".into(),
+                detail: "crc mismatch".into(),
+            },
+            DefconError::NonFinite {
+                what: "loss".into(),
+                step: 3,
+            },
+            DefconError::NotPositiveDefinite {
+                pivot: 2,
+                value: -1e-9,
+            },
+            DefconError::Constraint {
+                what: "texture".into(),
+                detail: "too many layers".into(),
+            },
+            DefconError::Env {
+                var: "DEFCON_THREADS".into(),
+                value: "lots".into(),
+                expected: "a positive integer",
+            },
+            DefconError::MissingKey {
+                what: "LUT key".into(),
+            },
+            DefconError::RetriesExhausted {
+                what: "training step".into(),
+                attempts: 4,
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn degradable_classification() {
+        assert!(DefconError::NonFinite {
+            what: "loss".into(),
+            step: 0
+        }
+        .is_degradable());
+        assert!(!DefconError::Env {
+            var: "X".into(),
+            value: "y".into(),
+            expected: "z"
+        }
+        .is_degradable());
+    }
+}

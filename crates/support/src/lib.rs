@@ -21,6 +21,16 @@
 //! * [`testalloc`] — a per-thread counting global allocator for
 //!   allocation-budget tests.
 //!
+//! Robustness layer (shared by every crate in the stack):
+//!
+//! * [`error`] — the workspace-wide typed error, [`error::DefconError`];
+//! * [`fault`] — seeded, deterministic fault injection behind named fault
+//!   points (zero cost disarmed, byte-reproducible armed);
+//! * [`env`] — the single parser for the `DEFCON_*` environment switches,
+//!   rejecting malformed values with a clear error;
+//! * [`ckpt`] — atomic (write-temp + rename), CRC-framed checkpoint IO
+//!   with corrupt-file recovery.
+//!
 //! Design rule: these are *replacements for the slice of API this
 //! workspace uses*, not general-purpose rewrites. Determinism outranks
 //! statistical or ergonomic perfection everywhere — the simulator's claims
@@ -28,6 +38,10 @@
 //! reports.
 
 pub mod bench;
+pub mod ckpt;
+pub mod env;
+pub mod error;
+pub mod fault;
 pub mod json;
 pub mod lanebuf;
 pub mod par;

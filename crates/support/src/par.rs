@@ -11,25 +11,33 @@
 //! on scheduling; with every chunk disjoint, results are bit-identical to
 //! the sequential loop.
 //!
+//! **Worker-panic recovery.** A band whose worker thread panics is re-run
+//! serially on the calling thread, in band order, after the parallel phase
+//! — a transient worker death (the kind [`crate::fault`] injects at the
+//! `par.band` point) costs only that band's work and leaves the output
+//! byte-identical to an unfaulted run. This relies on chunk bodies being
+//! idempotent (they fully overwrite their chunk — true of every caller in
+//! the workspace). A *deterministic* panic in the chunk body re-panics on
+//! the serial re-run and propagates to the caller as before: real bugs are
+//! never swallowed.
+//!
 //! Set `DEFCON_THREADS=1` (or any count) to override the default of one
-//! thread per available core.
+//! thread per available core; malformed values are a fatal, clearly
+//! reported configuration error (see [`crate::env`]).
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Worker threads used by [`ParChunksMutEnumerate::for_each`]: the
-/// `DEFCON_THREADS` env var if set, else available parallelism.
+/// `DEFCON_THREADS` env var if set (a malformed value exits with a clear
+/// error), else available parallelism.
 pub fn max_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::env::var("DEFCON_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        crate::env::or_die(crate::env::threads_override()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     })
 }
 
@@ -107,26 +115,68 @@ impl<T: Send> ParChunksMutEnumerate<'_, T> {
             }
             return;
         }
-        std::thread::scope(|scope| {
-            let f = &f;
-            let mut rest = data;
+        // Band layout is a pure function of (len, chunk_size, threads):
+        // balanced contiguous bands, the first `n_chunks % threads` bands
+        // get one extra chunk. Computed up front so the panic-recovery
+        // re-run below can re-derive any band's element range.
+        let mut layout = Vec::with_capacity(threads);
+        {
             let mut chunk_base = 0usize;
+            let mut elem_start = 0usize;
             for t in 0..threads {
-                // Balanced contiguous bands: the first `n_chunks % threads`
-                // bands get one extra chunk.
                 let band_chunks = n_chunks / threads + usize::from(t < n_chunks % threads);
-                let band_elems = (band_chunks * chunk_size).min(rest.len());
-                let (band, tail) = rest.split_at_mut(band_elems);
-                rest = tail;
-                let base = chunk_base;
+                let band_elems = (band_chunks * chunk_size).min(data.len() - elem_start);
+                layout.push((chunk_base, elem_start, band_elems));
                 chunk_base += band_chunks;
-                scope.spawn(move || {
-                    for (j, chunk) in band.chunks_mut(chunk_size).enumerate() {
-                        f((base + j, chunk));
-                    }
-                });
+                elem_start += band_elems;
             }
-        });
+        }
+        let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        {
+            // Reborrow so `data` is usable again for the recovery pass once
+            // the scope (and with it every band borrow) has ended.
+            let mut rest: &mut [T] = &mut *data;
+            std::thread::scope(|scope| {
+                let f = &f;
+                let failed = &failed;
+                for (b, &(chunk_base, _, band_elems)) in layout.iter().enumerate() {
+                    let (band, tail) = rest.split_at_mut(band_elems);
+                    rest = tail;
+                    scope.spawn(move || {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            // Fault point: a transient worker death. Keyed
+                            // by band index so the decision is independent
+                            // of thread scheduling. The serial re-run below
+                            // does not consult it — the modelled hazard
+                            // lives in the parallel dispatch layer only.
+                            crate::fault::panic_at("par.band", b as u64);
+                            for (j, chunk) in band.chunks_mut(chunk_size).enumerate() {
+                                f((chunk_base + j, chunk));
+                            }
+                        }));
+                        if run.is_err() {
+                            failed.lock().unwrap_or_else(|e| e.into_inner()).push(b);
+                        }
+                    });
+                }
+            });
+        }
+        let mut failed = failed.into_inner().unwrap_or_else(|e| e.into_inner());
+        if failed.is_empty() {
+            return;
+        }
+        // Graceful degradation: re-run each failed band serially, in band
+        // order, on the calling thread. Chunk bodies fully overwrite their
+        // chunk, so the result is byte-identical to an unfaulted run. A
+        // deterministic panic re-fires here and propagates normally.
+        failed.sort_unstable();
+        for b in failed {
+            let (chunk_base, elem_start, band_elems) = layout[b];
+            let band = &mut data[elem_start..elem_start + band_elems];
+            for (j, chunk) in band.chunks_mut(chunk_size).enumerate() {
+                f((chunk_base + j, chunk));
+            }
+        }
     }
 }
 
@@ -136,6 +186,7 @@ mod tests {
 
     #[test]
     fn indices_and_coverage_match_sequential_chunks() {
+        let _quiet = crate::fault::quiesce();
         let mut par = vec![0usize; 1013]; // deliberately not a multiple of the chunk size
         par.par_chunks_mut(32).enumerate().for_each(|(i, chunk)| {
             for (k, v) in chunk.iter_mut().enumerate() {
@@ -173,6 +224,7 @@ mod tests {
 
     #[test]
     fn un_enumerated_for_each_visits_every_chunk() {
+        let _quiet = crate::fault::quiesce();
         let mut data = vec![0u32; 257];
         data.par_chunks_mut(16).for_each(|chunk| {
             for v in chunk {
@@ -184,6 +236,7 @@ mod tests {
 
     #[test]
     fn more_chunks_than_threads() {
+        let _quiet = crate::fault::quiesce();
         let mut data = vec![0u64; 4096];
         data.par_chunks_mut(1)
             .enumerate()
@@ -210,6 +263,7 @@ mod tests {
     /// is a pure function of (len, chunk_size), never of scheduling.
     #[test]
     fn results_identical_for_one_vs_many_threads() {
+        let _quiet = crate::fault::quiesce();
         let fill = |threads: usize| {
             let mut data = vec![0u64; 1537];
             data.par_chunks_mut(8)
@@ -232,6 +286,7 @@ mod tests {
     /// at the end of `for_each`), never be swallowed.
     #[test]
     fn worker_panic_propagates() {
+        let _quiet = crate::fault::quiesce();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut data = vec![0u32; 64];
             data.par_chunks_mut(4)
@@ -244,6 +299,57 @@ mod tests {
                 });
         }));
         assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    /// An injected transient worker death must be survived: the killed
+    /// band is re-run serially and the output is byte-identical to an
+    /// unfaulted run.
+    #[test]
+    fn injected_band_panic_recovers_byte_identically() {
+        use crate::fault::{self, FaultPlan, Schedule};
+        let fill = |threads: usize| {
+            let mut data = vec![0u64; 1537];
+            data.par_chunks_mut(8)
+                .threads(threads)
+                .enumerate()
+                .for_each(|(i, chunk)| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = (i as u64) << 32 | k as u64;
+                    }
+                });
+            data
+        };
+        let clean = fill(4);
+        let faulted = {
+            let _g = fault::arm(FaultPlan::new(21).point("par.band", Schedule::Nth(2)));
+            let out = fill(4);
+            assert_eq!(fault::log(), vec!["par.band#2"], "fault must have fired");
+            out
+        };
+        assert_eq!(faulted, clean);
+    }
+
+    /// Multiple simultaneous band deaths recover too.
+    #[test]
+    fn all_bands_panicking_still_recovers() {
+        use crate::fault::{self, FaultPlan, Schedule};
+        let _g = fault::arm(FaultPlan::new(4).point("par.band", Schedule::Always));
+        let mut data = vec![0u32; 256];
+        data.par_chunks_mut(4)
+            .threads(4)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i as u32;
+                }
+            });
+        for (i, chunk) in data.chunks(4).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u32));
+        }
+        assert_eq!(
+            fault::log(),
+            vec!["par.band#0", "par.band#1", "par.band#2", "par.band#3"]
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use defcon::models::trainer::{evaluate_detector, prepare, train_detector};
 use defcon::prelude::*;
 
 fn main() {
-    let fast = std::env::var("DEFCON_FAST").is_ok();
+    let fast = defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::FAST));
     let dataset = DeformedShapesConfig {
         deformation: 1.0,
         ..Default::default()

@@ -1,0 +1,375 @@
+//! End-to-end fault-injection suite: every graceful-degradation contract in
+//! DESIGN.md §"Fault injection", exercised across crate boundaries with the
+//! seeded `defcon_support::fault` harness.
+//!
+//! Arming is process-global, so **every test here either arms a plan or
+//! takes [`fault::quiesce`]** — both hold the arming lock, serializing the
+//! tests against each other without any ordering assumptions.
+
+use defcon::core::lut::{LatencyKey, LatencyLut};
+use defcon::core::search::{
+    IntervalSearch, RobustSearchConfig, SearchConfig, SearchModel, SearchOutcome,
+};
+use defcon::gpusim::{BlockTrace, DeviceConfig, Gpu, TraceSink};
+use defcon::kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
+use defcon::kernels::DeformLayerShape;
+use defcon::nn::graph::{ParamId, ParamStore, Tape, Var};
+use defcon::nn::loss;
+use defcon::nn::modules::LayerChoice;
+use defcon::tensor::Tensor;
+use defcon_support::ckpt;
+use defcon_support::error::DefconError;
+use defcon_support::fault::{self, FaultPlan, Schedule};
+use defcon_support::par::ParallelSliceMut;
+use std::path::PathBuf;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("defcon-faultinj-{}-{name}", std::process::id()));
+    p
+}
+
+// --- support::par: worker-panic band recovery ---------------------------
+
+fn fill_bands(threads: usize) -> Vec<u64> {
+    let mut out = vec![0u64; 64];
+    out.par_chunks_mut(8)
+        .threads(threads)
+        .enumerate()
+        .for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i as u64 + 1).wrapping_mul(0x9E37_79B9) ^ (j as u64);
+            }
+        });
+    out
+}
+
+#[test]
+fn worker_panic_band_rerun_is_byte_identical_to_serial() {
+    // Reference: fully serial, no faults armed (quiesced by the armed
+    // guard below — one scope covers both runs).
+    let _armed = fault::arm(FaultPlan::new(71).point("par.band", Schedule::Nth(1)));
+    let reference = {
+        // threads(1) never spawns workers, so `par.band` cannot fire here.
+        fill_bands(1)
+    };
+    // Parallel run: band 1's worker thread is killed by the injected
+    // panic; the band is re-run serially after the parallel phase.
+    let recovered = fill_bands(4);
+    assert_eq!(fault::log(), vec!["par.band#1"], "fault must have fired");
+    assert_eq!(
+        reference, recovered,
+        "recovered output must be byte-identical"
+    );
+}
+
+// --- fault harness itself: seeded schedules are byte-reproducible -------
+
+fn drive_fault_log(seed: u64) -> Vec<String> {
+    let _armed = fault::arm(
+        FaultPlan::new(seed)
+            .point("demo.prob", Schedule::Prob(0.4))
+            .point("demo.every", Schedule::EveryNth(3)),
+    );
+    for i in 0..32u64 {
+        let _ = fault::fires("demo.prob");
+        let _ = fault::fires_at("demo.every", i);
+    }
+    fault::log()
+}
+
+#[test]
+fn same_fault_seed_yields_byte_identical_logs_across_runs() {
+    let first = drive_fault_log(99);
+    let second = drive_fault_log(99);
+    assert!(!first.is_empty(), "the schedules above must fire");
+    assert_eq!(first, second, "same seed, same plan → same log bytes");
+    let other = drive_fault_log(100);
+    assert_ne!(first, other, "the Prob schedule must depend on the seed");
+}
+
+// --- support::ckpt: torn writes and media rot ---------------------------
+
+#[test]
+fn ckpt_load_fault_is_detected_and_discardable() {
+    let p = tmp_path("ckpt-load");
+    {
+        let _quiet = fault::quiesce();
+        ckpt::save(&p, "{\"epoch\":3}").unwrap();
+    }
+    let _armed = fault::arm(FaultPlan::new(53).point("ckpt.load", Schedule::Always));
+    assert!(matches!(ckpt::load(&p), Err(DefconError::Corrupt { .. })));
+    assert_eq!(ckpt::load_or_discard(&p).unwrap(), None);
+    assert_eq!(fault::log(), vec!["ckpt.load#0", "ckpt.load#1"]);
+    std::fs::remove_file(&p).unwrap();
+}
+
+// --- core::lut: corrupted table bytes -----------------------------------
+
+fn lut_key() -> LatencyKey {
+    LatencyKey {
+        c_in: 16,
+        c_out: 16,
+        h: 16,
+        w: 16,
+        stride: 1,
+    }
+}
+
+fn tiny_lut() -> LatencyLut {
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    LatencyLut::build(
+        &gpu,
+        &[lut_key()],
+        SamplingMethod::SoftwareBilinear,
+        OffsetPredictorKind::Standard,
+    )
+}
+
+#[test]
+fn lut_corruption_on_load_is_a_typed_error_never_a_panic() {
+    let p = tmp_path("lut.json");
+    let lut = {
+        let _quiet = fault::quiesce();
+        let lut = tiny_lut();
+        lut.save(&p).unwrap();
+        lut
+    };
+    {
+        let _armed = fault::arm(FaultPlan::new(17).point("lut.load", Schedule::Always));
+        let err = LatencyLut::load(&p).unwrap_err();
+        assert!(matches!(err, DefconError::Json { .. }), "got {err}");
+    }
+    // Disarmed, the same file loads back bit-for-bit.
+    let _quiet = fault::quiesce();
+    assert_eq!(LatencyLut::load(&p).unwrap().to_json(), lut.to_json());
+    std::fs::remove_file(&p).unwrap();
+}
+
+// --- gpusim: texture-layer limit and device-config constraints ----------
+
+#[test]
+fn texture_limit_fault_drives_the_fallback_ladder_to_software() {
+    let _armed = fault::arm(FaultPlan::new(61).point("texture.limit", Schedule::Always));
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    let shape = DeformLayerShape::same3x3(16, 16, 12, 12);
+    let (x, offsets) = synthetic_inputs(&shape, 4.0, 9);
+    let op = DeformConvOp {
+        method: SamplingMethod::Tex2dPlusPlus,
+        ..DeformConvOp::baseline(shape)
+    };
+    // The shape fits Xavier's limits; only the injected fault makes every
+    // texture build fail, so both texture rungs degrade and the software
+    // sampler (which builds no textures) carries the launch.
+    let fb = op
+        .simulate_deform_with_fallback(&gpu, &x, &offsets)
+        .unwrap();
+    assert_eq!(fb.method, SamplingMethod::SoftwareBilinear);
+    assert_eq!(fb.degradations.len(), 2, "{:?}", fb.degradations);
+    assert!(!fb.reports.is_empty());
+    assert!(!fault::log().is_empty(), "texture.limit must have fired");
+}
+
+struct NullKernel;
+
+impl BlockTrace for NullKernel {
+    fn grid_blocks(&self) -> usize {
+        1
+    }
+    fn block_threads(&self) -> usize {
+        32
+    }
+    fn trace_block(&self, _block: usize, _sink: &mut TraceSink) {}
+}
+
+#[test]
+fn cache_config_fault_turns_launch_into_a_typed_constraint() {
+    let _armed = fault::arm(FaultPlan::new(62).point("device.cache_config", Schedule::Always));
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    let err = gpu.try_launch(&NullKernel).unwrap_err();
+    match err {
+        DefconError::Constraint { what, .. } => assert_eq!(what, "cache-config"),
+        other => panic!("expected Constraint, got {other}"),
+    }
+    assert_eq!(fault::log(), vec!["device.cache_config#0"]);
+}
+
+// --- core::autotune: Cholesky pivot failure → random-search fallback ----
+
+#[test]
+fn cholesky_fault_degrades_bayesian_tuner_to_seeded_random_search() {
+    use defcon::core::autotune::Autotuner;
+    use defcon::kernels::TileConfig;
+    let objective = |t: TileConfig| (t.h as f64 - 8.0).abs() + (t.w as f64 - 8.0).abs();
+    let space = TileConfig::search_space();
+    let faulted = {
+        let _armed = fault::arm(FaultPlan::new(63).point("autotune.cholesky", Schedule::Always));
+        let r = Autotuner::bayesian(10, 0xA07).run(&space, objective);
+        assert!(!fault::log().is_empty(), "cholesky must have failed");
+        r
+    };
+    // The fallback still spends the whole budget and returns a valid best.
+    assert_eq!(faulted.evaluations.len(), 10);
+    assert!(space.contains(&faulted.best));
+    // Twice with the same seed → same evaluations: the fallback is as
+    // deterministic as the happy path.
+    let again = {
+        let _armed = fault::arm(FaultPlan::new(63).point("autotune.cholesky", Schedule::Always));
+        Autotuner::bayesian(10, 0xA07).run(&space, objective)
+    };
+    assert_eq!(faulted.evaluations, again.evaluations);
+}
+
+// --- core::search: checkpoint interruption / resume byte-identity -------
+//
+// `PureNet` is a [`SearchModel`] whose `forward_loss` is a pure function of
+// `(store, batch)` — no Gumbel noise, no running statistics. For such a
+// model the checkpoint captures the *entire* optimization state (values,
+// momentum, LR schedule), so a resumed run must be byte-identical to an
+// uninterrupted one, not merely statistically equivalent.
+
+struct PureNet {
+    w: ParamId,
+    alpha: ParamId,
+    targets: Vec<Tensor>,
+}
+
+impl PureNet {
+    fn new(store: &mut ParamStore) -> Self {
+        let w = store.add("w", Tensor::zeros(&[4]), true);
+        let alpha = store.add("alpha", Tensor::from_vec(vec![0.05, -0.05], &[2]), false);
+        let targets = (0..3)
+            .map(|b| {
+                let data = (0..4).map(|i| ((b * 4 + i) as f32 * 0.7).sin()).collect();
+                Tensor::from_vec(data, &[4])
+            })
+            .collect();
+        PureNet { w, alpha, targets }
+    }
+}
+
+impl SearchModel for PureNet {
+    fn num_slots(&self) -> usize {
+        1
+    }
+    fn alpha(&self, _i: usize) -> ParamId {
+        self.alpha
+    }
+    fn latency_key(&self, _i: usize) -> LatencyKey {
+        lut_key()
+    }
+    fn set_temperature(&mut self, _tau: f32) {}
+    fn forward_loss(&mut self, tape: &mut Tape, store: &ParamStore, batch: usize) -> Var {
+        let w = tape.param(store, self.w);
+        loss::mse(tape, w, &self.targets[batch % self.targets.len()])
+    }
+    fn freeze(&mut self, store: &ParamStore) -> Vec<LayerChoice> {
+        let a = store.value(self.alpha).data();
+        vec![if a[1] > a[0] {
+            LayerChoice::Deformable
+        } else {
+            LayerChoice::Regular
+        }]
+    }
+}
+
+fn pure_cfg(finetune_epochs: usize) -> SearchConfig {
+    SearchConfig {
+        search_epochs: 2,
+        finetune_epochs,
+        iters_per_epoch: 2,
+        ..Default::default()
+    }
+}
+
+/// Runs `PureNet` through the search; returns the outcome and the exact
+/// serialized parameter state (the "byte-identical" witness).
+fn run_pure(cfg: SearchConfig, robust: &RobustSearchConfig) -> (SearchOutcome, String) {
+    let mut store = ParamStore::new();
+    let mut net = PureNet::new(&mut store);
+    let out = IntervalSearch::new(cfg, tiny_lut())
+        .run_robust(&mut net, &mut store, robust)
+        .unwrap();
+    (out, store.state_to_json().to_string())
+}
+
+fn assert_same_run(a: &(SearchOutcome, String), b: &(SearchOutcome, String)) {
+    assert_eq!(a.0.loss_history, b.0.loss_history);
+    assert!(
+        a.0.final_loss == b.0.final_loss || (a.0.final_loss.is_nan() && b.0.final_loss.is_nan())
+    );
+    assert_eq!(a.0.choices, b.0.choices);
+    assert_eq!(a.1, b.1, "parameter state must match byte-for-byte");
+}
+
+#[test]
+fn search_resume_after_mid_run_interrupt_is_byte_identical() {
+    let _quiet = fault::quiesce();
+    let path = tmp_path("search-midrun");
+    let _ = std::fs::remove_file(&path);
+    // Reference: the uninterrupted run, no checkpointing.
+    let reference = run_pure(pure_cfg(2), &RobustSearchConfig::default());
+    // "Interrupted" run: the process dies right after the search phase —
+    // simulated by running only the search epochs against the checkpoint
+    // path (the post-epoch checkpoint on disk is byte-identical to the one
+    // the uninterrupted run writes at the same point).
+    let with_ckpt = RobustSearchConfig {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    };
+    let _ = run_pure(pure_cfg(0), &with_ckpt);
+    // Resume with the full config: both search epochs are skipped, the
+    // optimizer schedule and momentum come from the checkpoint, and the
+    // fine-tune phase runs to a byte-identical end state.
+    let resumed = run_pure(pure_cfg(2), &with_ckpt);
+    assert_same_run(&reference, &resumed);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_search_checkpoint_restarts_and_reproduces_the_run() {
+    let _quiet = fault::quiesce();
+    let path = tmp_path("search-trunc");
+    // A torn write: CRC header present, payload cut off mid-token.
+    std::fs::write(&path, "0c0ffee0\n{\"epochs_done\":").unwrap();
+    let reference = run_pure(pure_cfg(2), &RobustSearchConfig::default());
+    let with_ckpt = RobustSearchConfig {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    };
+    let recovered = run_pure(pure_cfg(2), &with_ckpt);
+    assert_same_run(&reference, &recovered);
+    // The run replaced the truncated file with a valid checkpoint.
+    assert!(ckpt::load(&path).unwrap().is_some());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn ckpt_write_fault_degrades_the_next_resume_to_a_fresh_start() {
+    let path = tmp_path("search-torn-write");
+    let _ = std::fs::remove_file(&path);
+    let with_ckpt = RobustSearchConfig {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    };
+    // Every checkpoint this run writes is torn (corrupted pre-write); the
+    // run itself completes — the damage only surfaces on the next load.
+    let first = {
+        let _armed = fault::arm(FaultPlan::new(64).point("ckpt.write", Schedule::Always));
+        let r = run_pure(pure_cfg(2), &with_ckpt);
+        assert!(!fault::log().is_empty(), "every save must have been torn");
+        r
+    };
+    // The resume finds only torn bytes, discards them (CRC), and restarts
+    // from scratch — reproducing the run exactly, per the ckpt contract.
+    let _quiet = fault::quiesce();
+    assert!(matches!(
+        ckpt::load(&path),
+        Err(DefconError::Corrupt { .. })
+    ));
+    let second = run_pure(pure_cfg(2), &with_ckpt);
+    assert_same_run(&first, &second);
+    // And this run's checkpoints reached the disk intact.
+    assert!(ckpt::load(&path).unwrap().is_some());
+    std::fs::remove_file(&path).unwrap();
+}
