@@ -27,8 +27,37 @@ for threads in 1 4; do
 
     echo "==> cargo test --workspace -q --offline (all member crates, DEFCON_THREADS=$threads)"
     cargo test --workspace -q --offline
+
+    # Golden-trace conformance (DESIGN.md §8), called out explicitly: the
+    # DEFCON_TRACE output must match the blessed snapshots byte for byte at
+    # one thread and semantically at four. (The suite pins its own child
+    # thread counts, so running it under both ambient values also proves the
+    # ambient env leaks nothing into the trace.)
+    echo "==> golden-trace conformance (obs_golden, DEFCON_THREADS=$threads)"
+    cargo test -q --offline -p defcon-bench --test obs_golden
 done
 unset DEFCON_THREADS
+
+# Observability ratchet: with no trace armed, every obs:: entry point must
+# stay allocation-free (one relaxed atomic load on the hot path). Runs the
+# dedicated zero_alloc test by name so a regression names itself in CI.
+echo "==> obs-disarmed allocation ratchet"
+cargo test -q --offline --test zero_alloc disarmed_obs_layer_does_not_allocate
+
+# Trace determinism, end to end on the release binary: two back-to-back
+# traced runs must write byte-identical DEFCON_TRACE files (the logical
+# clock makes timestamps a pure function of the event sequence).
+echo "==> DEFCON_TRACE byte-determinism (release repro_table2_xavier)"
+trace_a="$(mktemp)" trace_b="$(mktemp)"
+DEFCON_TINY=1 DEFCON_THREADS=1 DEFCON_TRACE="$trace_a" \
+    ./target/release/repro_table2_xavier > /dev/null
+DEFCON_TINY=1 DEFCON_THREADS=1 DEFCON_TRACE="$trace_b" \
+    ./target/release/repro_table2_xavier > /dev/null
+cmp "$trace_a" "$trace_b" || {
+    echo "trace determinism FAIL: DEFCON_TRACE output differs between runs" >&2
+    exit 1
+}
+rm -f "$trace_a" "$trace_b"
 
 echo "==> cargo check --all-targets --offline (benches + bins compile)"
 cargo check --all-targets --offline

@@ -38,6 +38,9 @@ fn counter_row(layer: &str, name: &str, r: &KernelReport) -> Json {
 }
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     println!(
         "# Fig. 10 — sampling-stage counters on {} (per layer, per implementation)\n",

@@ -18,6 +18,9 @@ use defcon_models::trainer::{prepare, DetectorSuperNet, TrainConfig};
 use defcon_nn::graph::ParamStore;
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let fast = defcon_bench::fast_mode();
     let dataset = DeformedShapesConfig {
         deformation: 1.0,

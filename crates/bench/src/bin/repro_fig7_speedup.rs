@@ -17,6 +17,9 @@ use defcon_support::json::Json;
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     println!(
         "# Fig. 7 — deformable operation speedup over PyTorch on {}\n",

@@ -14,6 +14,9 @@ use defcon_kernels::{DeformConvOp, DeformLayerShape, SamplingMethod, TileConfig}
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     // A representative mid-network layer.
     let shape = DeformLayerShape::same3x3(256, 256, 69, 69);

@@ -16,6 +16,9 @@ use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     println!("# Fig. 9 — speedup of algorithmic optimizations on {} (baseline = PyTorch, unbounded, standard offset conv; per layer)\n", gpu.config().name);
 

@@ -16,6 +16,9 @@ use defcon_kernels::{SamplingMethod, TileConfig};
 use defcon_models::zoo::{num_dcn, resnet_3x3_slots, simulate_network, DcnLayout};
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let gpu = Gpu::new(DeviceConfig::xavier_agx());
     println!(
         "# Table III — end-to-end YOLACT++ (R101 @ 550) on {}",

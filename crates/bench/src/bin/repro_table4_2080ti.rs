@@ -14,6 +14,9 @@ use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let gpu = Gpu::new(DeviceConfig::rtx2080ti());
     println!(
         "# Table IV — deformable operation latency on {}",

@@ -18,6 +18,9 @@ use defcon_nn::graph::ParamStore;
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
+    // Must be first and live for the whole run: the guard writes the
+    // DEFCON_TRACE Chrome trace when it drops.
+    let _obs = defcon_bench::obs_scope();
     let fast = defcon_bench::fast_mode();
     let dataset = DeformedShapesConfig {
         deformation: 1.0,

@@ -32,6 +32,17 @@ pub fn fast_mode() -> bool {
     defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::FAST))
 }
 
+/// Arms the observability layer from the environment. Every `repro_*`
+/// binary calls this first: with `DEFCON_TRACE=<path>` set, the returned
+/// guard records the run and writes a Chrome trace-event file to `path`
+/// when it drops (bind it to a variable declared *before* any other work
+/// so it drops last); `DEFCON_OBS_WALL=1` switches the span clock from
+/// logical ticks to wall microseconds. `None` (and zero overhead) when
+/// tracing is off; a malformed value exits with a clear message.
+pub fn obs_scope() -> Option<defcon_support::obs::ObsGuard> {
+    defcon_support::env::or_die(defcon_support::obs::arm_from_env())
+}
+
 /// The layer shapes a `repro_*` binary should sweep: the paper's Table II
 /// set, or two tiny stand-ins under `DEFCON_TINY=1`.
 pub fn layer_sweep() -> Vec<DeformLayerShape> {

@@ -1,0 +1,244 @@
+//! Golden-trace conformance tests: run the repro binaries with
+//! `DEFCON_TRACE=<path>` and hold the emitted Chrome trace to the
+//! determinism contract (DESIGN.md §8).
+//!
+//! * At `DEFCON_THREADS=1` the trace is **byte-identical** across runs and
+//!   matches the blessed snapshot under `tests/golden/` byte for byte — the
+//!   logical clock makes timestamps a pure function of the event sequence.
+//! * At `DEFCON_THREADS=4` the band decomposition differs (more, smaller
+//!   bands), so equality is **semantic**: the same launch sequence with the
+//!   same kernel labels, exactly-equal L1/texture counters, and cycles
+//!   within the documented 1% merge tolerance.
+//!
+//! Re-bless after an intentional instrumentation change with:
+//!
+//! ```sh
+//! DEFCON_BLESS=1 cargo test -p defcon-bench --offline --test obs_golden
+//! ```
+
+use defcon_support::json::Json;
+use defcon_support::obs::{find_spans, forest_from_chrome, SpanNode};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs a repro binary in tiny mode with tracing to a unique temp file and
+/// returns the raw trace bytes. The temp path encodes pid + tag so parallel
+/// test binaries never collide.
+fn run_traced(bin: &str, threads: usize, tag: &str) -> String {
+    let trace = std::env::temp_dir().join(format!(
+        "defcon-obs-{}-{tag}-t{threads}.json",
+        std::process::id()
+    ));
+    let out = Command::new(bin)
+        .env("DEFCON_TINY", "1")
+        .env("DEFCON_JSON", "1")
+        .env("DEFCON_FAST", "1")
+        .env("DEFCON_THREADS", threads.to_string())
+        .env("DEFCON_TRACE", &trace)
+        .env_remove("DEFCON_OBS_WALL")
+        .env_remove("DEFCON_BLESS")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read_to_string(&trace)
+        .unwrap_or_else(|e| panic!("{bin} did not write trace {}: {e}", trace.display()));
+    let _ = std::fs::remove_file(&trace);
+    assert!(!bytes.is_empty(), "{bin}: empty trace file");
+    bytes
+}
+
+fn parse_forest(trace: &str) -> Vec<SpanNode> {
+    let json = Json::parse(trace).expect("trace file is valid JSON");
+    forest_from_chrome(&json).expect("trace round-trips through forest_from_chrome")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+const CASES: [(&str, &str); 2] = [
+    (env!("CARGO_BIN_EXE_repro_table2_xavier"), "table2_trace"),
+    (env!("CARGO_BIN_EXE_repro_fig7_speedup"), "fig7_trace"),
+];
+
+/// The single-thread trace must match the checked-in snapshot byte for byte.
+#[test]
+fn golden_traces_match_snapshots() {
+    for (bin, name) in CASES {
+        let actual = run_traced(bin, 1, name);
+        let path = golden_path(name);
+        if defcon_support::env::or_die(defcon_support::env::flag(defcon_support::env::BLESS)) {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden trace {} ({e}); run with DEFCON_BLESS=1 to record it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            golden,
+            "{name}: trace diverged from {}; if the instrumentation change is \
+             intentional, re-bless with DEFCON_BLESS=1",
+            path.display()
+        );
+    }
+}
+
+/// Two back-to-back single-thread runs emit identical bytes — the trace is a
+/// pure function of the workload, not of scheduling or the clock.
+#[test]
+fn traces_are_byte_identical_across_runs() {
+    for (bin, name) in CASES {
+        let a = run_traced(bin, 1, &format!("{name}-runa"));
+        let b = run_traced(bin, 1, &format!("{name}-runb"));
+        assert_eq!(a, b, "{name}: trace differs between identical runs");
+    }
+}
+
+/// Semantic equality across thread counts: threads=4 splits launches into
+/// more bands, but the launch-level aggregates must agree with threads=1 —
+/// same kernels in the same order, exactly-equal private-cache counters
+/// (L1 and texture caches are flushed per block, so decomposition cannot
+/// change them), exact L2 accesses, and cycles within the 1% tolerance the
+/// parallel engine documents for cold-shard L2 drift.
+#[test]
+fn traces_agree_semantically_across_thread_counts() {
+    for (bin, name) in CASES {
+        let serial = parse_forest(&run_traced(bin, 1, &format!("{name}-sem1")));
+        let parallel = parse_forest(&run_traced(bin, 4, &format!("{name}-sem4")));
+        let s_launches = find_spans(&serial, "gpusim.launch");
+        let p_launches = find_spans(&parallel, "gpusim.launch");
+        assert!(
+            !s_launches.is_empty(),
+            "{name}: no launch spans at threads=1"
+        );
+        assert_eq!(
+            s_launches.len(),
+            p_launches.len(),
+            "{name}: launch count differs across thread counts"
+        );
+        for (i, (s, p)) in s_launches.iter().zip(&p_launches).enumerate() {
+            let at = format!("{name} launch[{i}]");
+            assert_eq!(
+                s.str_arg("kernel"),
+                p.str_arg("kernel"),
+                "{at}: kernel label differs"
+            );
+            assert_eq!(
+                s.u64_arg("grid_blocks"),
+                p.u64_arg("grid_blocks"),
+                "{at}: grid differs"
+            );
+            for key in ["l1_hits", "l1_accesses", "tex_hits", "tex_line_accesses"] {
+                assert_eq!(
+                    s.u64_arg(key),
+                    p.u64_arg(key),
+                    "{at}: private-cache counter '{key}' differs"
+                );
+            }
+            assert_eq!(
+                s.u64_arg("l2_accesses"),
+                p.u64_arg("l2_accesses"),
+                "{at}: l2_accesses differs"
+            );
+            let (sc, pc) = (
+                s.num_arg("cycles").expect("launch span has cycles"),
+                p.num_arg("cycles").expect("launch span has cycles"),
+            );
+            let drift = (sc - pc).abs() / sc.max(1.0);
+            assert!(
+                drift <= 0.01,
+                "{at}: cycles drift {:.3}% exceeds 1% ({sc} vs {pc})",
+                100.0 * drift
+            );
+        }
+    }
+}
+
+/// Recombination: inside every launch span, the per-band child spans must
+/// sum back exactly to the launch-level counter args — nothing is lost or
+/// double-counted in the merge.
+#[test]
+fn band_spans_recombine_to_launch_aggregates() {
+    for threads in [1usize, 4] {
+        let forest = parse_forest(&run_traced(
+            env!("CARGO_BIN_EXE_repro_table2_xavier"),
+            threads,
+            &format!("recombine-{threads}"),
+        ));
+        let launches = find_spans(&forest, "gpusim.launch");
+        assert!(!launches.is_empty(), "no launch spans (threads={threads})");
+        for (i, launch) in launches.iter().enumerate() {
+            let bands: Vec<&SpanNode> = launch
+                .children
+                .iter()
+                .filter(|c| c.name == "gpusim.band")
+                .collect();
+            assert!(!bands.is_empty(), "launch[{i}]: no band spans");
+            // Counters are exact u64 sums across bands.
+            for key in [
+                "l1_hits",
+                "l1_accesses",
+                "tex_hits",
+                "tex_line_accesses",
+                "l2_hits",
+                "l2_accesses",
+            ] {
+                let total: u64 = bands
+                    .iter()
+                    .map(|b| {
+                        b.u64_arg(key)
+                            .unwrap_or_else(|| panic!("band missing arg '{key}'"))
+                    })
+                    .sum();
+                let expect = launch
+                    .u64_arg(key)
+                    .unwrap_or_else(|| panic!("launch[{i}] missing arg '{key}'"));
+                assert_eq!(
+                    total, expect,
+                    "launch[{i}] (threads={threads}): band '{key}' sum {total} != launch {expect}"
+                );
+            }
+            // Cycles are f64s summed in band order; allow only the JSON
+            // round-trip rounding, not any real drift.
+            let cycle_sum: f64 = bands
+                .iter()
+                .map(|b| b.num_arg("cycles").expect("band has cycles"))
+                .sum();
+            let expect = launch.num_arg("cycles").expect("launch has cycles");
+            assert!(
+                (cycle_sum - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                "launch[{i}] (threads={threads}): band cycles sum {cycle_sum} != launch {expect}"
+            );
+            // The launch-level hit-rate gauges must recombine from the band
+            // counter sums (hits / accesses), not from averaging band rates.
+            for (rate, hits, accesses) in [
+                ("l1_hit_rate", "l1_hits", "l1_accesses"),
+                ("tex_hit_rate", "tex_hits", "tex_line_accesses"),
+                ("l2_hit_rate", "l2_hits", "l2_accesses"),
+            ] {
+                let h: u64 = bands.iter().map(|b| b.u64_arg(hits).unwrap()).sum();
+                let a: u64 = bands.iter().map(|b| b.u64_arg(accesses).unwrap()).sum();
+                let want = if a == 0 { 0.0 } else { h as f64 / a as f64 };
+                let got = launch
+                    .num_arg(rate)
+                    .unwrap_or_else(|| panic!("launch[{i}] missing '{rate}'"));
+                assert!(
+                    (got - want).abs() <= 1e-12,
+                    "launch[{i}]: {rate} {got} != recombined {want}"
+                );
+            }
+        }
+    }
+}

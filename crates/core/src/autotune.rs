@@ -10,6 +10,8 @@
 use defcon_kernels::TileConfig;
 use defcon_support::error::DefconError;
 use defcon_support::fault;
+use defcon_support::json::Json;
+use defcon_support::obs;
 use defcon_support::par::ParallelSliceMut;
 use defcon_support::rng::{SeedableRng, SliceRandom, StdRng};
 
@@ -71,6 +73,13 @@ impl Autotuner {
         objective: impl Fn(TileConfig) -> f64 + Sync,
     ) -> AutotuneResult {
         assert!(!space.is_empty(), "empty search space");
+        let run_span = obs::span_with("autotune.run", || {
+            vec![
+                ("strategy", Json::str(format!("{:?}", self.strategy))),
+                ("budget", Json::from(self.budget)),
+                ("space", Json::from(space.len())),
+            ]
+        });
         let evaluations = match self.strategy {
             Strategy::Exhaustive => {
                 let mut vals = vec![0.0f64; space.len()];
@@ -96,6 +105,8 @@ impl Autotuner {
             .copied()
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("at least one evaluation");
+        run_span.record("evaluations", Json::from(evaluations.len()));
+        run_span.record("best_value", Json::from(best_value));
         AutotuneResult {
             best,
             best_value,
@@ -133,6 +144,12 @@ impl Autotuner {
                     // Spend the remaining budget as seeded random search —
                     // `remaining` is already seed-shuffled, so the fallback
                     // is as deterministic as the happy path.
+                    obs::event_with("autotune.gp_fallback", || {
+                        vec![
+                            ("evaluated", Json::from(evals.len())),
+                            ("budget", Json::from(budget)),
+                        ]
+                    });
                     while evals.len() < budget {
                         let Some(t) = remaining.pop() else { break };
                         evals.push((t, objective(t)));

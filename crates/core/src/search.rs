@@ -21,6 +21,7 @@ use defcon_support::ckpt;
 use defcon_support::error::DefconError;
 use defcon_support::fault;
 use defcon_support::json::{Json, JsonError};
+use defcon_support::obs;
 use defcon_tensor::Tensor;
 use std::path::PathBuf;
 
@@ -198,6 +199,18 @@ impl IntervalSearch {
         store: &mut ParamStore,
         robust: &RobustSearchConfig,
     ) -> Result<SearchOutcome, DefconError> {
+        let run_span = obs::span_with("search.run", || {
+            vec![
+                ("slots", Json::from(model.num_slots())),
+                ("search_epochs", Json::from(self.config.search_epochs)),
+                ("finetune_epochs", Json::from(self.config.finetune_epochs)),
+                (
+                    "target_latency_ms",
+                    Json::from(self.config.target_latency_ms as f64),
+                ),
+                ("beta", Json::from(self.config.beta as f64)),
+            ]
+        });
         let lat: Vec<f32> = (0..model.num_slots())
             .map(|i| self.lut.dcn_overhead_ms(&model.latency_key(i)) as f32)
             .collect();
@@ -228,14 +241,25 @@ impl IntervalSearch {
             if loss_history.len() > epoch {
                 continue; // resumed past this epoch
             }
-            model.set_temperature(self.config.temperature.at(epoch));
+            let tau = self.config.temperature.at(epoch);
+            model.set_temperature(tau);
+            let epoch_span = obs::span_with("search.epoch", || {
+                vec![
+                    ("epoch", Json::from(epoch)),
+                    ("phase", Json::str("search")),
+                    ("tau", Json::from(tau as f64)),
+                ]
+            });
             let mut epoch_loss = 0.0f32;
             for iter in 0..self.config.iters_per_epoch {
                 let batch = epoch * self.config.iters_per_epoch + iter;
                 epoch_loss +=
                     self.robust_step(model, store, &mut opt, &lat, true, batch, robust)?;
             }
-            loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
+            let mean_loss = epoch_loss / self.config.iters_per_epoch as f32;
+            epoch_span.record("loss", Json::from(mean_loss as f64));
+            drop(epoch_span);
+            loss_history.push(mean_loss);
             self.save_checkpoint(robust, store, &opt, &loss_history, final_loss)?;
         }
 
@@ -255,6 +279,12 @@ impl IntervalSearch {
             if loss_history.len() > self.config.search_epochs + epoch {
                 continue; // resumed past this epoch
             }
+            let epoch_span = obs::span_with("search.epoch", || {
+                vec![
+                    ("epoch", Json::from(self.config.search_epochs + epoch)),
+                    ("phase", Json::str("finetune")),
+                ]
+            });
             let mut epoch_loss = 0.0f32;
             for iter in 0..self.config.iters_per_epoch {
                 let batch = epoch * self.config.iters_per_epoch + iter;
@@ -262,10 +292,15 @@ impl IntervalSearch {
                     self.robust_step(model, store, &mut opt, &lat, false, batch, robust)?;
                 epoch_loss += final_loss;
             }
-            loss_history.push(epoch_loss / self.config.iters_per_epoch as f32);
+            let mean_loss = epoch_loss / self.config.iters_per_epoch as f32;
+            epoch_span.record("loss", Json::from(mean_loss as f64));
+            drop(epoch_span);
+            loss_history.push(mean_loss);
             self.save_checkpoint(robust, store, &opt, &loss_history, final_loss)?;
         }
 
+        run_span.record("final_loss", Json::from(final_loss as f64));
+        run_span.record("dcn_overhead_ms", Json::from(dcn_overhead_ms));
         Ok(SearchOutcome {
             choices,
             final_loss,
@@ -286,21 +321,22 @@ impl IntervalSearch {
         batch: usize,
         robust: &RobustSearchConfig,
     ) -> Result<f32, DefconError> {
-        for _attempt in 0..=robust.max_step_retries {
+        for attempt in 0..=robust.max_step_retries {
             let snap = store.snapshot();
             store.zero_grads();
             let mut tape = Tape::new();
             let task = model.forward_loss(&mut tape, store, batch);
-            let total = if with_penalty {
+            let (total, penalty_val) = if with_penalty {
                 let alphas: Vec<Var> = (0..model.num_slots())
                     .map(|i| tape.param(store, model.alpha(i)))
                     .collect();
                 let penalty =
                     ops::latency_penalty(&mut tape, &alphas, lat, self.config.target_latency_ms);
+                let penalty_val = tape.value(penalty).data()[0];
                 let weighted = ops::scale(&mut tape, penalty, self.config.beta);
-                ops::add(&mut tape, task, weighted)
+                (ops::add(&mut tape, task, weighted), Some(penalty_val))
             } else {
-                task
+                (task, None)
             };
             let mut task_val = tape.value(task).data()[0];
             fault::nonfinite_f32("search.loss", &mut task_val);
@@ -315,6 +351,16 @@ impl IntervalSearch {
                 }
                 if store.grads_finite() {
                     opt.step(store);
+                    obs::event_with("search.step", || {
+                        let mut args = vec![
+                            ("batch", Json::from(batch)),
+                            ("task_loss", Json::from(task_val as f64)),
+                        ];
+                        if let Some(p) = penalty_val {
+                            args.push(("lut_penalty", Json::from(p as f64)));
+                        }
+                        args
+                    });
                     return Ok(task_val);
                 }
             }
@@ -322,6 +368,13 @@ impl IntervalSearch {
             // momentum, gear the LR down, and retry the same mini-batch.
             store.restore(&snap);
             opt.backoff(robust.lr_backoff);
+            obs::event_with("search.rollback", || {
+                vec![
+                    ("batch", Json::from(batch)),
+                    ("attempt", Json::from(attempt)),
+                    ("lr_backoff", Json::from(robust.lr_backoff as f64)),
+                ]
+            });
         }
         Err(DefconError::RetriesExhausted {
             what: format!("interval-search step on batch {batch} (non-finite loss/gradient)"),
@@ -359,7 +412,11 @@ impl IntervalSearch {
             ("opt_lr_scale", Json::from(opt.lr_scale() as f64)),
             ("params", store.state_to_json()),
         ]);
-        ckpt::save(path, &doc.to_string())
+        ckpt::save(path, &doc.to_string())?;
+        obs::event_with("search.checkpoint", || {
+            vec![("epochs_done", Json::from(loss_history.len()))]
+        });
+        Ok(())
     }
 }
 

@@ -32,6 +32,8 @@ use crate::cache::Cache;
 use crate::device::DeviceConfig;
 use crate::report::{Counters, KernelReport};
 use crate::trace::{BlockCost, BlockTrace, TraceSink};
+use defcon_support::json::Json;
+use defcon_support::obs;
 use defcon_support::par::ParallelSliceMut;
 use std::sync::OnceLock;
 
@@ -201,6 +203,15 @@ impl Gpu {
         let threads = self.policy.threads.max(1).min(sample.len());
         let ranges = band_ranges(sample.len(), threads);
 
+        let launch_span = obs::span_with("gpusim.launch", || {
+            vec![
+                ("kernel", Json::str(kernel.label())),
+                ("grid_blocks", Json::from(grid)),
+                ("sampled_blocks", Json::from(sample.len())),
+                ("bands", Json::from(threads)),
+            ]
+        });
+
         // One result slot per band; `par` hands each worker exactly one
         // chunk (chunk size 1, band count == thread count), so the slot a
         // worker fills is fixed by its band index, not by scheduling.
@@ -222,12 +233,61 @@ impl Gpu {
             });
 
         // Merge in band order == ascending block-index order. With a single
-        // band the f64 additions happen in exactly the serial order.
+        // band the f64 additions happen in exactly the serial order. Per-band
+        // spans are recorded here — on the owner thread, in band-index order —
+        // never from the workers, so the trace stays deterministic under the
+        // parallel contract.
+        let obs_on = obs::armed();
         let mut sm_cycles_total = 0.0f64;
         let mut counters = Counters::default();
-        for (cycles, c) in &bands {
+        for (b, (cycles, c)) in bands.iter().enumerate() {
+            if obs_on {
+                let warmup_blocks =
+                    ranges[b].start - ranges[b].start.saturating_sub(BAND_WARMUP_BLOCKS);
+                let band_span = obs::span_with("gpusim.band", || {
+                    vec![
+                        ("band", Json::from(b)),
+                        ("blocks", Json::from(ranges[b].len())),
+                        ("cycles", Json::from(*cycles)),
+                        ("l1_hits", Json::from(c.l1_hits)),
+                        ("l1_accesses", Json::from(c.l1_accesses)),
+                        ("tex_hits", Json::from(c.tex_hits)),
+                        ("tex_line_accesses", Json::from(c.tex_line_accesses)),
+                        ("l2_hits", Json::from(c.l2_hits)),
+                        ("l2_accesses", Json::from(c.l2_accesses)),
+                        ("l1_hit_rate", Json::from(c.l1_hit_rate())),
+                        ("tex_hit_rate", Json::from(c.tex_hit_rate())),
+                        ("l2_hit_rate", Json::from(c.l2_hit_rate())),
+                    ]
+                });
+                drop(obs::span_with("gpusim.band.warmup", || {
+                    vec![("blocks", Json::from(warmup_blocks))]
+                }));
+                drop(obs::span_with("gpusim.band.measured", || {
+                    vec![
+                        ("blocks", Json::from(ranges[b].len())),
+                        ("cycles", Json::from(*cycles)),
+                    ]
+                }));
+                drop(band_span);
+            }
             sm_cycles_total += cycles;
             counters.merge(c);
+        }
+        if obs_on {
+            // Pre-scale aggregates: the exact sums of the per-band span args
+            // above (the obs_invariants suite recombines them).
+            launch_span.record("cycles", Json::from(sm_cycles_total));
+            launch_span.record("l1_hits", Json::from(counters.l1_hits));
+            launch_span.record("l1_accesses", Json::from(counters.l1_accesses));
+            launch_span.record("tex_hits", Json::from(counters.tex_hits));
+            launch_span.record("tex_line_accesses", Json::from(counters.tex_line_accesses));
+            launch_span.record("l2_hits", Json::from(counters.l2_hits));
+            launch_span.record("l2_accesses", Json::from(counters.l2_accesses));
+            launch_span.record("l1_hit_rate", Json::from(counters.l1_hit_rate()));
+            launch_span.record("tex_hit_rate", Json::from(counters.tex_hit_rate()));
+            launch_span.record("l2_hit_rate", Json::from(counters.l2_hit_rate()));
+            counters.record_obs("gpusim");
         }
         self.finish_report(kernel, grid, sample.len(), sm_cycles_total, counters)
     }
@@ -452,15 +512,79 @@ mod tests {
         )
         .launch(&k);
         assert_eq!(sampled.simulated_blocks, 50);
+        // StreamKernel issues the same load count in every block, so the
+        // stratified sample must extrapolate the counter *exactly* (up to
+        // the ±0.5 scale rounding) — not merely "within 5%".
         let ratio = sampled.counters.gld_requests as f64 / exhaustive.counters.gld_requests as f64;
         assert!(
-            (ratio - 1.0).abs() < 0.05,
+            (ratio - 1.0).abs() < 1e-9,
             "counter extrapolation off by {ratio}"
         );
         let t_ratio = sampled.time_ms / exhaustive.time_ms;
         assert!(
             (t_ratio - 1.0).abs() < 0.15,
             "time extrapolation off by {t_ratio}"
+        );
+    }
+
+    #[test]
+    fn prop_sampled_extrapolation_error_is_bounded() {
+        use defcon_support::prop::{self, Config};
+        use defcon_support::rng::Rng;
+
+        // For a block-homogeneous kernel, sampled-then-scaled counters must
+        // match the exhaustive run to within the scale() rounding of ±0.5
+        // per counter — a tight bound on the extrapolation machinery itself.
+        prop::check(
+            "sampled counters extrapolate exactly for homogeneous kernels",
+            &Config::cases(12),
+            |rng| {
+                (
+                    rng.gen_range(100usize..800),
+                    rng.gen_range(10usize..60),
+                    rng.gen_range(1usize..4),
+                )
+            },
+            |&(blocks, max_blocks, loads_per_thread)| {
+                let k = StreamKernel {
+                    blocks,
+                    threads: 64,
+                    loads_per_thread,
+                    fma_per_thread: 4,
+                };
+                let exhaustive =
+                    Gpu::with_policy(DeviceConfig::xavier_agx(), SamplePolicy::exhaustive())
+                        .launch(&k);
+                let sampled = Gpu::with_policy(
+                    DeviceConfig::xavier_agx(),
+                    SamplePolicy {
+                        max_blocks,
+                        ..SamplePolicy::default()
+                    },
+                )
+                .launch(&k);
+                for (name, got, want) in [
+                    (
+                        "gld_requests",
+                        sampled.counters.gld_requests,
+                        exhaustive.counters.gld_requests,
+                    ),
+                    ("flops", sampled.counters.flops, exhaustive.counters.flops),
+                    (
+                        "gld_transactions",
+                        sampled.counters.gld_transactions,
+                        exhaustive.counters.gld_transactions,
+                    ),
+                ] {
+                    let err = (got as f64 - want as f64).abs();
+                    defcon_support::prop_assert!(
+                        err <= 1.0,
+                        "{name}: sampled {got} vs exhaustive {want} \
+                         (blocks {blocks}, max_blocks {max_blocks})"
+                    );
+                }
+                Ok(())
+            },
         );
     }
 

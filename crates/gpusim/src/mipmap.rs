@@ -173,6 +173,139 @@ mod tests {
         assert!((vh - 2.5).abs() < 1e-6, "halfway blend {vh}");
     }
 
+    /// A reproducible random pyramid input for the property tests: the
+    /// generated case is plain data (`Debug`-printable on failure); the
+    /// property rebuilds the pyramid from it.
+    #[derive(Debug)]
+    struct MipCase {
+        data: Vec<f32>,
+        h: usize,
+        w: usize,
+        y: f32,
+        x: f32,
+    }
+
+    impl MipCase {
+        fn generate(rng: &mut defcon_support::rng::StdRng) -> MipCase {
+            use defcon_support::rng::Rng;
+            let h = rng.gen_range(2usize..24);
+            let w = rng.gen_range(2usize..24);
+            MipCase {
+                data: (0..h * w).map(|_| rng.gen_range(-8.0f32..8.0)).collect(),
+                h,
+                w,
+                y: rng.gen_range(0.0f32..(h - 1) as f32),
+                x: rng.gen_range(0.0f32..(w - 1) as f32),
+            }
+        }
+
+        fn build(&self) -> MipmappedArray2d {
+            MipmappedArray2d::new(self.data.clone(), 1, self.h, self.w, 0, 2048, 32768).unwrap()
+        }
+    }
+
+    #[test]
+    fn prop_lod_clamps_at_extremes() {
+        use defcon_support::prop::{self, Config};
+        use defcon_support::rng::Rng;
+
+        prop::check(
+            "lod clamps below 0 and above the last level",
+            &Config::cases(32),
+            |rng| {
+                let case = MipCase::generate(rng);
+                let below = -rng.gen_range(0.1f32..100.0);
+                let above_extra = rng.gen_range(0.0f32..100.0);
+                (case, below, above_extra)
+            },
+            |(case, below, above_extra)| {
+                let m = case.build();
+                let top = (m.num_levels() - 1) as f32;
+                let above = m.num_levels() as f32 + above_extra;
+                defcon_support::prop_assert_eq!(
+                    m.fetch_trilinear(0, case.y, case.x, *below),
+                    m.fetch_trilinear(0, case.y, case.x, 0.0)
+                );
+                defcon_support::prop_assert_eq!(
+                    m.fetch_trilinear(0, case.y, case.x, above),
+                    m.fetch_trilinear(0, case.y, case.x, top)
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_trilinear_is_monotone_between_adjacent_levels() {
+        use defcon_support::prop::{self, Config};
+        use defcon_support::rng::Rng;
+
+        // Within one integer LOD cell the fetch is a linear blend of the two
+        // adjacent level samples: it is bounded by them and moves
+        // monotonically toward the upper level as the fraction grows.
+        prop::check(
+            "trilinear fetch is a monotone blend in lod",
+            &Config::cases(32),
+            |rng| {
+                let case = MipCase::generate(rng);
+                let cell_pick = rng.gen_range(0u32..64);
+                let fa = rng.gen_range(0.0f32..1.0);
+                let fb = rng.gen_range(0.0f32..1.0);
+                (case, cell_pick, fa.min(fb), fa.max(fb))
+            },
+            |(case, cell_pick, fa, fb)| {
+                let m = case.build();
+                let cell = (*cell_pick as usize % m.num_levels()) as f32;
+                let top = (m.num_levels() - 1) as f32;
+                let v0 = m.fetch_trilinear(0, case.y, case.x, cell);
+                let v1 = m.fetch_trilinear(0, case.y, case.x, (cell + 1.0).min(top));
+                let va = m.fetch_trilinear(0, case.y, case.x, cell + *fa);
+                let vb = m.fetch_trilinear(0, case.y, case.x, cell + *fb);
+                let (lo, hi) = (v0.min(v1), v0.max(v1));
+                let eps = 1e-4 * (1.0 + hi.abs());
+                defcon_support::prop_assert!(
+                    va >= lo - eps && va <= hi + eps,
+                    "blend {va} escapes [{lo}, {hi}] at lod {}",
+                    cell + fa
+                );
+                // fa <= fb: the blend moves from v0 toward v1, never back.
+                if v0 <= v1 {
+                    defcon_support::prop_assert!(vb >= va - eps, "not monotone up: {va} -> {vb}");
+                } else {
+                    defcon_support::prop_assert!(vb <= va + eps, "not monotone down: {va} -> {vb}");
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_integer_lod_equals_that_levels_bilinear_fetch() {
+        use defcon_support::prop::{self, Config};
+        use defcon_support::rng::Rng;
+
+        prop::check(
+            "integer lod selects exactly one level",
+            &Config::cases(32),
+            |rng| {
+                let case = MipCase::generate(rng);
+                let lvl_pick = rng.gen_range(0u32..64);
+                (case, lvl_pick)
+            },
+            |(case, lvl_pick)| {
+                let m = case.build();
+                let lvl = *lvl_pick as usize % m.num_levels();
+                let scale = (1u32 << lvl) as f32;
+                let direct = m.level(lvl).fetch(0, case.y / scale, case.x / scale).value;
+                defcon_support::prop_assert_eq!(
+                    m.fetch_trilinear(0, case.y, case.x, lvl as f32),
+                    direct
+                );
+                Ok(())
+            },
+        );
+    }
+
     /// The paper's §III-B argument, as a test: deformable convolution needs
     /// exact per-pixel values; any LOD > 0 low-passes the feature map and
     /// changes the sampled values, so a mipmap buys nothing over its level

@@ -15,6 +15,8 @@ use crate::layer::{DeformLayerShape, TileConfig};
 use defcon_gpusim::texture::TextureLimitError;
 use defcon_gpusim::{Gpu, KernelReport};
 use defcon_support::error::DefconError;
+use defcon_support::json::Json;
+use defcon_support::obs;
 use defcon_tensor::sample::OffsetTransform;
 use defcon_tensor::{gemm, Tensor};
 
@@ -499,6 +501,12 @@ impl DeformConvOp {
             SamplingMethod::Tex2d => &[SamplingMethod::Tex2d, SamplingMethod::SoftwareBilinear],
             SamplingMethod::SoftwareBilinear => &[SamplingMethod::SoftwareBilinear],
         };
+        let ladder_span = obs::span_with("kernels.fallback_ladder", || {
+            vec![
+                ("requested", Json::str(self.method.name())),
+                ("rungs", Json::from(chain.len())),
+            ]
+        });
         let mut degradations = Vec::new();
         let mut last = None;
         for &method in chain {
@@ -508,19 +516,28 @@ impl DeformConvOp {
             };
             match op.try_simulate_deform_partitioned(gpu, x, offsets) {
                 Ok(reports) => {
+                    ladder_span.record("selected", Json::str(method.name()));
+                    ladder_span.record("degradations", Json::from(degradations.len()));
                     return Ok(DeformFallback {
                         reports,
                         method,
                         degradations,
-                    })
+                    });
                 }
                 Err(e) if e.is_degradable() => {
+                    obs::event_with("kernels.fallback", || {
+                        vec![
+                            ("from", Json::str(method.name())),
+                            ("error", Json::str(e.to_string())),
+                        ]
+                    });
                     degradations.push(format!("{} unavailable: {e}", method.name()));
                     last = Some(e);
                 }
                 Err(e) => return Err(e),
             }
         }
+        ladder_span.record("selected", Json::str("none"));
         Err(last.unwrap_or(DefconError::Constraint {
             what: "deform-fallback".into(),
             detail: "empty fallback chain".into(),

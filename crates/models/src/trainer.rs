@@ -16,6 +16,7 @@ use defcon_support::ckpt;
 use defcon_support::error::DefconError;
 use defcon_support::fault;
 use defcon_support::json::{Json, JsonError};
+use defcon_support::obs;
 use std::path::PathBuf;
 
 /// Training hyper-parameters.
@@ -139,6 +140,14 @@ pub fn train_detector_robust(
     offset_reg: f32,
     robust: &RobustTrainConfig,
 ) -> Result<Vec<f32>, DefconError> {
+    let run_span = obs::span_with("trainer.run", || {
+        vec![
+            ("epochs", Json::from(cfg.epochs)),
+            ("train_size", Json::from(cfg.train_size)),
+            ("batch_size", Json::from(cfg.batch_size)),
+            ("offset_reg", Json::from(offset_reg as f64)),
+        ]
+    });
     let data = prepare(&cfg.dataset, cfg.train_size, cfg.seed);
     let steps = cfg.epochs * cfg.train_size.div_ceil(cfg.batch_size);
     let mut opt = Sgd::paper_schedule(cfg.lr, steps);
@@ -164,6 +173,7 @@ pub fn train_detector_robust(
         if history.len() > epoch {
             continue; // resumed past this epoch
         }
+        let epoch_span = obs::span_with("trainer.epoch", || vec![("epoch", Json::from(epoch))]);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
         for chunk_start in (0..cfg.train_size).step_by(cfg.batch_size) {
@@ -171,7 +181,7 @@ pub fn train_detector_robust(
             let samples = &data.samples[chunk_start..end];
             let assignments = &data.assignments[chunk_start..end];
             let mut step_ok = false;
-            for _attempt in 0..=robust.max_step_retries {
+            for attempt in 0..=robust.max_step_retries {
                 let snap = store.snapshot();
                 store.zero_grads();
                 let mut tape = Tape::new();
@@ -206,6 +216,13 @@ pub fn train_detector_robust(
                 // gear the LR down, retry the same mini-batch.
                 store.restore(&snap);
                 opt.backoff(robust.lr_backoff);
+                obs::event_with("trainer.rollback", || {
+                    vec![
+                        ("samples_start", Json::from(chunk_start)),
+                        ("attempt", Json::from(attempt)),
+                        ("lr_backoff", Json::from(robust.lr_backoff as f64)),
+                    ]
+                });
             }
             if !step_ok {
                 return Err(DefconError::RetriesExhausted {
@@ -217,7 +234,10 @@ pub fn train_detector_robust(
             }
             batches += 1;
         }
-        history.push(epoch_loss / batches.max(1) as f32);
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        epoch_span.record("loss", Json::from(mean_loss as f64));
+        drop(epoch_span);
+        history.push(mean_loss);
         if let Some(path) = &robust.checkpoint {
             let doc = Json::obj(vec![
                 ("epochs_done", Json::from(history.len())),
@@ -230,8 +250,12 @@ pub fn train_detector_robust(
                 ("params", store.state_to_json()),
             ]);
             ckpt::save(path, &doc.to_string())?;
+            obs::event_with("trainer.checkpoint", || {
+                vec![("epochs_done", Json::from(history.len()))]
+            });
         }
     }
+    run_span.record("epochs_done", Json::from(history.len()));
     Ok(history)
 }
 

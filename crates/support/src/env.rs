@@ -28,6 +28,12 @@ pub const JSON: &str = "DEFCON_JSON";
 pub const FAST: &str = "DEFCON_FAST";
 /// `DEFCON_BLESS` — re-record golden snapshots.
 pub const BLESS: &str = "DEFCON_BLESS";
+/// `DEFCON_TRACE` — path for the Chrome trace-event file written by
+/// `support::obs` when armed from the environment.
+pub const TRACE: &str = "DEFCON_TRACE";
+/// `DEFCON_OBS_WALL` — wall-clock span timestamps instead of the
+/// byte-reproducible logical clock.
+pub const OBS_WALL: &str = "DEFCON_OBS_WALL";
 
 /// Reads a boolean flag. Unset and empty mean **off**; `1`, `true`, `yes`,
 /// `on` mean **on**; `0`, `false`, `no`, `off` mean **off** (all
@@ -66,6 +72,27 @@ pub fn positive_usize(name: &str) -> Result<Option<usize>, DefconError> {
 /// The `DEFCON_THREADS` override, if set (and valid).
 pub fn threads_override() -> Result<Option<usize>, DefconError> {
     positive_usize(THREADS)
+}
+
+/// Reads a path-valued variable. Unset and empty mean `None`; a
+/// whitespace-only value is a [`DefconError::Env`] — it is never a usable
+/// path, always a shell-quoting mistake.
+pub fn path(name: &str) -> Result<Option<std::path::PathBuf>, DefconError> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) if v.trim().is_empty() => Err(DefconError::Env {
+            var: name.to_string(),
+            value: v,
+            expected: "a file path (or unset/empty to disable)",
+        }),
+        Ok(v) => Ok(Some(std::path::PathBuf::from(v))),
+    }
+}
+
+/// The `DEFCON_TRACE` output path, if tracing is enabled.
+pub fn trace_path() -> Result<Option<std::path::PathBuf>, DefconError> {
+    path(TRACE)
 }
 
 /// Unwraps an environment-parse result; on `Err`, prints the error to
@@ -124,6 +151,22 @@ mod tests {
         assert!(matches!(e, DefconError::Env { .. }));
         assert!(e.to_string().contains(name));
         assert!(e.to_string().contains("maybe"));
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn path_rejects_whitespace_only() {
+        let name = "DEFCON_TEST_PATH";
+        assert_eq!(path("DEFCON_TEST_PATH_UNSET"), Ok(None));
+        std::env::set_var(name, "");
+        assert_eq!(path(name), Ok(None));
+        std::env::set_var(name, "  ");
+        assert!(matches!(path(name), Err(DefconError::Env { .. })));
+        std::env::set_var(name, "/tmp/trace.json");
+        assert_eq!(
+            path(name),
+            Ok(Some(std::path::PathBuf::from("/tmp/trace.json")))
+        );
         std::env::remove_var(name);
     }
 

@@ -29,7 +29,11 @@
 //! * [`env`] — the single parser for the `DEFCON_*` environment switches,
 //!   rejecting malformed values with a clear error;
 //! * [`ckpt`] — atomic (write-temp + rename), CRC-framed checkpoint IO
-//!   with corrupt-file recovery.
+//!   with corrupt-file recovery;
+//! * [`obs`] — deterministic observability: hierarchical spans on a
+//!   logical clock, a typed counter/gauge registry, and Chrome-trace /
+//!   metrics-snapshot exporters (zero cost disarmed, byte-reproducible
+//!   armed).
 //!
 //! Design rule: these are *replacements for the slice of API this
 //! workspace uses*, not general-purpose rewrites. Determinism outranks
@@ -44,6 +48,7 @@ pub mod error;
 pub mod fault;
 pub mod json;
 pub mod lanebuf;
+pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;

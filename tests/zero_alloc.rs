@@ -46,6 +46,29 @@ fn table2_shape() -> DeformLayerShape {
     DeformLayerShape::same3x3(16, 16, 550, 550)
 }
 
+/// The disarmed observability layer is part of the zero-allocation
+/// contract: every `obs::` entry point on a hot path must reduce to one
+/// relaxed atomic load when no trace is armed — no allocation, no closure
+/// evaluation, no registry touch. (This test binary never arms obs, so the
+/// whole process runs disarmed.)
+#[test]
+fn disarmed_obs_layer_does_not_allocate() {
+    use defcon_support::json::Json;
+    use defcon_support::obs;
+    let before = thread_allocations();
+    for i in 0..1024u64 {
+        let span = obs::span_with("zalloc.span", || vec![("iter", Json::from(i))]);
+        span.record("extra", Json::from(i));
+        obs::event("zalloc.event");
+        obs::event_with("zalloc.event2", || vec![("iter", Json::from(i))]);
+        obs::counter_add("zalloc.counter", i);
+        obs::gauge_set("zalloc.gauge", i as f64);
+        assert!(!obs::armed());
+        drop(span);
+    }
+    assert_eq!(thread_allocations() - before, 0);
+}
+
 #[test]
 fn im2col_software_traces_without_allocating() {
     let shape = table2_shape();
