@@ -35,6 +35,15 @@ for threads in 1 4; do
     # ambient env leaks nothing into the trace.)
     echo "==> golden-trace conformance (obs_golden, DEFCON_THREADS=$threads)"
     cargo test -q --offline -p defcon-bench --test obs_golden
+
+    # Serving suite, called out explicitly (DESIGN.md §9): the differential
+    # tests prove response bytes are invariant to worker count and cache
+    # temperature, the cache-key property tests pin the content address,
+    # and the serving golden holds the 16-request session trace exact.
+    echo "==> serving differential + cache-key suites (DEFCON_THREADS=$threads)"
+    cargo test -q --offline --test serving_equivalence
+    cargo test -q --offline --test serving_cache_props
+    cargo test -q --offline -p defcon-bench --test serving_golden
 done
 unset DEFCON_THREADS
 
@@ -95,5 +104,23 @@ check_ratchet crates/models/src/trainer.rs    7 0
 # never rewrites the committed BENCH_hotpath.json.
 echo "==> hot_path bench smoke (DEFCON_TINY)"
 DEFCON_TINY=1 cargo bench --offline -p defcon-bench --bench hot_path
+
+# Serving-report determinism: two serving-bench runs must agree byte for
+# byte on everything except the trailing "timing" object (wall-clock is
+# the only nondeterministic field by design — see DESIGN.md §9). The
+# bench itself also asserts cold/warm/fresh digest equality internally.
+echo "==> BENCH_serving.json report determinism (two runs, timing stripped)"
+serve_a="$(mktemp)" serve_b="$(mktemp)"
+DEFCON_TINY=1 DEFCON_BENCH_OUT="$serve_a" \
+    cargo bench --offline -p defcon-bench --bench serving > /dev/null
+DEFCON_TINY=1 DEFCON_BENCH_OUT="$serve_b" \
+    cargo bench --offline -p defcon-bench --bench serving > /dev/null
+sed 's/"timing":.*$//' "$serve_a" > "$serve_a.stripped"
+sed 's/"timing":.*$//' "$serve_b" > "$serve_b.stripped"
+cmp "$serve_a.stripped" "$serve_b.stripped" || {
+    echo "serving determinism FAIL: report bytes differ between runs" >&2
+    exit 1
+}
+rm -f "$serve_a" "$serve_b" "$serve_a.stripped" "$serve_b.stripped"
 
 echo "CI OK"

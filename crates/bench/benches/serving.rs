@@ -1,0 +1,225 @@
+//! Serving-throughput benchmark: drives a seeded randomized request
+//! stream through `core::serve` at saturation and writes
+//! `BENCH_serving.json` with blocks/sec plus p50/p99 request latency.
+//!
+//! Three passes gate correctness before any timing is reported:
+//! a cold pass (fresh server), a warm pass (same server — every request
+//! must be a cache hit), and a second cold pass on a fresh server. All
+//! three must produce the same sorted-response digest, i.e. cache hits
+//! and re-simulations are byte-identical and the whole pipeline is
+//! deterministic. Wall-clock comparisons are hardware-gated (≥ 4 cores).
+//!
+//! `DEFCON_TINY=1` shrinks the stream; `DEFCON_BENCH_OUT=<path>` redirects
+//! the JSON report (CI uses this to `cmp` two runs with timing stripped).
+//! Under `DEFCON_TINY` without `DEFCON_BENCH_OUT`, the committed
+//! `BENCH_serving.json` is left untouched.
+
+use defcon_core::serve::{
+    fnv1a64, percentile_ns, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer,
+};
+use defcon_kernels::op::SamplingMethod;
+use defcon_kernels::DeformLayerShape;
+use defcon_support::env;
+use defcon_support::json::Json;
+use defcon_support::rng::{Rng, SeedableRng, StdRng};
+use std::time::Instant;
+
+fn stream(n: usize, shapes: &[DeformLayerShape], seed: u64) -> Vec<SimRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let devices = ServeDevice::all();
+    let families = SamplingMethod::ladder();
+    (0..n)
+        .map(|_| SimRequest {
+            device: devices[rng.gen_range(0..devices.len())],
+            layer: shapes[rng.gen_range(0..shapes.len())],
+            kernel_family: families[rng.gen_range(0..families.len())],
+            policy: RequestPolicy {
+                max_blocks: 32,
+                ..RequestPolicy::default()
+            },
+        })
+        .collect()
+}
+
+struct Pass {
+    elapsed_s: f64,
+    latencies_ns: Vec<u64>,
+    digest: u64,
+    grid_blocks: u64,
+    hits: u64,
+    misses: u64,
+}
+
+fn run_pass(server: &mut SimServer, reqs: &[SimRequest]) -> Pass {
+    let (h0, m0) = (server.cache().hits(), server.cache().misses());
+    let t0 = Instant::now();
+    let responses = server.serve(reqs);
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    assert_eq!(responses.len(), reqs.len(), "every request is answered");
+    assert!(
+        responses.iter().all(|r| r.error.is_none()),
+        "no request may fail in this stream"
+    );
+    let mut contents: Vec<String> = responses.iter().map(|r| r.content_string()).collect();
+    contents.sort();
+    let digest = fnv1a64(contents.join("\n").as_bytes());
+    let grid_blocks = responses
+        .iter()
+        .flat_map(|r| r.reports.iter())
+        .map(|k| k.grid_blocks as u64)
+        .sum();
+    let mut latencies_ns: Vec<u64> = responses.iter().map(|r| r.latency_ns).collect();
+    latencies_ns.sort_unstable();
+    Pass {
+        elapsed_s,
+        latencies_ns,
+        digest,
+        grid_blocks,
+        hits: server.cache().hits() - h0,
+        misses: server.cache().misses() - m0,
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn main() {
+    let tiny = defcon_bench::tiny_mode();
+    let shapes = if tiny {
+        vec![
+            DeformLayerShape::same3x3(8, 8, 12, 12),
+            DeformLayerShape::same3x3(16, 16, 9, 9),
+        ]
+    } else {
+        vec![
+            DeformLayerShape::same3x3(32, 32, 35, 35),
+            DeformLayerShape::same3x3(64, 64, 35, 35),
+            DeformLayerShape::same3x3(64, 64, 18, 18),
+            DeformLayerShape::same3x3(128, 128, 18, 18),
+        ]
+    };
+    let n = if tiny { 32 } else { 96 };
+    let reqs = stream(n, &shapes, 0x5E17E);
+    // Queue capacity below the stream length keeps the server saturated:
+    // admission overflows force mid-stream drains, exercising the full
+    // submit → shed → drain → retry path under load.
+    let cfg = ServeConfig {
+        workers: defcon_gpusim::default_threads(),
+        queue_capacity: 24.min(n / 2),
+        cache_capacity: 64,
+    };
+
+    let mut server = SimServer::new(cfg);
+    let cold = run_pass(&mut server, &reqs);
+    let warm = run_pass(&mut server, &reqs);
+    let mut fresh = SimServer::new(cfg);
+    let cold2 = run_pass(&mut fresh, &reqs);
+
+    assert_eq!(
+        cold.digest, cold2.digest,
+        "two cold runs must produce byte-identical sorted responses"
+    );
+    assert_eq!(
+        cold.digest, warm.digest,
+        "cache hits must be byte-identical to fresh simulation"
+    );
+    assert_eq!(warm.misses, 0, "warm pass must be answered from cache");
+    assert_eq!(warm.hits, n as u64);
+    assert!(cold.misses > 0, "cold pass must simulate");
+
+    let blocks_per_sec = cold.grid_blocks as f64 / cold.elapsed_s;
+    let (p50, p99) = (
+        percentile_ns(&cold.latencies_ns, 50.0),
+        percentile_ns(&cold.latencies_ns, 99.0),
+    );
+    let (wp50, wp99) = (
+        percentile_ns(&warm.latencies_ns, 50.0),
+        percentile_ns(&warm.latencies_ns, 99.0),
+    );
+    println!(
+        "serving: {} requests, {} workers, digest {:016x}",
+        n, cfg.workers, cold.digest
+    );
+    println!(
+        "  cold: {:.1} ms, {:.0} blocks/sec, p50 {:.3} ms, p99 {:.3} ms ({} misses)",
+        cold.elapsed_s * 1e3,
+        blocks_per_sec,
+        ms(p50),
+        ms(p99),
+        cold.misses
+    );
+    println!(
+        "  warm: {:.1} ms, p50 {:.3} ms, p99 {:.3} ms ({} hits)",
+        warm.elapsed_s * 1e3,
+        ms(wp50),
+        ms(wp99),
+        warm.hits
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if cores >= 4 {
+        assert!(
+            warm.elapsed_s <= cold.elapsed_s,
+            "an all-hit pass must not be slower than the cold pass \
+             (warm {:.1} ms vs cold {:.1} ms)",
+            warm.elapsed_s * 1e3,
+            cold.elapsed_s * 1e3
+        );
+    } else {
+        println!("  ({cores} core(s) — wall-clock assertions skipped, hardware-gated)");
+    }
+
+    // "report" holds only deterministic fields; "timing" comes last so CI
+    // can strip it with a single sed before comparing two runs.
+    let doc = Json::obj(vec![
+        ("bench", Json::str("serving")),
+        ("mode", Json::str(if tiny { "tiny" } else { "full" })),
+        ("requests", Json::from(n)),
+        ("queue_capacity", Json::from(cfg.queue_capacity)),
+        ("cache_capacity", Json::from(cfg.cache_capacity)),
+        (
+            "report",
+            Json::obj(vec![
+                ("digest", Json::str(format!("{:016x}", cold.digest))),
+                ("grid_blocks", Json::from(cold.grid_blocks)),
+                ("cold_hits", Json::from(cold.hits)),
+                ("cold_misses", Json::from(cold.misses)),
+                ("warm_hits", Json::from(warm.hits)),
+                ("warm_misses", Json::from(warm.misses)),
+            ]),
+        ),
+        (
+            "timing",
+            Json::obj(vec![
+                ("workers", Json::from(cfg.workers)),
+                ("cold_elapsed_ms", Json::from(cold.elapsed_s * 1e3)),
+                ("warm_elapsed_ms", Json::from(warm.elapsed_s * 1e3)),
+                ("blocks_per_sec", Json::from(blocks_per_sec)),
+                ("p50_ms", Json::from(ms(p50))),
+                ("p99_ms", Json::from(ms(p99))),
+                ("warm_p50_ms", Json::from(ms(wp50))),
+                ("warm_p99_ms", Json::from(ms(wp99))),
+            ]),
+        ),
+    ]);
+    let override_path = env::or_die(env::path(env::BENCH_OUT));
+    let out_path = match override_path {
+        Some(p) => p,
+        None if tiny => {
+            println!("  (tiny mode without DEFCON_BENCH_OUT — BENCH_serving.json not rewritten)");
+            return;
+        }
+        None => std::path::PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_serving.json"
+        )),
+    };
+    match std::fs::write(&out_path, format!("{doc}\n")) {
+        Ok(()) => println!("  wrote {}", out_path.display()),
+        Err(e) => {
+            eprintln!("serving bench: cannot write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+}

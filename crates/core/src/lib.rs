@@ -18,6 +18,10 @@
 //!   optimizations together the way Fig. 3 sequences them: interval search
 //!   → lightweight operators → bounded deformation → texel-based
 //!   optimization.
+//! * [`serve`] — the **throughput-mode simulation service**: a bounded
+//!   admission queue over parallel workers with a content-addressed
+//!   launch-report cache, exploiting the engine's byte-determinism to
+//!   answer repeated requests without re-simulating.
 //!
 //! Accuracy-side experiments (the YOLACT-style detector, synthetic
 //! dataset, mAP) live in `defcon-models`; the reproduction harnesses in
@@ -27,8 +31,12 @@ pub mod autotune;
 pub mod lut;
 pub mod pipeline;
 pub mod search;
+pub mod serve;
 
 pub use autotune::{AutotuneResult, Autotuner};
 pub use lut::{LatencyKey, LatencyLut};
 pub use pipeline::DefconConfig;
 pub use search::{IntervalSearch, SearchConfig, SearchModel, SearchOutcome};
+pub use serve::{
+    ReportCache, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimResponse, SimServer,
+};

@@ -1,0 +1,1049 @@
+//! Throughput-mode simulation serving (ROADMAP open item 1).
+//!
+//! Every other entry point in this workspace is a one-shot repro binary;
+//! this module is the long-running counterpart: a [`SimServer`] accepts
+//! [`SimRequest`]s through a bounded admission queue, fans batches across
+//! `support::par` workers over shared-immutable [`DeviceConfig`] / LUT
+//! state, and consults a **content-addressed launch-report cache** before
+//! simulating anything.
+//!
+//! ## Cache-correctness argument
+//!
+//! The cache key is the FNV-1a 64 hash of [`SimRequest::canonical_string`]
+//! — a canonical JSON rendering with a pinned field order, integer-only
+//! policy fields, and the seed spelled as a hex string (so no value is
+//! ever squeezed through an `f64`). Canonicalization is **total** (every
+//! request renders) and **injective** (distinct requests render
+//! differently, since every request field appears verbatim); both
+//! properties are enforced by property tests. A lookup only counts as a
+//! hit when the stored canonical string matches byte-for-byte, so even a
+//! 64-bit hash collision cannot alias two requests.
+//!
+//! A hit is byte-identical to a fresh simulation because of the PR 2
+//! determinism contract: every worker runs its engine at `threads = 1`
+//! ([`SamplePolicy`] pinned), so a report is a pure function of the
+//! canonicalized request — which is exactly what the key hashes. Cache
+//! reads and writes happen only on the owner thread (phases A and C of
+//! [`SimServer::drain`]); workers touch disjoint result slots. Eviction
+//! and worker count therefore change *when* a simulation runs, never what
+//! bytes come back — the differential serving suite
+//! (`tests/serving_equivalence.rs`) checks this at 1 vs 4 workers and
+//! cold vs warm cache.
+//!
+//! ## Overload behaviour
+//!
+//! When the queue is full (or the `serve.enqueue` fault point fires),
+//! [`SimServer::submit`] sheds the request with a typed
+//! [`DefconError::Overloaded`]. The batch driver [`SimServer::serve`]
+//! responds by draining the backlog and retrying once; if admission still
+//! fails, the request is degraded one rung down the paper's
+//! `tex2D++ → tex2D → software` ladder ([`SamplingMethod::degrade`]) and
+//! served inline — shed → degrade → serve, never silently dropped. The
+//! `serve.cache` fault point models a corrupt cache entry: the entry is
+//! dropped and the request re-simulated, which re-derives identical bytes.
+
+use std::time::Instant;
+
+use defcon_gpusim::{DeviceConfig, Gpu, KernelReport, SamplePolicy};
+use defcon_kernels::op::{synthetic_inputs, DeformConvOp, SamplingMethod};
+use defcon_kernels::DeformLayerShape;
+use defcon_support::error::DefconError;
+use defcon_support::json::{Json, ToJson};
+use defcon_support::par::ParallelSliceMut;
+use defcon_support::{env, fault, obs};
+
+use crate::lut::{LatencyKey, LatencyLut};
+
+/// FNV-1a 64-bit hash — the content-address function for cache keys and
+/// report digests. Stable across platforms, runs, and Rust versions.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A simulated device a request can target, addressed by canonical name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeDevice {
+    /// The Jetson AGX Xavier preset (`"xavier-agx"`).
+    XavierAgx,
+    /// The RTX 2080 Ti preset (`"rtx2080ti"`).
+    Rtx2080Ti,
+}
+
+impl ServeDevice {
+    /// The name used in canonical request JSON and cache keys.
+    pub fn canonical_name(&self) -> &'static str {
+        match self {
+            ServeDevice::XavierAgx => "xavier-agx",
+            ServeDevice::Rtx2080Ti => "rtx2080ti",
+        }
+    }
+
+    /// Resolves a canonical name back to a device.
+    pub fn from_name(name: &str) -> Option<ServeDevice> {
+        ServeDevice::all()
+            .into_iter()
+            .find(|d| d.canonical_name() == name)
+    }
+
+    /// The device preset this request target resolves to.
+    pub fn config(&self) -> DeviceConfig {
+        DeviceConfig::preset(self.canonical_name())
+            .expect("every ServeDevice name is a DeviceConfig preset")
+    }
+
+    /// Every servable device.
+    pub fn all() -> [ServeDevice; 2] {
+        [ServeDevice::XavierAgx, ServeDevice::Rtx2080Ti]
+    }
+}
+
+/// Per-request simulation policy. Integer-only on purpose: every field
+/// lands in the canonical JSON, and floats would make canonicalization
+/// rendering-sensitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestPolicy {
+    /// Block-sampling budget for the engine (see [`SamplePolicy`]).
+    pub max_blocks: usize,
+    /// Seed for the synthetic input/offset tensors.
+    pub seed: u64,
+    /// Offset spread in milli-pixels (4000 = the paper's ±4.0 px).
+    pub spread_milli: u32,
+}
+
+impl Default for RequestPolicy {
+    fn default() -> Self {
+        RequestPolicy {
+            max_blocks: 96,
+            seed: 2024,
+            spread_milli: 4000,
+        }
+    }
+}
+
+impl RequestPolicy {
+    /// The offset spread in pixels.
+    pub fn spread(&self) -> f32 {
+        self.spread_milli as f32 / 1000.0
+    }
+}
+
+/// One unit of serving work: simulate `kernel_family` for `layer` on
+/// `device` under `policy`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRequest {
+    /// Target device preset.
+    pub device: ServeDevice,
+    /// The deformable layer to simulate.
+    pub layer: DeformLayerShape,
+    /// Which sampling kernel family to run.
+    pub kernel_family: SamplingMethod,
+    /// Simulation policy knobs.
+    pub policy: RequestPolicy,
+}
+
+impl SimRequest {
+    /// The canonical JSON form: pinned field order, integer-only values,
+    /// the seed as a hex string. This is the *content* the cache
+    /// addresses — two requests are the same job iff their canonical
+    /// forms are byte-identical.
+    pub fn canonical(&self) -> Json {
+        let l = &self.layer;
+        Json::obj(vec![
+            ("v", Json::from(1u64)),
+            ("device", Json::str(self.device.canonical_name())),
+            (
+                "layer",
+                Json::obj(vec![
+                    ("n", Json::from(l.n)),
+                    ("c_in", Json::from(l.c_in)),
+                    ("c_out", Json::from(l.c_out)),
+                    ("h", Json::from(l.h)),
+                    ("w", Json::from(l.w)),
+                    ("kernel", Json::from(l.kernel)),
+                    ("stride", Json::from(l.stride)),
+                    ("pad", Json::from(l.pad)),
+                    ("deform_groups", Json::from(l.deform_groups)),
+                ]),
+            ),
+            ("kernel_family", Json::str(self.kernel_family.name())),
+            (
+                "policy",
+                Json::obj(vec![
+                    ("max_blocks", Json::from(self.policy.max_blocks)),
+                    ("seed", Json::str(format!("{:016x}", self.policy.seed))),
+                    ("spread_milli", Json::from(self.policy.spread_milli as u64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// [`SimRequest::canonical`] rendered to bytes.
+    pub fn canonical_string(&self) -> String {
+        self.canonical().to_string()
+    }
+
+    /// The content-address of this request.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a64(self.canonical_string().as_bytes())
+    }
+
+    /// The same request one rung down the fallback ladder, or `None` at
+    /// the software floor. Used as the overload degradation response.
+    pub fn degraded(&self) -> Option<SimRequest> {
+        self.kernel_family
+            .degrade()
+            .map(|kernel_family| SimRequest {
+                kernel_family,
+                ..self.clone()
+            })
+    }
+}
+
+/// What a cache lookup returns on a hit.
+pub struct CachedHit {
+    /// The cached per-launch reports.
+    pub reports: Vec<KernelReport>,
+    /// The sampling method that produced them.
+    pub method: SamplingMethod,
+    /// Fallback-ladder degradations recorded at simulation time.
+    pub degradations: Vec<String>,
+    /// Wall-clock time the lookup took.
+    pub latency_ns: u64,
+}
+
+struct CacheEntry {
+    key: u64,
+    canonical: String,
+    reports: Vec<KernelReport>,
+    method: SamplingMethod,
+    degradations: Vec<String>,
+    last_used: u64,
+}
+
+/// A bounded, LRU-evicting, content-addressed launch-report cache.
+///
+/// Lookups verify the full canonical string, not just the 64-bit key, so
+/// a hash collision degrades to a miss instead of aliasing two requests.
+/// The `serve.cache` fault point drops the matching entry at lookup time
+/// (modelling corruption): the caller re-simulates and re-inserts
+/// identical bytes.
+pub struct ReportCache {
+    capacity: usize,
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    drops: u64,
+}
+
+impl ReportCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ReportCache {
+            capacity,
+            entries: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            drops: 0,
+        }
+    }
+
+    /// Looks up a content address. Only a byte-identical canonical string
+    /// counts as a hit; the `serve.cache` fault point drops the matching
+    /// entry instead (forcing a deterministic re-simulation).
+    pub fn lookup(&mut self, key: u64, canonical: &str) -> Option<CachedHit> {
+        let t0 = Instant::now();
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.key == key && e.canonical == canonical);
+        let Some(i) = pos else {
+            self.misses += 1;
+            return None;
+        };
+        if fault::fires("serve.cache") {
+            // Injected corruption: the stored bytes are untrustworthy, so
+            // drop the entry and miss — the fresh simulation re-derives
+            // identical bytes and re-inserts them.
+            self.entries.remove(i);
+            self.drops += 1;
+            self.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        self.entries[i].last_used = self.tick;
+        self.hits += 1;
+        let e = &self.entries[i];
+        Some(CachedHit {
+            reports: e.reports.clone(),
+            method: e.method,
+            degradations: e.degradations.clone(),
+            latency_ns: t0.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// one when at capacity.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        canonical: String,
+        reports: &[KernelReport],
+        method: SamplingMethod,
+        degradations: &[String],
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.key == key && e.canonical == canonical)
+        {
+            e.last_used = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let mut lru = 0;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.last_used < self.entries[lru].last_used {
+                    lru = i;
+                }
+            }
+            self.entries.swap_remove(lru);
+            self.evictions += 1;
+        }
+        self.entries.push(CacheEntry {
+            key,
+            canonical,
+            reports: reports.to_vec(),
+            method,
+            degradations: degradations.to_vec(),
+            last_used: self.tick,
+        });
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries dropped by the `serve.cache` fault point.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Lifetime hit rate in `[0, 1]` (0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Server sizing. All three knobs have env overrides (see
+/// [`ServeConfig::with_env_overrides`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker bands for miss simulation. Worker count never changes
+    /// response bytes — each worker pins its engine to `threads = 1`.
+    pub workers: usize,
+    /// Admission-queue capacity; a full queue sheds with
+    /// [`DefconError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Report-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: defcon_gpusim::default_threads(),
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Applies `DEFCON_SERVE_QUEUE` / `DEFCON_SERVE_CACHE` overrides on
+    /// top of `self`. (`workers` already follows `DEFCON_THREADS` through
+    /// [`defcon_gpusim::default_threads`] in [`ServeConfig::default`].)
+    pub fn with_env_overrides(mut self) -> Result<Self, DefconError> {
+        if let Some(q) = env::positive_usize(env::SERVE_QUEUE)? {
+            self.queue_capacity = q;
+        }
+        if let Some(c) = env::positive_usize(env::SERVE_CACHE)? {
+            self.cache_capacity = c;
+        }
+        Ok(self)
+    }
+
+    /// The default configuration with env overrides applied.
+    pub fn from_env() -> Result<Self, DefconError> {
+        ServeConfig::default().with_env_overrides()
+    }
+}
+
+/// One served request: the reports that answered it plus provenance
+/// (cache hit? degraded at admission? which rung actually ran?).
+#[derive(Clone, Debug)]
+pub struct SimResponse {
+    /// The request as served (post-degradation if admission degraded it).
+    pub request: SimRequest,
+    /// Content-address of `request`.
+    pub key: u64,
+    /// Per-launch reports from the simulation (or the cache).
+    pub reports: Vec<KernelReport>,
+    /// The sampling method that actually ran (fallback ladder may have
+    /// stepped down from `request.kernel_family`).
+    pub method: SamplingMethod,
+    /// One line per fallback-ladder rung skipped inside the simulation.
+    pub degradations: Vec<String>,
+    /// True when answered from the report cache.
+    pub from_cache: bool,
+    /// True when admission control degraded this request before serving.
+    pub degraded_admission: bool,
+    /// Wall-clock time to answer (cache lookup or simulation). Excluded
+    /// from [`SimResponse::content_json`] — timing is not content.
+    pub latency_ns: u64,
+    /// `deform − regular` latency from the server's LUT, when attached
+    /// and the layer is tabulated.
+    pub dcn_overhead_ms: Option<f64>,
+    /// Simulation failure rendering, when the request could not be
+    /// served (reports empty in that case).
+    pub error: Option<String>,
+}
+
+impl SimResponse {
+    /// The response *content* — everything that must be byte-identical
+    /// across worker counts and cache temperatures. Deliberately excludes
+    /// `from_cache`, `degraded_admission`, and `latency_ns`, which
+    /// describe *how* the answer was produced, not the answer.
+    pub fn content_json(&self) -> Json {
+        Json::obj(vec![
+            ("request", self.request.canonical()),
+            ("key", Json::str(format!("{:016x}", self.key))),
+            ("method", Json::str(self.method.name())),
+            (
+                "degradations",
+                Json::Arr(self.degradations.iter().map(Json::str).collect()),
+            ),
+            (
+                "dcn_overhead_ms",
+                self.dcn_overhead_ms.map_or(Json::Null, Json::from),
+            ),
+            ("error", self.error.as_deref().map_or(Json::Null, Json::str)),
+            (
+                "reports",
+                Json::Arr(self.reports.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// [`SimResponse::content_json`] rendered to bytes.
+    pub fn content_string(&self) -> String {
+        self.content_json().to_string()
+    }
+}
+
+enum Plan {
+    Hit(CachedHit),
+    Miss(usize),
+}
+
+struct SimOutcome {
+    result: Result<(Vec<KernelReport>, SamplingMethod, Vec<String>), DefconError>,
+    latency_ns: u64,
+}
+
+fn simulate_request(req: &SimRequest, device: &DeviceConfig) -> SimOutcome {
+    let t0 = Instant::now();
+    // Engine threads pinned to 1: report bytes must be a pure function of
+    // the canonical request, independent of the server's worker count.
+    let gpu = Gpu::with_policy(
+        device.clone(),
+        SamplePolicy {
+            max_blocks: req.policy.max_blocks,
+            threads: 1,
+        },
+    );
+    let (x, offsets) = synthetic_inputs(&req.layer, req.policy.spread(), req.policy.seed);
+    let op = DeformConvOp {
+        method: req.kernel_family,
+        ..DeformConvOp::baseline(req.layer)
+    };
+    let result = op
+        .simulate_deform_with_fallback(&gpu, &x, &offsets)
+        .map(|fb| (fb.reports, fb.method, fb.degradations));
+    SimOutcome {
+        result,
+        latency_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
+
+/// The throughput-mode simulation service. See the module docs for the
+/// correctness argument; see `repro_serving` for a driveable session.
+pub struct SimServer {
+    cfg: ServeConfig,
+    /// Shared-immutable device state, resolved once at construction.
+    devices: Vec<(ServeDevice, DeviceConfig)>,
+    lut: Option<LatencyLut>,
+    queue: Vec<SimRequest>,
+    cache: ReportCache,
+    sheds: u64,
+    served: u64,
+    degraded_admissions: u64,
+}
+
+impl SimServer {
+    /// A server with an empty queue and a cold cache.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let devices = ServeDevice::all()
+            .into_iter()
+            .map(|d| (d, d.config()))
+            .collect();
+        SimServer {
+            cache: ReportCache::new(cfg.cache_capacity),
+            cfg,
+            devices,
+            lut: None,
+            queue: Vec::new(),
+            sheds: 0,
+            served: 0,
+            degraded_admissions: 0,
+        }
+    }
+
+    /// Attaches a latency LUT; responses for tabulated layers then carry
+    /// `dcn_overhead_ms`. The LUT is shared-immutable serving state.
+    pub fn with_lut(mut self, lut: LatencyLut) -> Self {
+        self.lut = Some(lut);
+        self
+    }
+
+    fn device_config(&self, device: ServeDevice) -> &DeviceConfig {
+        self.devices
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|(_, cfg)| cfg)
+            .expect("SimServer::new resolves every ServeDevice")
+    }
+
+    /// Admits one request into the bounded queue. A full queue — or a
+    /// firing `serve.enqueue` fault — sheds the request with a typed
+    /// [`DefconError::Overloaded`]; nothing is partially admitted.
+    pub fn submit(&mut self, req: SimRequest) -> Result<(), DefconError> {
+        let depth = self.queue.len();
+        // Short-circuit: the fault point is only consulted for requests
+        // the queue could actually hold, so `fault::log()` indices stay
+        // deterministic under overflow.
+        if depth >= self.cfg.queue_capacity || fault::fires("serve.enqueue") {
+            self.sheds += 1;
+            obs::event_with("serve.shed", || {
+                vec![
+                    ("depth", Json::from(depth)),
+                    ("capacity", Json::from(self.cfg.queue_capacity)),
+                ]
+            });
+            return Err(DefconError::Overloaded {
+                what: "serve queue".to_string(),
+                queue_depth: depth,
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        self.queue.push(req);
+        obs::gauge_set("serve.queue_depth", self.queue.len() as f64);
+        Ok(())
+    }
+
+    /// Serves everything queued and returns responses in submission
+    /// order. Three phases keep the result deterministic: (A) cache
+    /// consultation on the owner thread in request order, (B) miss
+    /// simulation fanned across worker bands into disjoint slots, (C)
+    /// assembly and cache insertion back on the owner thread in request
+    /// order.
+    pub fn drain(&mut self) -> Vec<SimResponse> {
+        let batch = std::mem::take(&mut self.queue);
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.cfg.workers.max(1);
+        let drain_span = obs::span_with("serve.drain", || {
+            vec![
+                ("depth", Json::from(batch.len())),
+                ("workers", Json::from(workers)),
+            ]
+        });
+
+        // Phase A — content-address each request and consult the cache.
+        let mut keys: Vec<(u64, String)> = Vec::with_capacity(batch.len());
+        let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
+        let mut jobs: Vec<usize> = Vec::new();
+        for req in &batch {
+            let canonical = req.canonical_string();
+            let key = fnv1a64(canonical.as_bytes());
+            match self.cache.lookup(key, &canonical) {
+                Some(hit) => plans.push(Plan::Hit(hit)),
+                None => {
+                    plans.push(Plan::Miss(jobs.len()));
+                    jobs.push(keys.len());
+                }
+            }
+            keys.push((key, canonical));
+        }
+
+        // Phase B — simulate the misses. Workers read shared-immutable
+        // device state and write disjoint one-slot bands.
+        let mut slots: Vec<Option<SimOutcome>> = jobs.iter().map(|_| None).collect();
+        {
+            let devices = &self.devices;
+            let batch_ref = &batch;
+            let jobs_ref = &jobs;
+            slots
+                .par_chunks_mut(1)
+                .threads(workers)
+                .enumerate()
+                .for_each(|(i, slot)| {
+                    let req = &batch_ref[jobs_ref[i]];
+                    let cfg = devices
+                        .iter()
+                        .find(|(d, _)| *d == req.device)
+                        .map(|(_, c)| c)
+                        .expect("SimServer::new resolves every ServeDevice");
+                    slot[0] = Some(simulate_request(req, cfg));
+                });
+        }
+
+        // Phase C — assemble responses and fill the cache, in order.
+        let mut out = Vec::with_capacity(batch.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (i, ((req, plan), (key, canonical))) in
+            batch.into_iter().zip(plans).zip(keys).enumerate()
+        {
+            let (reports, method, degradations, from_cache, error, latency_ns) = match plan {
+                Plan::Hit(hit) => {
+                    hits += 1;
+                    (
+                        hit.reports,
+                        hit.method,
+                        hit.degradations,
+                        true,
+                        None,
+                        hit.latency_ns,
+                    )
+                }
+                Plan::Miss(j) => {
+                    misses += 1;
+                    let outcome = slots[j].take().expect("phase B fills every miss slot");
+                    match outcome.result {
+                        Ok((reports, method, degradations)) => {
+                            self.cache
+                                .insert(key, canonical, &reports, method, &degradations);
+                            (
+                                reports,
+                                method,
+                                degradations,
+                                false,
+                                None,
+                                outcome.latency_ns,
+                            )
+                        }
+                        Err(e) => (
+                            Vec::new(),
+                            req.kernel_family,
+                            Vec::new(),
+                            false,
+                            Some(e.to_string()),
+                            outcome.latency_ns,
+                        ),
+                    }
+                }
+            };
+            let request_span = obs::span_with("serve.request", || {
+                vec![
+                    ("index", Json::from(i)),
+                    ("device", Json::str(req.device.canonical_name())),
+                    ("kernel_family", Json::str(req.kernel_family.name())),
+                    ("key", Json::str(format!("{key:016x}"))),
+                ]
+            });
+            request_span.record("from_cache", Json::Bool(from_cache));
+            request_span.record("reports", Json::from(reports.len()));
+            drop(request_span);
+            self.served += 1;
+            out.push(SimResponse {
+                dcn_overhead_ms: self.lut_overhead(&req),
+                request: req,
+                key,
+                reports,
+                method,
+                degradations,
+                from_cache,
+                degraded_admission: false,
+                latency_ns,
+                error,
+            });
+        }
+        obs::counter_add("serve.requests", out.len() as u64);
+        obs::counter_add("serve.cache_hits", hits);
+        obs::counter_add("serve.cache_misses", misses);
+        obs::gauge_set("serve.queue_depth", 0.0);
+        obs::gauge_set("serve.hit_rate", self.cache.hit_rate());
+        drain_span.record("hits", Json::from(hits));
+        drain_span.record("misses", Json::from(misses));
+        drop(drain_span);
+        out
+    }
+
+    /// Serves one request on the owner thread, bypassing the queue. Used
+    /// for degraded admissions; same cache discipline as [`drain`].
+    ///
+    /// [`drain`]: SimServer::drain
+    fn serve_inline(&mut self, req: SimRequest, degraded_admission: bool) -> SimResponse {
+        let canonical = req.canonical_string();
+        let key = fnv1a64(canonical.as_bytes());
+        let t0 = Instant::now();
+        let (reports, method, degradations, from_cache, error) =
+            match self.cache.lookup(key, &canonical) {
+                Some(hit) => (hit.reports, hit.method, hit.degradations, true, None),
+                None => {
+                    let outcome = simulate_request(&req, self.device_config(req.device));
+                    match outcome.result {
+                        Ok((reports, method, degradations)) => {
+                            self.cache
+                                .insert(key, canonical, &reports, method, &degradations);
+                            (reports, method, degradations, false, None)
+                        }
+                        Err(e) => (
+                            Vec::new(),
+                            req.kernel_family,
+                            Vec::new(),
+                            false,
+                            Some(e.to_string()),
+                        ),
+                    }
+                }
+            };
+        obs::counter_add("serve.requests", 1);
+        obs::counter_add(
+            if from_cache {
+                "serve.cache_hits"
+            } else {
+                "serve.cache_misses"
+            },
+            1,
+        );
+        obs::gauge_set("serve.hit_rate", self.cache.hit_rate());
+        self.served += 1;
+        SimResponse {
+            dcn_overhead_ms: self.lut_overhead(&req),
+            request: req,
+            key,
+            reports,
+            method,
+            degradations,
+            from_cache,
+            degraded_admission,
+            latency_ns: t0.elapsed().as_nanos() as u64,
+            error,
+        }
+    }
+
+    fn lut_overhead(&self, req: &SimRequest) -> Option<f64> {
+        let lut = self.lut.as_ref()?;
+        lut.try_dcn_overhead_ms(&LatencyKey::of(&req.layer)).ok()
+    }
+
+    /// Drives a whole request stream through admission control:
+    /// submit; on overload, drain the backlog and retry; if admission
+    /// still fails, degrade one ladder rung and serve inline. Responses
+    /// come back in submission order.
+    pub fn serve(&mut self, reqs: &[SimRequest]) -> Vec<SimResponse> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            if self.submit(req.clone()).is_ok() {
+                continue;
+            }
+            out.extend(self.drain());
+            match self.submit(req.clone()) {
+                Ok(()) => {}
+                Err(e) => {
+                    // Admission keeps failing even against an empty
+                    // queue — shed → degrade → serve.
+                    let degraded = req.degraded().unwrap_or_else(|| req.clone());
+                    self.degraded_admissions += 1;
+                    obs::event_with("serve.degrade", || {
+                        vec![
+                            ("from", Json::str(req.kernel_family.name())),
+                            ("to", Json::str(degraded.kernel_family.name())),
+                            ("error", Json::str(e.to_string())),
+                        ]
+                    });
+                    out.push(self.serve_inline(degraded, true));
+                }
+            }
+        }
+        out.extend(self.drain());
+        out
+    }
+
+    /// The sizing this server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the report cache (stats and size).
+    pub fn cache(&self) -> &ReportCache {
+        &self.cache
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests shed by admission control.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Responses produced over this server's lifetime.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests that were degraded at admission before being served.
+    pub fn degraded_admissions(&self) -> u64 {
+        self.degraded_admissions
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0–100) of an ascending-sorted sample,
+/// for the serving bench's p50/p99 latency summary. 0 for empty input.
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request(c: usize, family: SamplingMethod) -> SimRequest {
+        SimRequest {
+            device: ServeDevice::XavierAgx,
+            layer: DeformLayerShape::same3x3(c, c, 10, 10),
+            kernel_family: family,
+            policy: RequestPolicy {
+                max_blocks: 16,
+                ..RequestPolicy::default()
+            },
+        }
+    }
+
+    fn cfg(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            queue_capacity: 8,
+            cache_capacity: 32,
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_stable_and_parses() {
+        let req = tiny_request(4, SamplingMethod::Tex2dPlusPlus);
+        let a = req.canonical_string();
+        let b = req.canonical_string();
+        assert_eq!(a, b);
+        let doc = Json::parse(&a).expect("canonical form is valid JSON");
+        assert_eq!(doc.str_field("device"), Ok("xavier-agx"));
+        assert_eq!(doc.str_field("kernel_family"), Ok("tex2D++"));
+    }
+
+    #[test]
+    fn device_names_round_trip() {
+        for d in ServeDevice::all() {
+            assert_eq!(ServeDevice::from_name(d.canonical_name()), Some(d));
+            assert!(!d.config().name.is_empty());
+        }
+        assert_eq!(ServeDevice::from_name("abacus"), None);
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_overloaded_error() {
+        let _quiet = fault::quiesce();
+        let mut server = SimServer::new(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 8,
+        });
+        let req = tiny_request(2, SamplingMethod::SoftwareBilinear);
+        server.submit(req.clone()).expect("first fits");
+        server.submit(req.clone()).expect("second fits");
+        let err = server.submit(req).expect_err("third overflows");
+        assert!(matches!(
+            err,
+            DefconError::Overloaded {
+                queue_depth: 2,
+                capacity: 2,
+                ..
+            }
+        ));
+        assert!(err.is_degradable());
+        assert_eq!(server.sheds(), 1);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_response_bytes() {
+        let _quiet = fault::quiesce();
+        let reqs: Vec<SimRequest> = [
+            SamplingMethod::Tex2dPlusPlus,
+            SamplingMethod::Tex2d,
+            SamplingMethod::SoftwareBilinear,
+        ]
+        .into_iter()
+        .flat_map(|m| [tiny_request(2, m), tiny_request(4, m)])
+        .collect();
+        let serve_with = |workers: usize| -> Vec<String> {
+            let mut server = SimServer::new(cfg(workers));
+            let mut contents: Vec<String> = server
+                .serve(&reqs)
+                .iter()
+                .map(SimResponse::content_string)
+                .collect();
+            contents.sort();
+            contents
+        };
+        assert_eq!(serve_with(1), serve_with(3));
+    }
+
+    #[test]
+    fn cache_hits_are_byte_identical_and_counted() {
+        let _quiet = fault::quiesce();
+        let mut server = SimServer::new(cfg(1));
+        let reqs = vec![
+            tiny_request(2, SamplingMethod::Tex2d),
+            tiny_request(4, SamplingMethod::Tex2d),
+        ];
+        let cold = server.serve(&reqs);
+        let warm = server.serve(&reqs);
+        assert!(cold.iter().all(|r| !r.from_cache));
+        assert!(warm.iter().all(|r| r.from_cache));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.content_string(), w.content_string());
+        }
+        assert_eq!(server.cache().hits(), 2);
+        assert_eq!(server.cache().misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let _quiet = fault::quiesce();
+        let mut cache = ReportCache::new(2);
+        let reports: Vec<KernelReport> = Vec::new();
+        let m = SamplingMethod::Tex2d;
+        cache.insert(1, "a".into(), &reports, m, &[]);
+        cache.insert(2, "b".into(), &reports, m, &[]);
+        assert!(cache.lookup(1, "a").is_some(), "refresh a");
+        cache.insert(3, "c".into(), &reports, m, &[]); // evicts b, the LRU
+        assert!(cache.lookup(1, "a").is_some());
+        assert!(cache.lookup(2, "b").is_none());
+        assert!(cache.lookup(3, "c").is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn collision_without_matching_canonical_is_a_miss() {
+        let _quiet = fault::quiesce();
+        let mut cache = ReportCache::new(4);
+        cache.insert(7, "a".into(), &[], SamplingMethod::Tex2d, &[]);
+        assert!(
+            cache.lookup(7, "b").is_none(),
+            "same key, different content"
+        );
+        assert!(cache.lookup(7, "a").is_some());
+    }
+
+    #[test]
+    fn degraded_request_steps_down_the_ladder() {
+        let req = tiny_request(2, SamplingMethod::Tex2dPlusPlus);
+        let d1 = req.degraded().expect("tex2D++ degrades");
+        assert_eq!(d1.kernel_family, SamplingMethod::Tex2d);
+        let d2 = d1.degraded().expect("tex2D degrades");
+        assert_eq!(d2.kernel_family, SamplingMethod::SoftwareBilinear);
+        assert_eq!(d2.degraded(), None);
+        // Only the family changes — the rest of the request is intact.
+        assert_eq!(d2.layer, req.layer);
+        assert_eq!(d2.policy, req.policy);
+    }
+
+    #[test]
+    fn lut_backed_responses_carry_dcn_overhead() {
+        let _quiet = fault::quiesce();
+        let req = tiny_request(2, SamplingMethod::Tex2d);
+        let gpu = Gpu::new(ServeDevice::XavierAgx.config());
+        let lut = LatencyLut::build(
+            &gpu,
+            &[LatencyKey::of(&req.layer)],
+            SamplingMethod::Tex2d,
+            defcon_kernels::op::OffsetPredictorKind::Standard,
+        );
+        let mut server = SimServer::new(cfg(1)).with_lut(lut);
+        let out = server.serve(std::slice::from_ref(&req));
+        assert!(out[0].dcn_overhead_ms.is_some());
+        // A layer outside the LUT yields None, not an error.
+        let out2 = server.serve(&[tiny_request(4, SamplingMethod::Tex2d)]);
+        assert!(out2[0].dcn_overhead_ms.is_none());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sample = [10, 20, 30, 40];
+        assert_eq!(percentile_ns(&sample, 50.0), 20);
+        assert_eq!(percentile_ns(&sample, 99.0), 40);
+        assert_eq!(percentile_ns(&sample, 0.0), 10);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+}

@@ -268,6 +268,22 @@ impl DeviceConfig {
         }
     }
 
+    /// Looks up a built-in preset by its canonical request name (the names
+    /// `core::serve` uses to address devices in cache keys). Returns `None`
+    /// for unknown names so callers can produce a typed error.
+    pub fn preset(name: &str) -> Option<DeviceConfig> {
+        match name {
+            "xavier-agx" => Some(DeviceConfig::xavier_agx()),
+            "rtx2080ti" => Some(DeviceConfig::rtx2080ti()),
+            _ => None,
+        }
+    }
+
+    /// The canonical names accepted by [`DeviceConfig::preset`].
+    pub fn preset_names() -> [&'static str; 2] {
+        ["xavier-agx", "rtx2080ti"]
+    }
+
     /// Validates the whole configuration: positive counts and clocks, a
     /// sane overlap fraction, realizable cache geometries, positive texture
     /// limits. Launch paths call this before simulating so a hand-edited or
@@ -351,6 +367,18 @@ mod tests {
             "{}",
             x.peak_gflops()
         );
+    }
+
+    #[test]
+    fn presets_resolve_by_canonical_name() {
+        let xavier = DeviceConfig::preset("xavier-agx").expect("known preset");
+        assert_eq!(xavier.name, "Jetson-AGX-Xavier");
+        let turing = DeviceConfig::preset("rtx2080ti").expect("known preset");
+        assert_eq!(turing.name, "RTX-2080Ti");
+        assert!(DeviceConfig::preset("tpu-v9").is_none());
+        for name in DeviceConfig::preset_names() {
+            assert!(DeviceConfig::preset(name).is_some(), "{name}");
+        }
     }
 
     #[test]

@@ -59,6 +59,27 @@ impl SamplingMethod {
             SamplingMethod::Tex2dPlusPlus => "tex2D++",
         }
     }
+
+    /// One rung down the fallback ladder (`tex2D++` → `tex2D` → software);
+    /// `None` once at the software floor. This is the same order
+    /// [`simulate_deform_with_fallback`] walks on texture-constraint
+    /// failures, reused by `core::serve` as its overload degradation.
+    pub fn degrade(&self) -> Option<SamplingMethod> {
+        match self {
+            SamplingMethod::Tex2dPlusPlus => Some(SamplingMethod::Tex2d),
+            SamplingMethod::Tex2d => Some(SamplingMethod::SoftwareBilinear),
+            SamplingMethod::SoftwareBilinear => None,
+        }
+    }
+
+    /// Every method, fallback-ladder-ordered (fastest first).
+    pub fn ladder() -> [SamplingMethod; 3] {
+        [
+            SamplingMethod::Tex2dPlusPlus,
+            SamplingMethod::Tex2d,
+            SamplingMethod::SoftwareBilinear,
+        ]
+    }
 }
 
 /// Which offset-predicting convolution precedes the deformable kernel.
@@ -396,6 +417,16 @@ mod tests {
         let (_, off) = synthetic_inputs(&shape, 3.0, 1);
         assert!(off.data().iter().all(|v| v.abs() <= 3.0));
         assert!(off.data().iter().any(|v| v.abs() > 2.0));
+    }
+
+    #[test]
+    fn degrade_walks_the_ladder_to_the_software_floor() {
+        let mut rungs = vec![SamplingMethod::Tex2dPlusPlus];
+        while let Some(next) = rungs[rungs.len() - 1].degrade() {
+            rungs.push(next);
+        }
+        assert_eq!(rungs, SamplingMethod::ladder().to_vec());
+        assert_eq!(SamplingMethod::SoftwareBilinear.degrade(), None);
     }
 }
 

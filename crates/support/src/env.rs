@@ -34,6 +34,15 @@ pub const TRACE: &str = "DEFCON_TRACE";
 /// `DEFCON_OBS_WALL` — wall-clock span timestamps instead of the
 /// byte-reproducible logical clock.
 pub const OBS_WALL: &str = "DEFCON_OBS_WALL";
+/// `DEFCON_SERVE_QUEUE` — admission-queue capacity (requests) for the
+/// `core::serve` throughput-mode simulation service.
+pub const SERVE_QUEUE: &str = "DEFCON_SERVE_QUEUE";
+/// `DEFCON_SERVE_CACHE` — launch-report cache capacity (entries) for the
+/// `core::serve` throughput-mode simulation service.
+pub const SERVE_CACHE: &str = "DEFCON_SERVE_CACHE";
+/// `DEFCON_BENCH_OUT` — override path for a bench binary's JSON report
+/// (used by CI to compare two runs without touching the committed file).
+pub const BENCH_OUT: &str = "DEFCON_BENCH_OUT";
 
 /// Reads a boolean flag. Unset and empty mean **off**; `1`, `true`, `yes`,
 /// `on` mean **on**; `0`, `false`, `no`, `off` mean **off** (all

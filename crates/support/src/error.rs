@@ -79,6 +79,16 @@ pub enum DefconError {
         /// How many attempts were made.
         attempts: usize,
     },
+    /// A bounded admission queue refused new work (serving-mode load
+    /// shedding). Callers are expected to drain, retry, or degrade.
+    Overloaded {
+        /// The overloaded resource (e.g. "serve queue").
+        what: String,
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for DefconError {
@@ -108,6 +118,11 @@ impl fmt::Display for DefconError {
             DefconError::RetriesExhausted { what, attempts } => {
                 write!(f, "{what} failed after {attempts} attempts")
             }
+            DefconError::Overloaded {
+                what,
+                queue_depth,
+                capacity,
+            } => write!(f, "{what} overloaded ({queue_depth}/{capacity} queued)"),
         }
     }
 }
@@ -132,8 +147,9 @@ impl DefconError {
     }
 
     /// True for failure classes a caller may sensibly retry or fall back
-    /// from (constraint violations, non-finite values, corrupt inputs);
-    /// false for programming/environment errors that will not heal.
+    /// from (constraint violations, non-finite values, corrupt inputs,
+    /// admission rejections); false for programming/environment errors
+    /// that will not heal.
     pub fn is_degradable(&self) -> bool {
         matches!(
             self,
@@ -141,6 +157,7 @@ impl DefconError {
                 | DefconError::NonFinite { .. }
                 | DefconError::NotPositiveDefinite { .. }
                 | DefconError::Corrupt { .. }
+                | DefconError::Overloaded { .. }
         )
     }
 }
@@ -194,6 +211,11 @@ mod tests {
                 what: "training step".into(),
                 attempts: 4,
             },
+            DefconError::Overloaded {
+                what: "serve queue".into(),
+                queue_depth: 64,
+                capacity: 64,
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
@@ -211,6 +233,12 @@ mod tests {
             var: "X".into(),
             value: "y".into(),
             expected: "z"
+        }
+        .is_degradable());
+        assert!(DefconError::Overloaded {
+            what: "serve queue".into(),
+            queue_depth: 8,
+            capacity: 8
         }
         .is_degradable());
     }

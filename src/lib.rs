@@ -15,7 +15,9 @@
 //!   (PyTorch-style software bilinear, `tex2D`, `tex2D++`), each with
 //!   numeric and timing interpretations;
 //! * [`core`] — DEFCON proper: interval search, latency LUT, bounded
-//!   deformation, Bayesian tile autotuning, the configuration pipeline;
+//!   deformation, Bayesian tile autotuning, the configuration pipeline,
+//!   and the throughput-mode serving layer with its content-addressed
+//!   report cache;
 //! * [`models`] — the YOLACT-style detector, the synthetic deformed-shapes
 //!   dataset, COCO-style mAP, and the full-size model zoo.
 //!
@@ -50,6 +52,9 @@ pub mod prelude {
     pub use defcon_core::lut::{LatencyKey, LatencyLut};
     pub use defcon_core::pipeline::{DefconConfig, TileChoice};
     pub use defcon_core::search::{IntervalSearch, SearchConfig, SearchModel};
+    pub use defcon_core::serve::{
+        RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimResponse, SimServer,
+    };
     pub use defcon_gpusim::{DeviceConfig, Gpu, SamplePolicy};
     pub use defcon_kernels::op::{
         synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod,

@@ -344,6 +344,121 @@ fn truncated_search_checkpoint_restarts_and_reproduces_the_run() {
     std::fs::remove_file(&path).unwrap();
 }
 
+// --- core::serve: admission shedding and cache corruption ---------------
+
+fn serve_req(c: usize, family: SamplingMethod) -> defcon::core::serve::SimRequest {
+    use defcon::core::serve::{RequestPolicy, ServeDevice, SimRequest};
+    SimRequest {
+        device: ServeDevice::XavierAgx,
+        layer: DeformLayerShape::same3x3(c, c, 8, 8),
+        kernel_family: family,
+        policy: RequestPolicy {
+            max_blocks: 16,
+            ..RequestPolicy::default()
+        },
+    }
+}
+
+fn serve_cfg() -> defcon::core::serve::ServeConfig {
+    defcon::core::serve::ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 16,
+    }
+}
+
+#[test]
+fn enqueue_fault_sheds_then_degrades_then_serves() {
+    use defcon::core::serve::SimServer;
+    // Admission fails on *every* submit: each request is shed once, shed
+    // again on the post-drain retry, then degraded one ladder rung and
+    // served inline — shed → degrade → serve, nothing dropped.
+    let _armed = fault::arm(FaultPlan::new(81).point("serve.enqueue", Schedule::Always));
+    let mut server = SimServer::new(serve_cfg());
+    let reqs = vec![
+        serve_req(4, SamplingMethod::Tex2dPlusPlus),
+        serve_req(4, SamplingMethod::Tex2d),
+        serve_req(4, SamplingMethod::SoftwareBilinear),
+    ];
+    let out = server.serve(&reqs);
+    assert_eq!(out.len(), 3, "every request must still be answered");
+    assert!(out.iter().all(|r| r.degraded_admission));
+    assert!(out.iter().all(|r| r.error.is_none()));
+    // One rung down from each requested family; the software floor stays.
+    assert_eq!(out[0].request.kernel_family, SamplingMethod::Tex2d);
+    assert_eq!(
+        out[1].request.kernel_family,
+        SamplingMethod::SoftwareBilinear
+    );
+    assert_eq!(
+        out[2].request.kernel_family,
+        SamplingMethod::SoftwareBilinear
+    );
+    assert_eq!(server.sheds(), 6, "submit + retry rejected per request");
+    assert_eq!(server.degraded_admissions(), 3);
+    // Pinned fault ordering: two `serve.enqueue` evaluations per request.
+    assert_eq!(
+        fault::log(),
+        vec![
+            "serve.enqueue#0",
+            "serve.enqueue#1",
+            "serve.enqueue#2",
+            "serve.enqueue#3",
+            "serve.enqueue#4",
+            "serve.enqueue#5",
+        ]
+    );
+}
+
+#[test]
+fn queue_overflow_sheds_with_a_typed_overloaded_error() {
+    use defcon::core::serve::SimServer;
+    let _quiet = fault::quiesce();
+    let mut server = SimServer::new(serve_cfg());
+    for i in 0..4 {
+        server
+            .submit(serve_req(2 + i, SamplingMethod::Tex2d))
+            .unwrap();
+    }
+    let err = server
+        .submit(serve_req(8, SamplingMethod::Tex2d))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DefconError::Overloaded {
+                queue_depth: 4,
+                capacity: 4,
+                ..
+            }
+        ),
+        "got {err}"
+    );
+    assert!(err.is_degradable(), "overload must be a degradable class");
+}
+
+#[test]
+fn cache_fault_drops_the_entry_and_resimulates_identically() {
+    use defcon::core::serve::SimServer;
+    // `serve.cache` fires on the first would-be hit: the entry is dropped
+    // (modelling corruption), the request re-simulates and re-caches, and
+    // the third pass hits the re-inserted entry. All three responses must
+    // carry identical bytes — re-derivation is as good as the cache.
+    let _armed = fault::arm(FaultPlan::new(82).point("serve.cache", Schedule::Nth(0)));
+    let mut server = SimServer::new(serve_cfg());
+    let req = vec![serve_req(4, SamplingMethod::Tex2d)];
+    let first = server.serve(&req);
+    let second = server.serve(&req);
+    let third = server.serve(&req);
+    assert!(!first[0].from_cache, "cold miss");
+    assert!(!second[0].from_cache, "fault turned the hit into a miss");
+    assert!(third[0].from_cache, "re-inserted entry now hits");
+    assert_eq!(first[0].content_string(), second[0].content_string());
+    assert_eq!(first[0].content_string(), third[0].content_string());
+    assert_eq!(server.cache().drops(), 1);
+    assert_eq!(fault::log(), vec!["serve.cache#0"]);
+}
+
 #[test]
 fn ckpt_write_fault_degrades_the_next_resume_to_a_fresh_start() {
     let path = tmp_path("search-torn-write");

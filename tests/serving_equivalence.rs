@@ -1,0 +1,153 @@
+//! Differential serving tests: the response *content* of `core::serve`
+//! must be byte-identical across worker counts and cache temperatures.
+//!
+//! This is the serving layer's correctness contract (DESIGN.md §9): a
+//! response is a pure function of the canonicalized request, so neither
+//! the number of `support::par` worker bands, nor whether the answer came
+//! from the content-addressed cache, nor the cache's eviction pressure
+//! may change a single byte of it. Each test serves a seeded randomized
+//! request stream two ways and compares the sorted
+//! [`SimResponse::content_string`] sets.
+//!
+//! CI runs this suite under both `DEFCON_THREADS=1` and `=4`, which also
+//! pins the default worker count (`ServeConfig::default().workers`
+//! follows `DEFCON_THREADS`) against the explicit `workers: 1` baseline.
+
+use defcon::core::serve::{
+    RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimResponse, SimServer,
+};
+use defcon::kernels::op::SamplingMethod;
+use defcon::kernels::DeformLayerShape;
+use defcon_support::fault;
+use defcon_support::rng::{Rng, SeedableRng, StdRng};
+
+/// A seeded stream over tiny shapes, both devices, all three kernel
+/// families, and two seeds — small enough for debug-mode CI, varied
+/// enough to exercise hits, misses, and mid-stream drains.
+fn random_stream(seed: u64, n: usize) -> Vec<SimRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes = [
+        DeformLayerShape::same3x3(4, 4, 10, 10),
+        DeformLayerShape::same3x3(8, 8, 8, 8),
+        DeformLayerShape::same3x3(8, 16, 6, 6),
+    ];
+    let devices = ServeDevice::all();
+    let families = SamplingMethod::ladder();
+    (0..n)
+        .map(|_| SimRequest {
+            device: devices[rng.gen_range(0..devices.len())],
+            layer: shapes[rng.gen_range(0..shapes.len())],
+            kernel_family: families[rng.gen_range(0..families.len())],
+            policy: RequestPolicy {
+                max_blocks: 16,
+                seed: rng.gen_range(0u64..2),
+                ..RequestPolicy::default()
+            },
+        })
+        .collect()
+}
+
+fn sorted_contents(responses: &[SimResponse]) -> Vec<String> {
+    let mut contents: Vec<String> = responses.iter().map(|r| r.content_string()).collect();
+    contents.sort();
+    contents
+}
+
+fn serve_fresh(cfg: ServeConfig, stream: &[SimRequest]) -> Vec<String> {
+    let mut server = SimServer::new(cfg);
+    let responses = server.serve(stream);
+    assert_eq!(responses.len(), stream.len());
+    sorted_contents(&responses)
+}
+
+#[test]
+fn one_vs_four_workers_byte_identical() {
+    let _quiet = fault::quiesce();
+    let stream = random_stream(11, 24);
+    let cfg = |workers| ServeConfig {
+        workers,
+        queue_capacity: 8,
+        cache_capacity: 64,
+    };
+    assert_eq!(
+        serve_fresh(cfg(1), &stream),
+        serve_fresh(cfg(4), &stream),
+        "worker count changed response bytes"
+    );
+}
+
+#[test]
+fn default_workers_match_single_worker() {
+    // ServeConfig::default() follows DEFCON_THREADS; whatever CI set it
+    // to, content must equal the explicit single-worker serve.
+    let _quiet = fault::quiesce();
+    let stream = random_stream(12, 16);
+    let default_cfg = ServeConfig {
+        queue_capacity: 8,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let pinned = ServeConfig {
+        workers: 1,
+        ..default_cfg
+    };
+    assert_eq!(
+        serve_fresh(default_cfg, &stream),
+        serve_fresh(pinned, &stream)
+    );
+}
+
+#[test]
+fn cold_vs_warm_cache_byte_identical() {
+    let _quiet = fault::quiesce();
+    let stream = random_stream(13, 24);
+    let mut server = SimServer::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 64,
+    });
+    let cold = server.serve(&stream);
+    let hits_after_cold = server.cache().hits();
+    let warm = server.serve(&stream);
+    assert_eq!(
+        sorted_contents(&cold),
+        sorted_contents(&warm),
+        "cache temperature changed response bytes"
+    );
+    assert!(warm.iter().all(|r| r.from_cache), "warm pass must hit");
+    assert_eq!(server.cache().hits() - hits_after_cold, stream.len() as u64);
+}
+
+#[test]
+fn eviction_pressure_changes_hit_rate_not_bytes() {
+    let _quiet = fault::quiesce();
+    let stream = random_stream(14, 24);
+    let cfg = |cache_capacity| ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity,
+    };
+    let mut tight = SimServer::new(cfg(2));
+    let mut roomy = SimServer::new(cfg(256));
+    let a = tight.serve(&stream);
+    let b = roomy.serve(&stream);
+    assert_eq!(sorted_contents(&a), sorted_contents(&b));
+    assert!(
+        tight.cache().evictions() > 0,
+        "capacity 2 must evict on this stream"
+    );
+    assert_eq!(roomy.cache().evictions(), 0);
+    assert!(tight.cache().hits() <= roomy.cache().hits());
+}
+
+#[test]
+fn repeated_cold_runs_are_reproducible() {
+    let _quiet = fault::quiesce();
+    let stream = random_stream(15, 16);
+    let cfg = ServeConfig {
+        workers: 3,
+        queue_capacity: 4,
+        cache_capacity: 32,
+    };
+    assert_eq!(serve_fresh(cfg, &stream), serve_fresh(cfg, &stream));
+}
