@@ -44,6 +44,13 @@ for threads in 1 4; do
     cargo test -q --offline --test serving_equivalence
     cargo test -q --offline --test serving_cache_props
     cargo test -q --offline -p defcon-bench --test serving_golden
+
+    # Operator-family conformance (DESIGN.md §10), called out explicitly:
+    # every {DCNv1, DCNv2, DCNv3} × {software, tex2D, tex2D++} cell against
+    # its CPU reference, the two reduction identities bytewise, and exact
+    # counter equality across thread counts — at both ambient values.
+    echo "==> operator-family differential conformance (DEFCON_THREADS=$threads)"
+    cargo test -q --offline --test operator_conformance
 done
 unset DEFCON_THREADS
 
@@ -122,5 +129,24 @@ cmp "$serve_a.stripped" "$serve_b.stripped" || {
     exit 1
 }
 rm -f "$serve_a" "$serve_b" "$serve_a.stripped" "$serve_b.stripped"
+
+# Family-ablation golden (Table V analogue, DESIGN.md §10): the bench
+# byte-compares its report against the blessed golden internally at
+# DEFCON_THREADS=1; here two back-to-back runs must also agree byte for
+# byte (the report is digest/counter/latency-model only — no wall-clock),
+# and a 4-thread run must still pass the semantic invariants.
+echo "==> ablation Table V golden (byte determinism at 1 thread, semantic at 4)"
+abl_a="$(mktemp)" abl_b="$(mktemp)"
+DEFCON_TINY=1 DEFCON_THREADS=1 DEFCON_BENCH_OUT="$abl_a" \
+    cargo bench --offline -p defcon-bench --bench ablations > /dev/null
+DEFCON_TINY=1 DEFCON_THREADS=1 DEFCON_BENCH_OUT="$abl_b" \
+    cargo bench --offline -p defcon-bench --bench ablations > /dev/null
+cmp "$abl_a" "$abl_b" || {
+    echo "ablation determinism FAIL: Table V report differs between runs" >&2
+    exit 1
+}
+rm -f "$abl_a" "$abl_b"
+DEFCON_TINY=1 DEFCON_THREADS=4 \
+    cargo bench --offline -p defcon-bench --bench ablations > /dev/null
 
 echo "CI OK"

@@ -37,7 +37,7 @@ use defcon_gpusim::trace::{BlockTrace, TraceSink};
 use defcon_gpusim::{DeviceConfig, Gpu, SamplePolicy};
 use defcon_kernels::fused::FusedTexDeformKernel;
 use defcon_kernels::im2col::{address_map, Im2colDeformKernel, Sampling};
-use defcon_kernels::op::synthetic_inputs;
+use defcon_kernels::op::{synthetic_inputs, synthetic_modulation, OpFamily};
 use defcon_kernels::{DeformLayerShape, TileConfig};
 use defcon_support::json::{Json, ToJson};
 use std::time::Instant;
@@ -824,6 +824,26 @@ fn main() {
         let (_, old_fp) = time_legacy(&legacy_fused, &cfg, 1);
         let (_, new_fp) = time_current(&fused, &cfg, 1);
         assert_eq!(old_fp, new_fp, "legacy simulator diverged (fused)");
+        // Family smoke: the v2/v3 staged kernels trace the tiny grid end
+        // to end (no legacy twin exists to compare against).
+        for family in [OpFamily::DcnV2, OpFamily::DcnV3] {
+            let modulation = synthetic_modulation(&shape, family, 0xA11C);
+            let fam = Im2colDeformKernel::new_family(
+                shape,
+                TileConfig::default16(),
+                &x,
+                &offsets,
+                defcon_tensor::sample::OffsetTransform::Identity,
+                Sampling::Software,
+                cfg.max_texture_layers,
+                cfg.max_texture_dim,
+                family,
+                modulation.as_ref(),
+            )
+            .expect("texture limits exceeded");
+            let (_, fp) = time_current(&fam, &cfg, 1);
+            assert!(!fp.is_empty(), "empty fingerprint for {family:?}");
+        }
         println!("hot_path: DEFCON_TINY set — equivalence smoke only, no timings");
         return;
     }
@@ -836,7 +856,7 @@ fn main() {
     ];
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    let kernels: Vec<(String, Json)> = results
+    let mut kernels: Vec<(String, Json)> = results
         .iter()
         .map(|c| {
             (
@@ -850,6 +870,67 @@ fn main() {
             )
         })
         .collect();
+    // Per-operator-family baselines for the tex2D-gap ratchet: the v2/v3
+    // kernels have no legacy twin (the pre-optimization bodies predate the
+    // family), so they are timed on the staged path only — one entry per
+    // family × kernel, alongside the v1 comparisons above.
+    for family in OpFamily::all() {
+        if family == OpFamily::DcnV1 {
+            continue; // covered byte-for-byte by the comparisons above
+        }
+        let modulation = synthetic_modulation(&shape, family, 0xA11C);
+        let fam_im2col = Im2colDeformKernel::new_family(
+            shape,
+            TileConfig::default16(),
+            &x,
+            &offsets,
+            defcon_tensor::sample::OffsetTransform::Identity,
+            Sampling::Software,
+            cfg.max_texture_layers,
+            cfg.max_texture_dim,
+            family,
+            modulation.as_ref(),
+        )
+        .expect("texture limits exceeded");
+        let mut fam_fused = FusedTexDeformKernel::new_family(
+            shape,
+            TileConfig::default16(),
+            &x,
+            &offsets,
+            defcon_tensor::sample::OffsetTransform::Identity,
+            23,
+            cfg.max_texture_layers,
+            cfg.max_texture_dim,
+            family,
+            modulation.as_ref(),
+        )
+        .expect("texture limits exceeded");
+        fam_fused.co_blocks =
+            FusedTexDeformKernel::pick_co_blocks(&shape, TileConfig::default16(), &cfg);
+        for (name, kernel) in [
+            (
+                format!("deform_im2col_sw{}", family.label_suffix()),
+                &fam_im2col as &dyn BlockTrace,
+            ),
+            (
+                format!("deform_fused_tex2d{}", family.label_suffix()),
+                &fam_fused as &dyn BlockTrace,
+            ),
+        ] {
+            let (blocks_per_sec, _) = time_current(kernel, &cfg, 2);
+            println!(
+                "hot_path: {name} ({} blocks): {blocks_per_sec:.0} blocks/s (staged path only)",
+                kernel.grid_blocks()
+            );
+            kernels.push((
+                name,
+                Json::obj(vec![
+                    ("grid_blocks", Json::from(kernel.grid_blocks())),
+                    ("new_blocks_per_sec", Json::from(blocks_per_sec)),
+                ]),
+            ));
+        }
+    }
     let doc = Json::obj(vec![
         ("layer", Json::str("same3x3(16,16,550,550)")),
         (

@@ -17,7 +17,7 @@
 use defcon_core::serve::{
     fnv1a64, percentile_ns, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer,
 };
-use defcon_kernels::op::SamplingMethod;
+use defcon_kernels::op::{OpFamily, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
 use defcon_support::env;
 use defcon_support::json::Json;
@@ -28,11 +28,13 @@ fn stream(n: usize, shapes: &[DeformLayerShape], seed: u64) -> Vec<SimRequest> {
     let mut rng = StdRng::seed_from_u64(seed);
     let devices = ServeDevice::all();
     let families = SamplingMethod::ladder();
+    let ops = OpFamily::all();
     (0..n)
         .map(|_| SimRequest {
             device: devices[rng.gen_range(0..devices.len())],
             layer: shapes[rng.gen_range(0..shapes.len())],
             kernel_family: families[rng.gen_range(0..families.len())],
+            op_family: ops[rng.gen_range(0..ops.len())],
             policy: RequestPolicy {
                 max_blocks: 32,
                 ..RequestPolicy::default()

@@ -11,10 +11,9 @@
 
 use defcon_bench::{emit_json, layer_sweep, speedup, Table};
 use defcon_gpusim::{DeviceConfig, Gpu};
-use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
-use defcon_kernels::{DeformConvOp, SamplingMethod, TileConfig};
+use defcon_kernels::op::synthetic_inputs;
+use defcon_kernels::{DeformConvOp, SamplingMethod};
 use defcon_support::json::Json;
-use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
     // Must be first and live for the whole run: the guard writes the
@@ -36,11 +35,8 @@ fn main() {
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);
         let time = |method: SamplingMethod| {
             DeformConvOp {
-                shape,
-                tile: TileConfig::default16(),
                 method,
-                offset_predictor: OffsetPredictorKind::Standard,
-                offset_transform: OffsetTransform::Identity,
+                ..DeformConvOp::baseline(shape)
             }
             .simulate_total(&gpu, &x, &offsets)
             .0

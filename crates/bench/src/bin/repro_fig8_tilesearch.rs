@@ -9,9 +9,8 @@
 use defcon_bench::{f2, speedup, Table};
 use defcon_core::autotune::{Autotuner, Strategy};
 use defcon_gpusim::{DeviceConfig, Gpu};
-use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
+use defcon_kernels::op::synthetic_inputs;
 use defcon_kernels::{DeformConvOp, DeformLayerShape, SamplingMethod, TileConfig};
-use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
     // Must be first and live for the whole run: the guard writes the
@@ -33,11 +32,9 @@ fn main() {
 
     let time = |t: TileConfig, method: SamplingMethod| -> f64 {
         DeformConvOp {
-            shape,
             tile: t,
             method,
-            offset_predictor: OffsetPredictorKind::Standard,
-            offset_transform: OffsetTransform::Identity,
+            ..DeformConvOp::baseline(shape)
         }
         .simulate_total(&gpu, &x, &offsets)
         .0

@@ -12,7 +12,7 @@
 use defcon_bench::{speedup, Table};
 use defcon_gpusim::{DeviceConfig, Gpu};
 use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
-use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
+use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod};
 use defcon_tensor::sample::OffsetTransform;
 
 fn main() {
@@ -63,11 +63,10 @@ fn main() {
                     None => OffsetTransform::Identity,
                 };
                 let ms = DeformConvOp {
-                    shape,
-                    tile: TileConfig::default16(),
                     method: *method,
                     offset_predictor: *predictor,
                     offset_transform: transform,
+                    ..DeformConvOp::baseline(shape)
                 }
                 .simulate_total(&gpu, &x, &offsets)
                 .0;

@@ -14,7 +14,7 @@
 
 use defcon_bench::{emit_json, f2, Table};
 use defcon_core::serve::{fnv1a64, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer};
-use defcon_kernels::op::SamplingMethod;
+use defcon_kernels::op::{OpFamily, SamplingMethod};
 use defcon_support::env;
 use defcon_support::json::Json;
 
@@ -28,6 +28,9 @@ fn session_requests() -> Vec<SimRequest> {
             device: devices[(i / 2) % devices.len()],
             layer: sweep[i % sweep.len()],
             kernel_family: families[i % families.len()],
+            // Pinned to v1: the session backs the serving golden trace,
+            // whose canonical request bytes predate the op_family field.
+            op_family: OpFamily::DcnV1,
             policy: RequestPolicy::default(),
         })
         .collect();

@@ -35,6 +35,7 @@ fn main() {
         lightweight: light,
         method: SamplingMethod::SoftwareBilinear,
         tile: TileChoice::Fixed(TileConfig::default16()),
+        ..DefconConfig::baseline()
     };
     let tex = |method: SamplingMethod, bounded: Option<f32>, light: bool| DefconConfig {
         interval_search: true,
@@ -42,6 +43,7 @@ fn main() {
         lightweight: light,
         method,
         tile: TileChoice::Fixed(TileConfig::default16()),
+        ..DefconConfig::baseline()
     };
 
     let baseline_ms = simulate_network(&gpu, &baseline_slots, &DefconConfig::baseline());

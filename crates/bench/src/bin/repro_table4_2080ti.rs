@@ -9,9 +9,8 @@
 
 use defcon_bench::{f2, speedup, Table};
 use defcon_gpusim::{DeviceConfig, Gpu};
-use defcon_kernels::op::{synthetic_inputs, OffsetPredictorKind};
-use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod, TileConfig};
-use defcon_tensor::sample::OffsetTransform;
+use defcon_kernels::op::synthetic_inputs;
+use defcon_kernels::{paper_layer_sweep, DeformConvOp, SamplingMethod};
 
 fn main() {
     // Must be first and live for the whole run: the guard writes the
@@ -38,11 +37,8 @@ fn main() {
         let (x, offsets) = synthetic_inputs(&shape, 4.0, 2024);
         let time = |method: SamplingMethod| {
             let op = DeformConvOp {
-                shape,
-                tile: TileConfig::default16(),
                 method,
-                offset_predictor: OffsetPredictorKind::Standard,
-                offset_transform: OffsetTransform::Identity,
+                ..DeformConvOp::baseline(shape)
             };
             op.simulate_total(&gpu, &x, &offsets).0
         };

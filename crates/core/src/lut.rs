@@ -9,7 +9,9 @@
 
 use defcon_gpusim::Gpu;
 use defcon_kernels::op::simulate_regular_conv_ms;
-use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
+use defcon_kernels::op::{
+    synthetic_inputs, DeformConvOp, OffsetPredictorKind, OpFamily, SamplingMethod,
+};
 use defcon_kernels::{DeformLayerShape, TileConfig};
 use defcon_support::error::DefconError;
 use defcon_support::fault;
@@ -147,6 +149,20 @@ impl LatencyLut {
         method: SamplingMethod,
         predictor: OffsetPredictorKind,
     ) -> Self {
+        Self::build_family(gpu, keys, method, predictor, OpFamily::DcnV1)
+    }
+
+    /// [`LatencyLut::build`] generalized over the deformable operator
+    /// generation: v2/v3 pay their wider joint predictor and modulation
+    /// traffic, so a search penalized with a v3 table can place layers
+    /// differently from a v1 table on the same device.
+    pub fn build_family(
+        gpu: &Gpu,
+        keys: &[LatencyKey],
+        method: SamplingMethod,
+        predictor: OffsetPredictorKind,
+        family: OpFamily,
+    ) -> Self {
         let worker = Gpu::with_policy(gpu.config().clone(), gpu.policy().with_threads(1));
         let threads = gpu.policy().threads.max(1);
         let mut slots: Vec<Option<LatencyEntry>> = vec![None; keys.len()];
@@ -163,6 +179,8 @@ impl LatencyLut {
                     method,
                     offset_predictor: predictor,
                     offset_transform: OffsetTransform::Identity,
+                    family,
+                    modulation: None,
                 };
                 slot[0] = Some(LatencyEntry {
                     regular_ms: simulate_regular_conv_ms(&worker, &shape),
@@ -334,6 +352,40 @@ mod tests {
             );
             assert!(lut.dcn_overhead_ms(&key) > 0.0);
         }
+    }
+
+    #[test]
+    fn family_aware_lut_orders_v1_v2_v3() {
+        // The modulated (v2) and sparse-softmax (v3) kernels cost strictly
+        // more than v1 at the same key: v2 adds a mask load + multiply per
+        // tap and widens the joint predictor to 3·G·k² channels; v3 pays
+        // the same predictor width plus the in-kernel softmax arithmetic.
+        // The search therefore sees a different t(w) per family and can
+        // reach a different placement.
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let keys = tiny_keys();
+        let method = SamplingMethod::Tex2d;
+        let pred = OffsetPredictorKind::Standard;
+        let v1 = LatencyLut::build_family(&gpu, &keys, method, pred, OpFamily::DcnV1);
+        let v2 = LatencyLut::build_family(&gpu, &keys, method, pred, OpFamily::DcnV2);
+        let v3 = LatencyLut::build_family(&gpu, &keys, method, pred, OpFamily::DcnV3);
+        for key in &keys {
+            let (o1, o2, o3) = (
+                v1.dcn_overhead_ms(key),
+                v2.dcn_overhead_ms(key),
+                v3.dcn_overhead_ms(key),
+            );
+            assert!(o1 < o2, "v2 must cost more than v1 at {key:?}");
+            assert!(o2 < o3, "v3 must cost more than v2 at {key:?}");
+            // The regular-conv arm is family-independent.
+            assert_eq!(
+                v1.get(key).expect("v1 entry").regular_ms,
+                v2.get(key).expect("v2 entry").regular_ms
+            );
+        }
+        // build() is exactly build_family(DcnV1).
+        let legacy = LatencyLut::build(&gpu, &keys, method, pred);
+        assert_eq!(legacy.to_json(), v1.to_json());
     }
 
     #[test]

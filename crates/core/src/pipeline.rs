@@ -3,7 +3,9 @@
 
 use crate::autotune::Autotuner;
 use defcon_gpusim::Gpu;
-use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod};
+use defcon_kernels::op::{
+    synthetic_inputs, DeformConvOp, OffsetPredictorKind, OpFamily, SamplingMethod,
+};
 use defcon_kernels::{DeformLayerShape, TileConfig};
 use defcon_support::error::DefconError;
 use defcon_tensor::sample::OffsetTransform;
@@ -36,6 +38,9 @@ pub struct DefconConfig {
     pub method: SamplingMethod,
     /// Tile policy for the texture kernels.
     pub tile: TileChoice,
+    /// Deformable operator generation for deformable layers
+    /// (v1 / v2-modulated / v3-sparse).
+    pub op_family: OpFamily,
 }
 
 impl DefconConfig {
@@ -48,6 +53,7 @@ impl DefconConfig {
             lightweight: false,
             method: SamplingMethod::SoftwareBilinear,
             tile: TileChoice::Fixed(TileConfig::default16()),
+            op_family: OpFamily::DcnV1,
         }
     }
 
@@ -59,6 +65,7 @@ impl DefconConfig {
             lightweight: true,
             method: SamplingMethod::Tex2dPlusPlus,
             tile: TileChoice::Autotuned { budget: 12 },
+            op_family: OpFamily::DcnV1,
         }
     }
 
@@ -103,6 +110,8 @@ impl DefconConfig {
                             method: self.method,
                             offset_predictor: self.offset_predictor(),
                             offset_transform: self.offset_transform(),
+                            family: self.op_family,
+                            modulation: None,
                         };
                         op.simulate_deform(gpu, &x, &offsets)
                             .iter()
@@ -118,6 +127,8 @@ impl DefconConfig {
             method: self.method,
             offset_predictor: self.offset_predictor(),
             offset_transform: self.offset_transform(),
+            family: self.op_family,
+            modulation: None,
         }
     }
 
@@ -142,6 +153,8 @@ impl DefconConfig {
             method: self.method,
             offset_predictor: self.offset_predictor(),
             offset_transform: self.offset_transform(),
+            family: self.op_family,
+            modulation: None,
         };
         let fb = probe.simulate_deform_with_fallback(gpu, &x, &offsets)?;
         let resolved = DefconConfig {

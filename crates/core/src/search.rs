@@ -614,6 +614,52 @@ mod tests {
         assert!(last < first, "loss should fall: {first} -> {last}");
     }
 
+    /// The search space is operator-family aware: a LUT built with
+    /// [`LatencyLut::build_family`] prices each slot with that family's
+    /// deformable overhead, so the per-slot `t(w)` the penalty gradient
+    /// sees — and the frozen outcome's `dcn_overhead_ms` accounting —
+    /// order v1 < v2 < v3 on the texture path.
+    #[test]
+    fn family_aware_lut_flows_into_the_search_space() {
+        use defcon_kernels::op::OpFamily;
+        let _quiet = fault::quiesce();
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let key = LatencyKey {
+            c_in: 16,
+            c_out: 16,
+            h: 16,
+            w: 16,
+            stride: 1,
+        };
+        let mut overheads = Vec::new();
+        for family in OpFamily::all() {
+            let lut = LatencyLut::build_family(
+                &gpu,
+                &[key],
+                SamplingMethod::Tex2d,
+                OffsetPredictorKind::Standard,
+                family,
+            );
+            let mut store = ParamStore::new();
+            let mut net = ToyNet::new(&mut store);
+            let search = IntervalSearch::new(small_cfg(), lut);
+            let out = search.run(&mut net, &mut store);
+            let per_slot = search.lut.dcn_overhead_ms(&net.latency_key(0));
+            // The driver prices slots through the f32 `lat` vector, so the
+            // accounting identity holds at f32 resolution.
+            let priced = (per_slot as f32) as f64;
+            assert!(
+                (out.dcn_overhead_ms - priced * out.num_dcn() as f64).abs() < 1e-9,
+                "{family:?}: overhead accounting must use the family LUT"
+            );
+            overheads.push(per_slot);
+        }
+        assert!(
+            overheads[0] < overheads[1] && overheads[1] < overheads[2],
+            "per-slot t(w) must order v1 < v2 < v3: {overheads:?}"
+        );
+    }
+
     #[test]
     fn tight_latency_budget_suppresses_dcns() {
         let _quiet = fault::quiesce();

@@ -45,7 +45,7 @@
 use std::time::Instant;
 
 use defcon_gpusim::{DeviceConfig, Gpu, KernelReport, SamplePolicy};
-use defcon_kernels::op::{synthetic_inputs, DeformConvOp, SamplingMethod};
+use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OpFamily, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
 use defcon_support::error::DefconError;
 use defcon_support::json::{Json, ToJson};
@@ -142,6 +142,8 @@ pub struct SimRequest {
     pub layer: DeformLayerShape,
     /// Which sampling kernel family to run.
     pub kernel_family: SamplingMethod,
+    /// Which deformable operator generation to simulate (v1/v2/v3).
+    pub op_family: OpFamily,
     /// Simulation policy knobs.
     pub policy: RequestPolicy,
 }
@@ -151,9 +153,15 @@ impl SimRequest {
     /// the seed as a hex string. This is the *content* the cache
     /// addresses — two requests are the same job iff their canonical
     /// forms are byte-identical.
+    ///
+    /// The `op_family` field is emitted **only** for v2/v3 (right after
+    /// `kernel_family`): every pre-family request — always implicitly
+    /// v1 — renders to exactly the bytes it rendered to before the field
+    /// existed, so persisted digests and pinned FNV vectors survive the
+    /// format extension.
     pub fn canonical(&self) -> Json {
         let l = &self.layer;
-        Json::obj(vec![
+        let mut fields = vec![
             ("v", Json::from(1u64)),
             ("device", Json::str(self.device.canonical_name())),
             (
@@ -171,15 +179,19 @@ impl SimRequest {
                 ]),
             ),
             ("kernel_family", Json::str(self.kernel_family.name())),
-            (
-                "policy",
-                Json::obj(vec![
-                    ("max_blocks", Json::from(self.policy.max_blocks)),
-                    ("seed", Json::str(format!("{:016x}", self.policy.seed))),
-                    ("spread_milli", Json::from(self.policy.spread_milli as u64)),
-                ]),
-            ),
-        ])
+        ];
+        if self.op_family != OpFamily::DcnV1 {
+            fields.push(("op_family", Json::str(self.op_family.name())));
+        }
+        fields.push((
+            "policy",
+            Json::obj(vec![
+                ("max_blocks", Json::from(self.policy.max_blocks)),
+                ("seed", Json::str(format!("{:016x}", self.policy.seed))),
+                ("spread_milli", Json::from(self.policy.spread_milli as u64)),
+            ]),
+        ));
+        Json::obj(fields)
     }
 
     /// [`SimRequest::canonical`] rendered to bytes.
@@ -506,8 +518,12 @@ fn simulate_request(req: &SimRequest, device: &DeviceConfig) -> SimOutcome {
         },
     );
     let (x, offsets) = synthetic_inputs(&req.layer, req.policy.spread(), req.policy.seed);
+    // `modulation: None` — the trace is keyed on the family alone, never
+    // on modulation *values*, so a served v2/v3 request needs no tensor;
+    // the kernels still emit the family's mask/logit loads and arithmetic.
     let op = DeformConvOp {
         method: req.kernel_family,
+        family: req.op_family,
         ..DeformConvOp::baseline(req.layer)
     };
     let result = op
@@ -875,6 +891,7 @@ mod tests {
             device: ServeDevice::XavierAgx,
             layer: DeformLayerShape::same3x3(c, c, 10, 10),
             kernel_family: family,
+            op_family: OpFamily::DcnV1,
             policy: RequestPolicy {
                 max_blocks: 16,
                 ..RequestPolicy::default()

@@ -18,6 +18,7 @@
 
 use crate::im2col::address_map;
 use crate::layer::{DeformLayerShape, TileConfig};
+use crate::op::OpFamily;
 use defcon_gpusim::texture::{AddressMode, FilterMode, LayeredTexture2d, TextureLimitError};
 use defcon_gpusim::trace::{BlockTrace, LaneBuf, TraceSink};
 use defcon_tensor::sample::OffsetTransform;
@@ -42,11 +43,19 @@ pub struct FusedTexDeformKernel<'a> {
     /// SM; each group re-fetches the samples (the honest cost of the
     /// split). Pick with [`FusedTexDeformKernel::pick_co_blocks`].
     pub co_blocks: usize,
+    /// Operator generation; gates the modulation loads and arithmetic
+    /// (v1 traces are byte-identical to the pre-family kernel).
+    pub family: OpFamily,
+    /// Modulation tensor `[N, G·k², outH, outW]` (mask for v2, logits for
+    /// v3); `None` is the neutral element. Values only matter to the
+    /// numeric path (`DeformConvOp::execute`), never to the trace.
+    pub modulation: Option<&'a Tensor>,
 }
 
 impl<'a> FusedTexDeformKernel<'a> {
-    /// Builds the kernel, binding `x` as a layered texture with border
-    /// addressing and the requested filter precision.
+    /// Builds the DCNv1 kernel, binding `x` as a layered texture with
+    /// border addressing and the requested filter precision.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         shape: DeformLayerShape,
         tile: TileConfig,
@@ -56,6 +65,35 @@ impl<'a> FusedTexDeformKernel<'a> {
         frac_bits: u32,
         max_layers: usize,
         max_dim: usize,
+    ) -> Result<Self, TextureLimitError> {
+        Self::new_family(
+            shape,
+            tile,
+            x,
+            offsets,
+            offset_transform,
+            frac_bits,
+            max_layers,
+            max_dim,
+            OpFamily::DcnV1,
+            None,
+        )
+    }
+
+    /// [`FusedTexDeformKernel::new`] generalized over the operator family,
+    /// with an optional borrowed modulation tensor (mask / logits).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_family(
+        shape: DeformLayerShape,
+        tile: TileConfig,
+        x: &Tensor,
+        offsets: &'a Tensor,
+        offset_transform: OffsetTransform,
+        frac_bits: u32,
+        max_layers: usize,
+        max_dim: usize,
+        family: OpFamily,
+        modulation: Option<&'a Tensor>,
     ) -> Result<Self, TextureLimitError> {
         let (n, c, h, w) = x.shape().nchw();
         let mut texture = LayeredTexture2d::new(
@@ -77,6 +115,8 @@ impl<'a> FusedTexDeformKernel<'a> {
             texture,
             frac_bits,
             co_blocks: 1,
+            family,
+            modulation,
         })
     }
 
@@ -126,6 +166,13 @@ impl<'a> FusedTexDeformKernel<'a> {
         let oc = self.shape.offset_channels();
         address_map::OFFSETS + 4 * (((ni * oc + ch) * oh + oy) * ow + ox) as u64
     }
+
+    #[inline]
+    fn modulation_addr(&self, ni: usize, ch: usize, oy: usize, ox: usize) -> u64 {
+        let (oh, ow) = self.shape.out_hw();
+        let mc = self.shape.deform_groups * self.shape.kernel * self.shape.kernel;
+        address_map::MODULATION + 4 * (((ni * mc + ch) * oh + oy) * ow + ox) as u64
+    }
 }
 
 impl BlockTrace for FusedTexDeformKernel<'_> {
@@ -139,11 +186,12 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
     }
 
     fn label(&self) -> String {
-        if self.frac_bits <= 10 {
-            "deform_fused_tex2dpp".into()
+        let base = if self.frac_bits <= 10 {
+            "deform_fused_tex2dpp"
         } else {
-            "deform_fused_tex2d".into()
-        }
+            "deform_fused_tex2d"
+        };
+        format!("{base}{}", self.family.label_suffix())
     }
 
     fn trace_block(&self, block: usize, sink: &mut TraceSink) {
@@ -201,6 +249,31 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
                     );
                     sink.alu(4 * nl);
                     sink.flop(4 * nl); // p = p_o + p_i + Δp
+
+                    // Family-specific modulation traffic, once per
+                    // (group, tap) — the factor is shared by every channel
+                    // of the group, exactly like the coordinates below.
+                    // Gated on family so v1 stays byte-identical.
+                    match self.family {
+                        OpFamily::DcnV1 => {}
+                        OpFamily::DcnV2 => {
+                            sink.global_load_into(
+                                lanes.iter().map(|&(oy, ox)| {
+                                    self.modulation_addr(ni, g * kk + tap, oy, ox)
+                                }),
+                            );
+                            sink.flop(nl);
+                        }
+                        OpFamily::DcnV3 => {
+                            sink.global_load_into(
+                                lanes.iter().map(|&(oy, ox)| {
+                                    self.modulation_addr(ni, g * kk + tap, oy, ox)
+                                }),
+                            );
+                            sink.flop(3 * nl);
+                            sink.alu(nl);
+                        }
+                    }
 
                     let (ki, kj) = (tap / s.kernel, tap % s.kernel);
                     // Every channel of this deformable group samples at the

@@ -9,9 +9,10 @@
 //! filter.
 
 use crate::layer::{DeformLayerShape, TileConfig};
+use crate::op::OpFamily;
 use defcon_gpusim::texture::LayeredTexture2d;
 use defcon_gpusim::trace::{BlockTrace, LaneBuf, TraceSink};
-use defcon_tensor::sample::OffsetTransform;
+use defcon_tensor::sample::{tap_softmax, OffsetTransform};
 use defcon_tensor::Tensor;
 
 /// Simulated address-space bases (one region per buffer, far apart so cache
@@ -27,6 +28,8 @@ pub mod address_map {
     pub const WEIGHTS: u64 = 0x4000_0000;
     /// Output tensor.
     pub const OUTPUT: u64 = 0x5000_0000;
+    /// Modulation tensor (DCNv2 mask / DCNv3 logits).
+    pub const MODULATION: u64 = 0x6000_0000;
     /// Texture storage.
     pub const TEXTURE: u64 = 0x8000_0000;
 }
@@ -64,11 +67,20 @@ pub struct Im2colDeformKernel<'a> {
     /// The layered texture holding `x` (required iff `sampling` is
     /// `Texture`).
     pub texture: Option<LayeredTexture2d>,
+    /// Operator generation; gates the modulation loads and arithmetic
+    /// (v1 traces are byte-identical to the pre-family kernel).
+    pub family: OpFamily,
+    /// Modulation tensor `[N, G·k², outH, outW]` — post-sigmoid mask for
+    /// v2, raw logits for v3. `None` is the family's neutral element
+    /// (all-ones mask / constant logits); the trace never reads the
+    /// values, only the numeric path does.
+    pub modulation: Option<&'a Tensor>,
 }
 
 impl<'a> Im2colDeformKernel<'a> {
-    /// Builds the kernel, constructing the layered texture when needed.
-    /// `max_layers` / `max_dim` are the device texture limits.
+    /// Builds the DCNv1 kernel, constructing the layered texture when
+    /// needed. `max_layers` / `max_dim` are the device texture limits.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         shape: DeformLayerShape,
         tile: TileConfig,
@@ -78,6 +90,35 @@ impl<'a> Im2colDeformKernel<'a> {
         sampling: Sampling,
         max_layers: usize,
         max_dim: usize,
+    ) -> Result<Self, defcon_gpusim::texture::TextureLimitError> {
+        Self::new_family(
+            shape,
+            tile,
+            x,
+            offsets,
+            offset_transform,
+            sampling,
+            max_layers,
+            max_dim,
+            OpFamily::DcnV1,
+            None,
+        )
+    }
+
+    /// [`Im2colDeformKernel::new`] generalized over the operator family,
+    /// with an optional borrowed modulation tensor (mask / logits).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_family(
+        shape: DeformLayerShape,
+        tile: TileConfig,
+        x: &'a Tensor,
+        offsets: &'a Tensor,
+        offset_transform: OffsetTransform,
+        sampling: Sampling,
+        max_layers: usize,
+        max_dim: usize,
+        family: OpFamily,
+        modulation: Option<&'a Tensor>,
     ) -> Result<Self, defcon_gpusim::texture::TextureLimitError> {
         let texture = match sampling {
             Sampling::Software => None,
@@ -105,6 +146,8 @@ impl<'a> Im2colDeformKernel<'a> {
             offset_transform,
             sampling,
             texture,
+            family,
+            modulation,
         })
     }
 
@@ -131,6 +174,34 @@ impl<'a> Im2colDeformKernel<'a> {
         let (oh, ow) = self.shape.out_hw();
         let rows = self.shape.c_in * self.shape.kernel * self.shape.kernel;
         address_map::COLUMNS + 4 * ((ni * rows + row) * oh * ow + col) as u64
+    }
+
+    #[inline]
+    fn modulation_addr(&self, ni: usize, ch: usize, oy: usize, ox: usize) -> u64 {
+        let (oh, ow) = self.shape.out_hw();
+        let mc = self.shape.deform_groups * self.shape.kernel * self.shape.kernel;
+        address_map::MODULATION + 4 * (((ni * mc + ch) * oh + oy) * ow + ox) as u64
+    }
+
+    /// The numeric per-tap modulation factor: `1` for v1, the mask value
+    /// for v2 (1 when `modulation` is `None`), and the grouped softmax
+    /// weight of the tap for v3 (`fl(1/k²)` when `None` — exactly what
+    /// [`tap_softmax`] yields for constant logits, so the None/constant
+    /// reduction is byte-exact).
+    pub fn modulation_factor(&self, ni: usize, g: usize, tap: usize, oy: usize, ox: usize) -> f32 {
+        let kk = self.shape.kernel * self.shape.kernel;
+        match (self.family, self.modulation) {
+            (OpFamily::DcnV1, _) => 1.0,
+            (OpFamily::DcnV2, None) => 1.0,
+            (OpFamily::DcnV2, Some(m)) => m.at4(ni, g * kk + tap, oy, ox),
+            (OpFamily::DcnV3, None) => (1.0f64 / kk as f64) as f32,
+            (OpFamily::DcnV3, Some(logits)) => {
+                let group: Vec<f32> = (0..kk)
+                    .map(|t| logits.at4(ni, g * kk + t, oy, ox))
+                    .collect();
+                tap_softmax(&group)[tap] as f32
+            }
+        }
     }
 
     /// The sampling coordinate of `tap` at output `(oy, ox)` for deformable
@@ -163,11 +234,12 @@ impl BlockTrace for Im2colDeformKernel<'_> {
     }
 
     fn label(&self) -> String {
-        match self.sampling {
-            Sampling::Software => "deform_im2col_sw".into(),
-            Sampling::Texture { frac_bits } if frac_bits <= 10 => "deform_im2col_tex2dpp".into(),
-            Sampling::Texture { .. } => "deform_im2col_tex2d".into(),
-        }
+        let base = match self.sampling {
+            Sampling::Software => "deform_im2col_sw",
+            Sampling::Texture { frac_bits } if frac_bits <= 10 => "deform_im2col_tex2dpp",
+            Sampling::Texture { .. } => "deform_im2col_tex2d",
+        };
+        format!("{base}{}", self.family.label_suffix())
     }
 
     fn trace_block(&self, block: usize, sink: &mut TraceSink) {
@@ -219,6 +291,38 @@ impl BlockTrace for Im2colDeformKernel<'_> {
                 // Address arithmetic for the sampling position.
                 sink.alu(4 * nl);
                 sink.flop(4 * nl); // p = p_o + p_i + Δp (fp adds, x and y)
+
+                // Family-specific modulation traffic and arithmetic. Gated
+                // on the family (not on `modulation` being present) so a
+                // served request without a tensor still traces honestly;
+                // `DcnV1` emits nothing and stays byte-identical to the
+                // pre-family kernel.
+                match self.family {
+                    OpFamily::DcnV1 => {}
+                    OpFamily::DcnV2 => {
+                        // One coalesced mask load per (group, tap) and the
+                        // per-lane modulation multiply.
+                        sink.global_load_into(
+                            lanes
+                                .iter()
+                                .map(|&(oy, ox)| self.modulation_addr(ni, g * kk + tap, oy, ox)),
+                        );
+                        sink.flop(nl);
+                    }
+                    OpFamily::DcnV3 => {
+                        // Logit load plus the tap's share of the grouped
+                        // softmax: exp, normalizing accumulate, weighted
+                        // multiply (≈3 flops/lane) and the max-subtract
+                        // bookkeeping.
+                        sink.global_load_into(
+                            lanes
+                                .iter()
+                                .map(|&(oy, ox)| self.modulation_addr(ni, g * kk + tap, oy, ox)),
+                        );
+                        sink.flop(3 * nl);
+                        sink.alu(nl);
+                    }
+                }
 
                 match self.sampling {
                     Sampling::Software => {
@@ -284,10 +388,16 @@ impl BlockTrace for Im2colDeformKernel<'_> {
 /// Numeric companion of [`Im2colDeformKernel`]: materializes the column
 /// matrix `[C_in·k², outH·outW]` for batch item `ni`, using exactly the same
 /// sampling semantics as the trace (including texture filter precision).
+///
+/// For v2/v3 each column value is pre-multiplied by the tap's modulation
+/// factor (mask / grouped-softmax weight), so the GEMM epilogue is family
+/// agnostic. A v2 all-ones mask multiplies by exactly `1.0` and therefore
+/// reproduces the v1 columns byte-for-byte.
 pub fn im2col_deform_numeric(kernel: &Im2colDeformKernel<'_>, ni: usize) -> Vec<f32> {
     let s = kernel.shape;
     let (oh, ow) = s.out_hw();
     let kk = s.kernel * s.kernel;
+    let neutral = kernel.family == OpFamily::DcnV1;
     let mut cols = vec![0.0f32; s.c_in * kk * oh * ow];
     for ci in 0..s.c_in {
         let g = ci / (s.c_in / s.deform_groups);
@@ -304,6 +414,11 @@ pub fn im2col_deform_numeric(kernel: &Im2colDeformKernel<'_>, ni: usize) -> Vec<
                             tex.fetch(ni * s.c_in + ci, py, px).value
                         }
                         _ => unreachable!("texture sampling without texture"),
+                    };
+                    let v = if neutral {
+                        v
+                    } else {
+                        kernel.modulation_factor(ni, g, tap, oy, ox) * v
                     };
                     cols[row * oh * ow + oy * ow + ox] = v;
                 }

@@ -36,4 +36,4 @@ pub mod layer;
 pub mod op;
 
 pub use layer::{paper_layer_sweep, DeformLayerShape, TileConfig};
-pub use op::{DeformConvOp, SamplingMethod};
+pub use op::{DeformConvOp, OpFamily, SamplingMethod};

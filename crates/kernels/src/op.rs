@@ -82,6 +82,64 @@ impl SamplingMethod {
     }
 }
 
+/// The deformable-convolution operator family (the generation axis,
+/// orthogonal to [`SamplingMethod`]).
+///
+/// * `DcnV1` — offsets only (the paper's operator).
+/// * `DcnV2` — offsets plus a per-tap **sigmoid modulation mask**; the
+///   kernel consumes the post-sigmoid mask (torchvision semantics), so an
+///   all-ones mask reduces v2 to v1 byte-for-byte.
+/// * `DcnV3` — offsets plus grouped **softmax-normalized** aggregation
+///   weights; the kernel consumes raw logits and normalizes over the `k²`
+///   taps of each deformable group internally. Constant logits reduce v3
+///   to a uniform `1/k²` tap average.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpFamily {
+    /// Offsets only.
+    DcnV1,
+    /// Offsets + sigmoid modulation mask (modulated DCN).
+    DcnV2,
+    /// Offsets + grouped softmax aggregation (sparse DCN).
+    DcnV3,
+}
+
+impl OpFamily {
+    /// Display name used in result tables and the serving canonical form.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpFamily::DcnV1 => "DCNv1",
+            OpFamily::DcnV2 => "DCNv2",
+            OpFamily::DcnV3 => "DCNv3",
+        }
+    }
+
+    /// Suffix appended to kernel labels (`""` for v1 so every legacy
+    /// golden trace and report name stays byte-identical).
+    pub fn label_suffix(&self) -> &'static str {
+        match self {
+            OpFamily::DcnV1 => "",
+            OpFamily::DcnV2 => "_dcnv2",
+            OpFamily::DcnV3 => "_dcnv3",
+        }
+    }
+
+    /// Every family, generation-ordered.
+    pub fn all() -> [OpFamily; 3] {
+        [OpFamily::DcnV1, OpFamily::DcnV2, OpFamily::DcnV3]
+    }
+
+    /// Extra predictor output channels this family needs on top of the
+    /// `2·G·k²` offset channels: `G·k²` mask (v2) or logit (v3) channels,
+    /// zero for v1 (the Snippet-1 `conv_offset_mask` recipe: one joint
+    /// conv emitting `3·G·k²` channels for v2/v3).
+    pub fn modulation_channels(&self, shape: &DeformLayerShape) -> usize {
+        match self {
+            OpFamily::DcnV1 => 0,
+            OpFamily::DcnV2 | OpFamily::DcnV3 => shape.deform_groups * shape.kernel * shape.kernel,
+        }
+    }
+}
+
 /// Which offset-predicting convolution precedes the deformable kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OffsetPredictorKind {
@@ -105,11 +163,19 @@ pub struct DeformConvOp {
     pub offset_predictor: OffsetPredictorKind,
     /// Offset post-processing (bounding / rounding).
     pub offset_transform: OffsetTransform,
+    /// Operator generation (v1 / v2-modulated / v3-sparse).
+    pub family: OpFamily,
+    /// Modulation tensor `[N, G·k², outH, outW]`: the post-sigmoid mask
+    /// for v2, raw aggregation logits for v3, ignored for v1. `None`
+    /// means the family's neutral element (all-ones mask / constant
+    /// logits) — the trace never reads these values, only the numeric
+    /// path does, so serving can simulate any family without a tensor.
+    pub modulation: Option<Tensor>,
 }
 
 impl DeformConvOp {
     /// A baseline operator: standard offset conv, software bilinear,
-    /// 16×16 tiles, unbounded offsets.
+    /// 16×16 tiles, unbounded offsets, DCNv1.
     pub fn baseline(shape: DeformLayerShape) -> Self {
         DeformConvOp {
             shape,
@@ -117,6 +183,8 @@ impl DeformConvOp {
             method: SamplingMethod::SoftwareBilinear,
             offset_predictor: OffsetPredictorKind::Standard,
             offset_transform: OffsetTransform::Identity,
+            family: OpFamily::DcnV1,
+            modulation: None,
         }
     }
 
@@ -131,7 +199,7 @@ impl DeformConvOp {
         let s = self.shape;
         let (oh, ow) = s.out_hw();
         let cfg = gpu.config();
-        let kernel = Im2colDeformKernel::new(
+        let kernel = Im2colDeformKernel::new_family(
             s,
             self.tile,
             x,
@@ -140,6 +208,8 @@ impl DeformConvOp {
             self.method.sampling(),
             cfg.max_texture_layers,
             cfg.max_texture_dim,
+            self.family,
+            self.modulation.as_ref(),
         )
         .expect("texture limits exceeded");
         let krows = s.c_in * s.kernel * s.kernel;
@@ -179,7 +249,7 @@ impl DeformConvOp {
         let cfg = gpu.config();
         match self.method {
             SamplingMethod::SoftwareBilinear => {
-                let im2col = Im2colDeformKernel::new(
+                let im2col = Im2colDeformKernel::new_family(
                     self.shape,
                     self.tile,
                     x,
@@ -188,6 +258,8 @@ impl DeformConvOp {
                     self.method.sampling(),
                     cfg.max_texture_layers,
                     cfg.max_texture_dim,
+                    self.family,
+                    self.modulation.as_ref(),
                 )
                 .map_err(texture_constraint)?;
                 let gemm_stage = GemmKernel::for_conv(&self.shape);
@@ -198,7 +270,7 @@ impl DeformConvOp {
                     Sampling::Texture { frac_bits } => frac_bits,
                     Sampling::Software => unreachable!(),
                 };
-                let mut fused = crate::fused::FusedTexDeformKernel::new(
+                let mut fused = crate::fused::FusedTexDeformKernel::new_family(
                     self.shape,
                     self.tile,
                     x,
@@ -207,6 +279,8 @@ impl DeformConvOp {
                     frac_bits,
                     cfg.max_texture_layers,
                     cfg.max_texture_dim,
+                    self.family,
+                    self.modulation.as_ref(),
                 )
                 .map_err(texture_constraint)?;
                 fused.co_blocks =
@@ -217,23 +291,29 @@ impl DeformConvOp {
     }
 
     /// Simulates the offset-predicting convolution on `gpu`.
+    ///
+    /// For v2/v3 the predictor is the joint `conv_offset_mask` design:
+    /// one convolution emitting `2·G·k²` offset channels **plus** `G·k²`
+    /// mask/logit channels (`3·G·k²` total), so the family's predictor
+    /// cost is honestly wider than v1's.
     pub fn simulate_offset_conv(&self, gpu: &Gpu) -> Vec<KernelReport> {
         let s = self.shape;
+        let pred_channels = s.offset_channels() + self.family.modulation_channels(&s);
         match self.offset_predictor {
             OffsetPredictorKind::Standard => {
                 let shape = DeformLayerShape {
-                    c_out: s.offset_channels(),
+                    c_out: pred_channels,
                     ..s
                 };
                 vec![gpu.launch(&RegularConvKernel::new(shape, "offset_conv"))]
             }
             OffsetPredictorKind::Lightweight => {
                 // Depthwise 3×3 keeps channels; pointwise 1×1 projects to
-                // 2Gk² channels.
+                // 2Gk² channels (plus Gk² modulation channels for v2/v3).
                 let dw_shape = DeformLayerShape { c_out: s.c_in, ..s };
                 let (oh, ow) = s.out_hw();
                 let pw = GemmKernel {
-                    m: s.offset_channels(),
+                    m: pred_channels,
                     k: s.c_in,
                     n: oh * ow,
                     batch: s.n,
@@ -288,6 +368,29 @@ pub fn synthetic_inputs(shape: &DeformLayerShape, spread: f32, seed: u64) -> (Te
         seed ^ 0x5eed,
     );
     (x, offsets)
+}
+
+/// Deterministic synthetic modulation tensor for `family` at `shape`:
+/// `None` for v1; a `[N, G·k², outH, outW]` mask in `(0, 1)` (as if
+/// post-sigmoid) for v2; raw logits in `[-2, 2]` for v3. Same seeding
+/// discipline as [`synthetic_inputs`].
+pub fn synthetic_modulation(
+    shape: &DeformLayerShape,
+    family: OpFamily,
+    seed: u64,
+) -> Option<Tensor> {
+    let (oh, ow) = shape.out_hw();
+    let dims = [
+        shape.n,
+        shape.deform_groups * shape.kernel * shape.kernel,
+        oh,
+        ow,
+    ];
+    match family {
+        OpFamily::DcnV1 => None,
+        OpFamily::DcnV2 => Some(Tensor::rand_uniform(&dims, 0.05, 0.95, seed ^ 0x3a5c)),
+        OpFamily::DcnV3 => Some(Tensor::rand_uniform(&dims, -2.0, 2.0, seed ^ 0x3a5c)),
+    }
 }
 
 #[cfg(test)]
@@ -499,8 +602,17 @@ impl DeformConvOp {
                 offsets.data()[n0 * o_stride..(n0 + n_here) * o_stride].to_vec(),
                 &[n_here, s.offset_channels(), oh, ow],
             );
+            let m_chunk = self.modulation.as_ref().map(|m| {
+                let mc = self.family.modulation_channels(&s);
+                let m_stride = mc * oh * ow;
+                Tensor::from_vec(
+                    m.data()[n0 * m_stride..(n0 + n_here) * m_stride].to_vec(),
+                    &[n_here, mc, oh, ow],
+                )
+            });
             let op = DeformConvOp {
                 shape: chunk_shape,
+                modulation: m_chunk,
                 ..self.clone()
             };
             reports.extend(op.try_simulate_deform(gpu, &x_chunk, &o_chunk)?);

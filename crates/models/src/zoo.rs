@@ -265,4 +265,25 @@ mod tests {
             simulate_network(&gpu, &resnet_3x3_slots(50, DcnLayout::Interval(3)), &cfg);
         assert!(t_interval > t_none, "{t_interval} vs {t_none}");
     }
+
+    #[test]
+    fn operator_family_orders_network_time() {
+        use defcon_kernels::OpFamily;
+        // v2 pays modulation loads + a widened predictor on every DCN
+        // slot; v3 additionally pays the in-kernel softmax. Non-DCN slots
+        // are family-independent, so the end-to-end times must be
+        // strictly ordered v1 < v2 < v3 on any layout with DCNs.
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let slots = resnet_3x3_slots(50, DcnLayout::Interval(3));
+        let t = |family: OpFamily| {
+            let cfg = DefconConfig {
+                op_family: family,
+                ..DefconConfig::baseline()
+            };
+            simulate_network(&gpu, &slots, &cfg)
+        };
+        let (t1, t2, t3) = (t(OpFamily::DcnV1), t(OpFamily::DcnV2), t(OpFamily::DcnV3));
+        assert!(t1 < t2, "{t1} vs {t2}");
+        assert!(t2 < t3, "{t2} vs {t3}");
+    }
 }

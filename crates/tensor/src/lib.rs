@@ -36,7 +36,10 @@ pub mod sample;
 pub mod shape;
 pub mod tensor;
 
-pub use sample::{deform_conv2d_ref, DeformConv2dParams};
+pub use sample::{
+    deform_conv2d_ref, deform_conv2d_v2_ref, deform_conv2d_v3_ref, sigmoid, tap_softmax,
+    DeformConv2dParams,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

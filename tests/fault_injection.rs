@@ -170,6 +170,72 @@ fn texture_limit_fault_drives_the_fallback_ladder_to_software() {
     assert!(!fault::log().is_empty(), "texture.limit must have fired");
 }
 
+/// The modulated (DCNv2) and sparse (DCNv3) operators walk the same
+/// tex2D++ → tex2D → software ladder as v1 when texture builds fail: the
+/// modulation tensor rides along every rung, the fault log is pinned (one
+/// `texture.limit` fire per texture rung, deterministic order), one
+/// `kernels.fallback` obs event fires per degraded rung, and the surviving
+/// software report keeps the family's label suffix.
+#[test]
+fn modulated_families_walk_the_fallback_ladder_with_pinned_logs() {
+    use defcon::kernels::op::{synthetic_modulation, OpFamily};
+    use defcon_support::obs::{self, find_spans, ObsConfig};
+
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    let shape = DeformLayerShape::same3x3(16, 16, 12, 12);
+    let (x, offsets) = synthetic_inputs(&shape, 4.0, 9);
+    for family in [OpFamily::DcnV2, OpFamily::DcnV3] {
+        // Obs lock first, then fault — the fixed order (see obs_invariants).
+        let _obs = obs::arm(ObsConfig::default());
+        let _armed = fault::arm(FaultPlan::new(61).point("texture.limit", Schedule::Always));
+        let op = DeformConvOp {
+            method: SamplingMethod::Tex2dPlusPlus,
+            family,
+            modulation: synthetic_modulation(&shape, family, 9),
+            ..DeformConvOp::baseline(shape)
+        };
+        let fb = op
+            .simulate_deform_with_fallback(&gpu, &x, &offsets)
+            .unwrap();
+        assert_eq!(fb.method, SamplingMethod::SoftwareBilinear, "{family:?}");
+        assert_eq!(
+            fb.degradations.len(),
+            2,
+            "{family:?}: {:?}",
+            fb.degradations
+        );
+        assert!(fb.degradations[0].starts_with("tex2D++ unavailable"));
+        assert!(fb.degradations[1].starts_with("tex2D unavailable"));
+        // Pinned fault ordering: each texture rung builds exactly one
+        // layered texture, so the injected fault fires once per rung, in
+        // ladder order.
+        assert_eq!(
+            fault::log(),
+            vec!["texture.limit#0", "texture.limit#1"],
+            "{family:?}"
+        );
+        // One obs event per degraded rung, tagged with the rung it left.
+        let forest = obs::snapshot();
+        let events = find_spans(&forest, "kernels.fallback");
+        assert_eq!(events.len(), 2, "{family:?}: one event per degraded rung");
+        assert_eq!(events[0].str_arg("from"), Some("tex2D++"));
+        assert_eq!(events[1].str_arg("from"), Some("tex2D"));
+        let ladder = find_spans(&forest, "kernels.fallback_ladder");
+        assert_eq!(ladder.len(), 1);
+        assert_eq!(ladder[0].str_arg("selected"), Some("PyTorch"));
+        assert_eq!(ladder[0].u64_arg("degradations"), Some(2));
+        // The software rung that carried the launch still traces the
+        // family-suffixed deform kernel.
+        let suffix = family.label_suffix();
+        assert!(
+            fb.reports
+                .iter()
+                .any(|r| r.kernel.ends_with(suffix) && r.kernel.contains("deform")),
+            "{family:?}: no deform kernel with suffix {suffix:?} in the surviving report"
+        );
+    }
+}
+
 struct NullKernel;
 
 impl BlockTrace for NullKernel {
@@ -348,10 +414,12 @@ fn truncated_search_checkpoint_restarts_and_reproduces_the_run() {
 
 fn serve_req(c: usize, family: SamplingMethod) -> defcon::core::serve::SimRequest {
     use defcon::core::serve::{RequestPolicy, ServeDevice, SimRequest};
+    use defcon::kernels::op::OpFamily;
     SimRequest {
         device: ServeDevice::XavierAgx,
         layer: DeformLayerShape::same3x3(c, c, 8, 8),
         kernel_family: family,
+        op_family: OpFamily::DcnV1,
         policy: RequestPolicy {
             max_blocks: 16,
             ..RequestPolicy::default()

@@ -13,7 +13,7 @@
 use defcon::core::serve::{
     fnv1a64, ReportCache, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer,
 };
-use defcon::kernels::op::SamplingMethod;
+use defcon::kernels::op::{OpFamily, SamplingMethod};
 use defcon::kernels::DeformLayerShape;
 use defcon_support::json::Json;
 use defcon_support::prop::{self, Config};
@@ -26,6 +26,7 @@ use defcon_support::{fault, prop_assert, prop_assert_eq};
 fn gen_request(rng: &mut StdRng) -> SimRequest {
     let devices = ServeDevice::all();
     let families = SamplingMethod::ladder();
+    let ops = OpFamily::all();
     SimRequest {
         device: devices[rng.gen_range(0..devices.len())],
         layer: DeformLayerShape {
@@ -40,6 +41,7 @@ fn gen_request(rng: &mut StdRng) -> SimRequest {
             deform_groups: 1,
         },
         kernel_family: families[rng.gen_range(0..families.len())],
+        op_family: ops[rng.gen_range(0..ops.len())],
         policy: RequestPolicy {
             max_blocks: rng.gen_range(1usize..128),
             seed: rng.gen_range(0u64..u64::MAX),
@@ -100,6 +102,7 @@ fn single_field_mutations_change_the_canonical_form() {
         device: ServeDevice::XavierAgx,
         layer: DeformLayerShape::same3x3(8, 8, 12, 12),
         kernel_family: SamplingMethod::Tex2d,
+        op_family: OpFamily::DcnV1,
         policy: RequestPolicy::default(),
     };
     let mut mutants = vec![
@@ -109,6 +112,14 @@ fn single_field_mutations_change_the_canonical_form() {
         },
         SimRequest {
             kernel_family: SamplingMethod::Tex2dPlusPlus,
+            ..base.clone()
+        },
+        SimRequest {
+            op_family: OpFamily::DcnV2,
+            ..base.clone()
+        },
+        SimRequest {
+            op_family: OpFamily::DcnV3,
             ..base.clone()
         },
         SimRequest {
@@ -146,9 +157,28 @@ fn hash_is_pinned_across_runs_and_releases() {
         device: ServeDevice::XavierAgx,
         layer: DeformLayerShape::same3x3(8, 8, 12, 12),
         kernel_family: SamplingMethod::Tex2dPlusPlus,
+        op_family: OpFamily::DcnV1,
         policy: RequestPolicy::default(),
     };
+    // A DCNv1 request canonicalizes WITHOUT an `op_family` field, so every
+    // pre-DCNv2/v3 persisted digest keeps its original content address.
+    assert!(!req.canonical_string().contains("op_family"));
     assert_eq!(req.cache_key(), 0x8e6b_e8af_ed20_e412);
+
+    // v2/v3 requests add the field (right after `kernel_family`) and land
+    // on their own pinned addresses.
+    let v2 = SimRequest {
+        op_family: OpFamily::DcnV2,
+        ..req.clone()
+    };
+    let v3 = SimRequest {
+        op_family: OpFamily::DcnV3,
+        ..req.clone()
+    };
+    assert!(v2.canonical_string().contains("\"op_family\":\"DCNv2\""));
+    assert!(v3.canonical_string().contains("\"op_family\":\"DCNv3\""));
+    assert_eq!(v2.cache_key(), 0x0775_2b87_cb8a_6dfb);
+    assert_eq!(v3.cache_key(), 0x32b5_84fd_5755_73a2);
 }
 
 #[test]

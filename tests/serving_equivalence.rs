@@ -16,14 +16,15 @@
 use defcon::core::serve::{
     RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimResponse, SimServer,
 };
-use defcon::kernels::op::SamplingMethod;
+use defcon::kernels::op::{OpFamily, SamplingMethod};
 use defcon::kernels::DeformLayerShape;
 use defcon_support::fault;
 use defcon_support::rng::{Rng, SeedableRng, StdRng};
 
 /// A seeded stream over tiny shapes, both devices, all three kernel
-/// families, and two seeds — small enough for debug-mode CI, varied
-/// enough to exercise hits, misses, and mid-stream drains.
+/// families, all three operator families (DCNv1/v2/v3), and two seeds —
+/// small enough for debug-mode CI, varied enough to exercise hits,
+/// misses, and mid-stream drains.
 fn random_stream(seed: u64, n: usize) -> Vec<SimRequest> {
     let mut rng = StdRng::seed_from_u64(seed);
     let shapes = [
@@ -33,11 +34,13 @@ fn random_stream(seed: u64, n: usize) -> Vec<SimRequest> {
     ];
     let devices = ServeDevice::all();
     let families = SamplingMethod::ladder();
+    let ops = OpFamily::all();
     (0..n)
         .map(|_| SimRequest {
             device: devices[rng.gen_range(0..devices.len())],
             layer: shapes[rng.gen_range(0..shapes.len())],
             kernel_family: families[rng.gen_range(0..families.len())],
+            op_family: ops[rng.gen_range(0..ops.len())],
             policy: RequestPolicy {
                 max_blocks: 16,
                 seed: rng.gen_range(0u64..2),

@@ -293,3 +293,122 @@ fn map_bounded() {
         },
     );
 }
+
+/// The DCNv2 mask activation: `sigmoid` stays in [0, 1] and is strictly
+/// monotone, for any pair of finite logits. These are the two properties
+/// the modulated operator relies on — the mask can attenuate but never
+/// amplify or negate a sample.
+#[test]
+fn sigmoid_bounded_and_monotone() {
+    use defcon::tensor::sample::sigmoid;
+    prop::check(
+        "sigmoid_bounded_and_monotone",
+        &Config::new(CASES, 0xDEFC_0008),
+        |rng| (rng.gen_range(-80.0f32..80.0), rng.gen_range(1e-3f32..40.0)),
+        |&(x, dx)| {
+            let (lo, hi) = (sigmoid(x), sigmoid(x + dx));
+            prop_assert!(
+                (0.0..=1.0).contains(&lo),
+                "sigmoid({x}) = {lo} escaped [0,1]"
+            );
+            prop_assert!((0.0..=1.0).contains(&hi));
+            prop_assert!(
+                lo <= hi,
+                "sigmoid not monotone: σ({x})={lo} > σ({})={hi}",
+                x + dx
+            );
+            // Strict monotonicity holds wherever f32 hasn't saturated.
+            if lo > 0.0 && hi < 1.0 {
+                prop_assert!(lo < hi, "σ({x})={lo} not strictly below σ({})={hi}", x + dx);
+            }
+            // Symmetry: σ(-x) = 1 - σ(x) (both branches of the stable form).
+            prop_assert!((sigmoid(-x) - (1.0 - lo)).abs() < 1e-6);
+            Ok(())
+        },
+    );
+}
+
+/// The DCNv3 grouped softmax: weights are positive, sum to 1 within 1e-12
+/// (f64 accumulation), are invariant under a constant logit shift, and
+/// permuting the logits permutes the weights identically.
+#[test]
+fn tap_softmax_normalized_shift_invariant_equivariant() {
+    use defcon::tensor::sample::tap_softmax;
+    prop::check(
+        "tap_softmax_normalized_shift_invariant_equivariant",
+        &Config::new(CASES, 0xDEFC_0009),
+        |rng| {
+            let kk = [1usize, 4, 9, 25][rng.gen_range(0usize..4)];
+            let logits: Vec<f32> = (0..kk).map(|_| rng.gen_range(-8.0f32..8.0)).collect();
+            let shift = rng.gen_range(-4.0f32..4.0);
+            let rot = rng.gen_range(0usize..kk);
+            (logits, shift, rot)
+        },
+        |(logits, shift, rot)| {
+            let w = tap_softmax(logits);
+            let sum: f64 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-12, "Σw = {sum}");
+            prop_assert!(w.iter().all(|&v| v > 0.0));
+            // Shift invariance: softmax(l + c) == softmax(l) up to fp noise
+            // from the max-subtract (both subtract their own max, so the
+            // shifted exponent arguments are identical when c is exact).
+            let shifted: Vec<f32> = logits.iter().map(|&l| l + shift).collect();
+            for (a, b) in tap_softmax(&shifted).iter().zip(w.iter()) {
+                prop_assert!((a - b).abs() < 1e-6, "shift broke invariance: {a} vs {b}");
+            }
+            // Permutation equivariance: rotating the logits rotates the
+            // weights bytewise (the same f64 ops run in a different order
+            // only in the sum, which is why this is exact for a rotation
+            // of distinct values only up to 1e-15 — assert tight).
+            let rotated: Vec<f32> = (0..logits.len())
+                .map(|i| logits[(i + rot) % logits.len()])
+                .collect();
+            let wr = tap_softmax(&rotated);
+            for i in 0..logits.len() {
+                let expect = w[(i + rot) % logits.len()];
+                prop_assert!((wr[i] - expect).abs() < 1e-15, "permutation equivariance");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The v2 reference with an all-ones mask is bytewise the v1 reference,
+/// and the v3 reference with constant logits is bytewise v2 with a flat
+/// `fl(1/k²)` mask — the two reduction identities, on random shapes.
+#[test]
+fn family_reduction_identities_hold_on_random_shapes() {
+    use defcon::tensor::sample::{
+        deform_conv2d_ref, deform_conv2d_v2_ref, deform_conv2d_v3_ref, DeformConv2dParams,
+    };
+    prop::check(
+        "family_reduction_identities_hold_on_random_shapes",
+        &Config::new(12, 0xDEFC_000A),
+        |rng| {
+            (
+                rng.gen_range(1usize..3),
+                rng.gen_range(5usize..8),
+                rng.gen_range(0u64..500),
+                rng.gen_range(-3.0f32..3.0),
+            )
+        },
+        |&(c, hw, seed, logit)| {
+            let p = DeformConv2dParams::same3x3();
+            let x = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, seed);
+            let w = Tensor::randn(&[2, c, 3, 3], 0.0, 0.4, seed ^ 7);
+            let off = Tensor::randn(&[1, 18, hw, hw], 0.0, 1.5, seed ^ 13);
+            let v1 = deform_conv2d_ref(&x, &off, &w, None, &p, OffsetTransform::Identity);
+            let ones = Tensor::full(&[1, 9, hw, hw], 1.0);
+            let v2 = deform_conv2d_v2_ref(&x, &off, &ones, &w, None, &p, OffsetTransform::Identity);
+            prop_assert_eq!(v1.data(), v2.data());
+            let logits = Tensor::full(&[1, 9, hw, hw], logit);
+            let v3 =
+                deform_conv2d_v3_ref(&x, &off, &logits, &w, None, &p, OffsetTransform::Identity);
+            let flat = Tensor::full(&[1, 9, hw, hw], (1.0f64 / 9.0) as f32);
+            let v2_flat =
+                deform_conv2d_v2_ref(&x, &off, &flat, &w, None, &p, OffsetTransform::Identity);
+            prop_assert_eq!(v3.data(), v2_flat.data());
+            Ok(())
+        },
+    );
+}

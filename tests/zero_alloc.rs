@@ -126,6 +126,53 @@ fn fused_texture_traces_without_allocating() {
     assert_eq!(allocations_tracing(&k, &cfg, 2), 0);
 }
 
+/// The modulated (DCNv2) and sparse-softmax (DCNv3) variants stay on the
+/// zero-allocation trace path: their extra modulation loads and softmax
+/// arithmetic go through the same `_into` sink entry points as v1, with a
+/// real modulation tensor attached so the address stream is exercised.
+#[test]
+fn modulated_and_sparse_kernels_trace_without_allocating() {
+    use defcon::kernels::op::{synthetic_modulation, OpFamily};
+    let shape = table2_shape();
+    let (x, off) = synthetic_inputs(&shape, 2.0, 14);
+    let cfg = DeviceConfig::xavier_agx();
+    for family in [OpFamily::DcnV2, OpFamily::DcnV3] {
+        let m = synthetic_modulation(&shape, family, 14);
+        let im2col = Im2colDeformKernel::new_family(
+            shape,
+            TileConfig::default16(),
+            &x,
+            &off,
+            OffsetTransform::Identity,
+            Sampling::Texture { frac_bits: 23 },
+            cfg.max_texture_layers,
+            cfg.max_texture_dim,
+            family,
+            m.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(
+            allocations_tracing(&im2col, &cfg, 2),
+            0,
+            "{family:?} im2col"
+        );
+        let fused = FusedTexDeformKernel::new_family(
+            shape,
+            TileConfig::default16(),
+            &x,
+            &off,
+            OffsetTransform::Identity,
+            8,
+            cfg.max_texture_layers,
+            cfg.max_texture_dim,
+            family,
+            m.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(allocations_tracing(&fused, &cfg, 2), 0, "{family:?} fused");
+    }
+}
+
 #[test]
 fn gemm_traces_without_allocating() {
     let cfg = DeviceConfig::xavier_agx();
