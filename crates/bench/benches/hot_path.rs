@@ -26,9 +26,11 @@
 //! over the timed grid — i.e. old and new disagree on nothing but speed.
 //!
 //! With `DEFCON_TINY` set (the CI smoke), a small layer runs the
-//! equivalence gates only. Otherwise full timings are written to
-//! `BENCH_hotpath.json` at the repo root and the headline kernel must show
-//! ≥ 1.5× serial speedup.
+//! equivalence gates only — for all three operator families at both one and
+//! four engine threads. Otherwise full timings are written to
+//! `BENCH_hotpath.json` at the repo root (`DEFCON_BENCH_OUT` overrides the
+//! path) and the ratchets fire: the software im2col headline must show
+//! ≥ 1.5× serial speedup and the fused tex2D kernel ≥ 1.4×.
 
 use defcon_gpusim::cache::Cache;
 use defcon_gpusim::report::Counters;
@@ -229,7 +231,10 @@ mod legacy {
             }
             let mut worst = 0u32;
             for &(y, x) in coords {
-                let f = tex.fetch(layer, y, x);
+                // The verbatim pre-optimization sampler: per-texel address
+                // mode resolution, division-based quantization, per-call
+                // layer stride recomputation.
+                let f = tex.fetch_legacy(layer, y, x);
                 out.push(f.value);
                 let mut lines = [u64::MAX; 4];
                 let mut n_lines = 0usize;
@@ -387,6 +392,10 @@ impl LegacyIm2colSw<'_> {
             let rows = s.c_in * kk;
             address_map::COLUMNS + 4 * ((ni * rows + row) * oh * ow + col) as u64
         };
+        let modulation_addr = |ni: usize, ch: usize, oy: usize, ox: usize| {
+            let mc = s.deform_groups * kk;
+            address_map::MODULATION + 4 * (((ni * mc + ch) * oh + oy) * ow + ox) as u64
+        };
 
         let threads = k.tile.threads();
         for warp_start in (0..threads).step_by(32) {
@@ -416,6 +425,30 @@ impl LegacyIm2colSw<'_> {
                 sink.global_load(&dx_addrs);
                 sink.alu(4 * nl);
                 sink.flop(4 * nl);
+
+                // Family-specific modulation traffic, per-warp `Vec`
+                // collects as everywhere else in the old body; same event
+                // stream as the shipped kernel's family arms.
+                match k.family {
+                    OpFamily::DcnV1 => {}
+                    OpFamily::DcnV2 => {
+                        let m_addrs: Vec<u64> = lanes
+                            .iter()
+                            .map(|&(oy, ox)| modulation_addr(ni, g * kk + tap, oy, ox))
+                            .collect();
+                        sink.global_load(&m_addrs);
+                        sink.flop(nl);
+                    }
+                    OpFamily::DcnV3 => {
+                        let m_addrs: Vec<u64> = lanes
+                            .iter()
+                            .map(|&(oy, ox)| modulation_addr(ni, g * kk + tap, oy, ox))
+                            .collect();
+                        sink.global_load(&m_addrs);
+                        sink.flop(3 * nl);
+                        sink.alu(nl);
+                    }
+                }
 
                 let mut neigh: [Vec<u64>; 4] = [
                     Vec::with_capacity(32),
@@ -515,6 +548,10 @@ impl LegacyFused<'_> {
             let oc = s.offset_channels();
             address_map::OFFSETS + 4 * (((ni * oc + ch) * oh + oy) * ow + ox) as u64
         };
+        let modulation_addr = |ni: usize, ch: usize, oy: usize, ox: usize| {
+            let mc = s.deform_groups * kk;
+            address_map::MODULATION + 4 * (((ni * mc + ch) * oh + oy) * ow + ox) as u64
+        };
 
         let threads = k.tile.threads();
         let mut tex_out = Vec::with_capacity(32);
@@ -546,6 +583,29 @@ impl LegacyFused<'_> {
                     sink.global_load(&dx_addrs);
                     sink.alu(4 * nl);
                     sink.flop(4 * nl);
+
+                    // Family-specific modulation traffic, old-style `Vec`
+                    // collects; same stream as the shipped family arms.
+                    match k.family {
+                        OpFamily::DcnV1 => {}
+                        OpFamily::DcnV2 => {
+                            let m_addrs: Vec<u64> = lanes
+                                .iter()
+                                .map(|&(oy, ox)| modulation_addr(ni, g * kk + tap, oy, ox))
+                                .collect();
+                            sink.global_load(&m_addrs);
+                            sink.flop(nl);
+                        }
+                        OpFamily::DcnV3 => {
+                            let m_addrs: Vec<u64> = lanes
+                                .iter()
+                                .map(|&(oy, ox)| modulation_addr(ni, g * kk + tap, oy, ox))
+                                .collect();
+                            sink.global_load(&m_addrs);
+                            sink.flop(3 * nl);
+                            sink.alu(nl);
+                        }
+                    }
 
                     let (ki, kj) = (tap / s.kernel, tap % s.kernel);
                     for ci in g * ch_per_group..(g + 1) * ch_per_group {
@@ -637,7 +697,7 @@ impl LegacyKernel for LegacyFused<'_> {
 // ---------------------------------------------------------------------------
 
 struct Comparison {
-    name: &'static str,
+    name: String,
     grid_blocks: usize,
     old_blocks_per_sec: f64,
     new_blocks_per_sec: f64,
@@ -649,21 +709,26 @@ impl Comparison {
     }
 }
 
-fn serial_gpu() -> Gpu {
-    Gpu::with_policy(
-        DeviceConfig::xavier_agx(),
-        SamplePolicy::exhaustive().with_threads(1),
-    )
-}
-
-/// Byte-identity of the serial reports through the engine: the legacy body +
-/// reference coalescer must tell exactly the same story as the staged path.
+/// Byte-identity of the engine reports: the legacy body + reference
+/// coalescer must tell exactly the same story as the staged path, both on
+/// the serial engine and through the banded parallel partition.
 fn check_equivalence(name: &str, legacy_body: &dyn BlockTrace, current: &dyn BlockTrace) {
-    let gpu = serial_gpu();
-    let old = gpu.launch(legacy_body).to_json().to_string();
-    let new = gpu.launch(current).to_json().to_string();
-    assert_eq!(old, new, "{name}: legacy and staged paths diverged");
-    println!("hot_path: {name} equivalence OK ({} bytes)", new.len());
+    for threads in [1usize, 4] {
+        let gpu = Gpu::with_policy(
+            DeviceConfig::xavier_agx(),
+            SamplePolicy::exhaustive().with_threads(threads),
+        );
+        let old = gpu.launch(legacy_body).to_json().to_string();
+        let new = gpu.launch(current).to_json().to_string();
+        assert_eq!(
+            old, new,
+            "{name}: legacy and staged paths diverged at {threads} threads"
+        );
+        println!(
+            "hot_path: {name} equivalence OK at {threads} threads ({} bytes)",
+            new.len()
+        );
+    }
 }
 
 /// What a timed pass observed: launch-wide counters plus the summed exposed
@@ -735,7 +800,7 @@ fn time_legacy<K: LegacyKernel + ?Sized>(
 }
 
 fn compare<K: LegacyKernel + BlockTrace>(
-    name: &'static str,
+    name: String,
     legacy_kernel: &K,
     current: &dyn BlockTrace,
     cfg: &DeviceConfig,
@@ -765,7 +830,8 @@ fn compare<K: LegacyKernel + BlockTrace>(
         new_blocks_per_sec: new,
     };
     println!(
-        "hot_path: {name} ({} blocks): old {:.0} blocks/s, new {:.0} blocks/s, speedup {:.2}x",
+        "hot_path: {} ({} blocks): old {:.0} blocks/s, new {:.0} blocks/s, speedup {:.2}x",
+        c.name,
         c.grid_blocks,
         c.old_blocks_per_sec,
         c.new_blocks_per_sec,
@@ -784,102 +850,14 @@ fn main() {
     let cfg = DeviceConfig::xavier_agx();
     let (x, offsets) = synthetic_inputs(&shape, 4.0, 0xA11C);
 
-    let im2col = Im2colDeformKernel::new(
-        shape,
-        TileConfig::default16(),
-        &x,
-        &offsets,
-        defcon_tensor::sample::OffsetTransform::Identity,
-        Sampling::Software,
-        cfg.max_texture_layers,
-        cfg.max_texture_dim,
-    )
-    .expect("texture limits exceeded");
-    let legacy_im2col = LegacyIm2colSw(&im2col);
-
-    let mut fused = FusedTexDeformKernel::new(
-        shape,
-        TileConfig::default16(),
-        &x,
-        &offsets,
-        defcon_tensor::sample::OffsetTransform::Identity,
-        23,
-        cfg.max_texture_layers,
-        cfg.max_texture_dim,
-    )
-    .expect("texture limits exceeded");
-    fused.co_blocks = FusedTexDeformKernel::pick_co_blocks(&shape, TileConfig::default16(), &cfg);
-    let legacy_fused = LegacyFused(&fused);
-
-    // Gate 1 (both modes): engine-level byte identity of the serial reports.
-    check_equivalence("deform_im2col_sw", &legacy_im2col, &im2col);
-    check_equivalence("deform_fused_tex2d", &legacy_fused, &fused);
-    if tiny {
-        // Gate 2 on the tiny layer: the bench-local legacy simulator must
-        // match the shipped one exactly (counters + latency), without the
-        // cost of full timing runs.
-        let (_, old_fp) = time_legacy(&legacy_im2col, &cfg, 1);
-        let (_, new_fp) = time_current(&im2col, &cfg, 1);
-        assert_eq!(old_fp, new_fp, "legacy simulator diverged (im2col)");
-        let (_, old_fp) = time_legacy(&legacy_fused, &cfg, 1);
-        let (_, new_fp) = time_current(&fused, &cfg, 1);
-        assert_eq!(old_fp, new_fp, "legacy simulator diverged (fused)");
-        // Family smoke: the v2/v3 staged kernels trace the tiny grid end
-        // to end (no legacy twin exists to compare against).
-        for family in [OpFamily::DcnV2, OpFamily::DcnV3] {
-            let modulation = synthetic_modulation(&shape, family, 0xA11C);
-            let fam = Im2colDeformKernel::new_family(
-                shape,
-                TileConfig::default16(),
-                &x,
-                &offsets,
-                defcon_tensor::sample::OffsetTransform::Identity,
-                Sampling::Software,
-                cfg.max_texture_layers,
-                cfg.max_texture_dim,
-                family,
-                modulation.as_ref(),
-            )
-            .expect("texture limits exceeded");
-            let (_, fp) = time_current(&fam, &cfg, 1);
-            assert!(!fp.is_empty(), "empty fingerprint for {family:?}");
-        }
-        println!("hot_path: DEFCON_TINY set — equivalence smoke only, no timings");
-        return;
-    }
-
-    // Gate 2 runs inside `compare` on the full layer (the timed passes
-    // already observe the launch-wide counters).
-    let results = [
-        compare("deform_im2col_sw", &legacy_im2col, &im2col, &cfg, 2),
-        compare("deform_fused_tex2d", &legacy_fused, &fused, &cfg, 2),
-    ];
-
-    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
-    let mut kernels: Vec<(String, Json)> = results
-        .iter()
-        .map(|c| {
-            (
-                c.name.to_string(),
-                Json::obj(vec![
-                    ("grid_blocks", Json::from(c.grid_blocks)),
-                    ("old_blocks_per_sec", Json::from(c.old_blocks_per_sec)),
-                    ("new_blocks_per_sec", Json::from(c.new_blocks_per_sec)),
-                    ("speedup", Json::from(c.speedup())),
-                ]),
-            )
-        })
-        .collect();
-    // Per-operator-family baselines for the tex2D-gap ratchet: the v2/v3
-    // kernels have no legacy twin (the pre-optimization bodies predate the
-    // family), so they are timed on the staged path only — one entry per
-    // family × kernel, alongside the v1 comparisons above.
+    // Every family now has a legacy twin (the family arms were added to the
+    // bench-local bodies in the same un-hoisted style as the rest), so all
+    // three run the full old-vs-new pipeline: engine byte identity at 1 and
+    // 4 threads, fingerprint identity, and (full mode) timed comparisons.
+    let mut results: Vec<Comparison> = Vec::new();
     for family in OpFamily::all() {
-        if family == OpFamily::DcnV1 {
-            continue; // covered byte-for-byte by the comparisons above
-        }
         let modulation = synthetic_modulation(&shape, family, 0xA11C);
-        let fam_im2col = Im2colDeformKernel::new_family(
+        let im2col = Im2colDeformKernel::new_family(
             shape,
             TileConfig::default16(),
             &x,
@@ -892,7 +870,7 @@ fn main() {
             modulation.as_ref(),
         )
         .expect("texture limits exceeded");
-        let mut fam_fused = FusedTexDeformKernel::new_family(
+        let mut fused = FusedTexDeformKernel::new_family(
             shape,
             TileConfig::default16(),
             &x,
@@ -905,32 +883,61 @@ fn main() {
             modulation.as_ref(),
         )
         .expect("texture limits exceeded");
-        fam_fused.co_blocks =
+        fused.co_blocks =
             FusedTexDeformKernel::pick_co_blocks(&shape, TileConfig::default16(), &cfg);
-        for (name, kernel) in [
-            (
-                format!("deform_im2col_sw{}", family.label_suffix()),
-                &fam_im2col as &dyn BlockTrace,
-            ),
-            (
-                format!("deform_fused_tex2d{}", family.label_suffix()),
-                &fam_fused as &dyn BlockTrace,
-            ),
-        ] {
-            let (blocks_per_sec, _) = time_current(kernel, &cfg, 2);
-            println!(
-                "hot_path: {name} ({} blocks): {blocks_per_sec:.0} blocks/s (staged path only)",
-                kernel.grid_blocks()
-            );
-            kernels.push((
-                name,
-                Json::obj(vec![
-                    ("grid_blocks", Json::from(kernel.grid_blocks())),
-                    ("new_blocks_per_sec", Json::from(blocks_per_sec)),
-                ]),
-            ));
+        let legacy_im2col = LegacyIm2colSw(&im2col);
+        let legacy_fused = LegacyFused(&fused);
+        let im2col_name = format!("deform_im2col_sw{}", family.label_suffix());
+        let fused_name = format!("deform_fused_tex2d{}", family.label_suffix());
+
+        // Gate 1 (both modes): engine-level byte identity of the reports
+        // at 1 and 4 threads.
+        check_equivalence(&im2col_name, &legacy_im2col, &im2col);
+        check_equivalence(&fused_name, &legacy_fused, &fused);
+        if tiny {
+            // Gate 2 on the tiny layer: the bench-local legacy simulator
+            // must match the shipped one exactly (counters + latency),
+            // without the cost of full timing runs.
+            let (_, old_fp) = time_legacy(&legacy_im2col, &cfg, 1);
+            let (_, new_fp) = time_current(&im2col, &cfg, 1);
+            assert_eq!(old_fp, new_fp, "legacy simulator diverged ({im2col_name})");
+            let (_, old_fp) = time_legacy(&legacy_fused, &cfg, 1);
+            let (_, new_fp) = time_current(&fused, &cfg, 1);
+            assert_eq!(old_fp, new_fp, "legacy simulator diverged ({fused_name})");
+        } else {
+            // Gate 2 runs inside `compare` on the full layer (the timed
+            // passes already observe the launch-wide counters).
+            results.push(compare(im2col_name, &legacy_im2col, &im2col, &cfg, 2));
+            results.push(compare(fused_name, &legacy_fused, &fused, &cfg, 2));
         }
     }
+    if tiny {
+        println!("hot_path: DEFCON_TINY set — equivalence smoke only, no timings");
+        return;
+    }
+
+    let out_path =
+        defcon_support::env::or_die(defcon_support::env::path(defcon_support::env::BENCH_OUT))
+            .unwrap_or_else(|| {
+                std::path::PathBuf::from(concat!(
+                    env!("CARGO_MANIFEST_DIR"),
+                    "/../../BENCH_hotpath.json"
+                ))
+            });
+    let kernels: Vec<(String, Json)> = results
+        .iter()
+        .map(|c| {
+            (
+                c.name.clone(),
+                Json::obj(vec![
+                    ("grid_blocks", Json::from(c.grid_blocks)),
+                    ("old_blocks_per_sec", Json::from(c.old_blocks_per_sec)),
+                    ("new_blocks_per_sec", Json::from(c.new_blocks_per_sec)),
+                    ("speedup", Json::from(c.speedup())),
+                ]),
+            )
+        })
+        .collect();
     let doc = Json::obj(vec![
         ("layer", Json::str("same3x3(16,16,550,550)")),
         (
@@ -939,14 +946,24 @@ fn main() {
         ),
         ("kernels", Json::Obj(kernels)),
     ]);
-    std::fs::write(out_path, format!("{}\n", doc)).expect("write BENCH_hotpath.json");
-    println!("hot_path: wrote {out_path}");
+    std::fs::write(&out_path, format!("{}\n", doc)).expect("write BENCH_hotpath.json");
+    println!("hot_path: wrote {}", out_path.display());
 
+    // Ratchets: the software im2col headline keeps its 1.5× bar from the
+    // original hot-path PR; the fused texture kernel — the subject of the
+    // tex2D-gap work — must now clear 1.4×.
     let headline = &results[0];
     assert!(
         headline.speedup() >= 1.5,
         "headline {} speedup {:.2}x below the 1.5x bar",
         headline.name,
         headline.speedup()
+    );
+    let fused_v1 = &results[1];
+    assert!(
+        fused_v1.speedup() >= 1.4,
+        "{} speedup {:.2}x below the 1.4x bar",
+        fused_v1.name,
+        fused_v1.speedup()
     );
 }

@@ -140,7 +140,18 @@ fn traces_agree_semantically_across_thread_counts() {
                 p.u64_arg("grid_blocks"),
                 "{at}: grid differs"
             );
-            for key in ["l1_hits", "l1_accesses", "tex_hits", "tex_line_accesses"] {
+            for key in [
+                "l1_hits",
+                "l1_accesses",
+                "tex_hits",
+                "tex_line_accesses",
+                // Texture-unit sampler stats: per-block exact, so the band
+                // decomposition cannot change them either.
+                "tex_fetch_lanes",
+                "tex_filter_texels",
+                "tex_plan_warps",
+                "tex_plan_evals",
+            ] {
                 assert_eq!(
                     s.u64_arg(key),
                     p.u64_arg(key),

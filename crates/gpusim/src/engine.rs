@@ -31,7 +31,7 @@
 use crate::cache::Cache;
 use crate::device::DeviceConfig;
 use crate::report::{Counters, KernelReport};
-use crate::trace::{BlockCost, BlockTrace, TraceSink};
+use crate::trace::{BlockCost, BlockTrace, TexStats, TraceSink};
 use defcon_support::json::Json;
 use defcon_support::obs;
 use defcon_support::par::ParallelSliceMut;
@@ -215,7 +215,8 @@ impl Gpu {
         // One result slot per band; `par` hands each worker exactly one
         // chunk (chunk size 1, band count == thread count), so the slot a
         // worker fills is fixed by its band index, not by scheduling.
-        let mut bands: Vec<(f64, Counters)> = vec![(0.0, Counters::default()); threads];
+        let mut bands: Vec<(f64, Counters, TexStats)> =
+            vec![(0.0, Counters::default(), TexStats::default()); threads];
         bands
             .par_chunks_mut(1)
             .threads(threads)
@@ -240,7 +241,8 @@ impl Gpu {
         let obs_on = obs::armed();
         let mut sm_cycles_total = 0.0f64;
         let mut counters = Counters::default();
-        for (b, (cycles, c)) in bands.iter().enumerate() {
+        let mut tex_stats = TexStats::default();
+        for (b, (cycles, c, t)) in bands.iter().enumerate() {
             if obs_on {
                 let warmup_blocks =
                     ranges[b].start - ranges[b].start.saturating_sub(BAND_WARMUP_BLOCKS);
@@ -273,6 +275,7 @@ impl Gpu {
             }
             sm_cycles_total += cycles;
             counters.merge(c);
+            tex_stats.merge(t);
         }
         if obs_on {
             // Pre-scale aggregates: the exact sums of the per-band span args
@@ -287,7 +290,19 @@ impl Gpu {
             launch_span.record("l1_hit_rate", Json::from(counters.l1_hit_rate()));
             launch_span.record("tex_hit_rate", Json::from(counters.tex_hit_rate()));
             launch_span.record("l2_hit_rate", Json::from(counters.l2_hit_rate()));
+            // Texture-unit stats are exact per-block sums (the sampler runs
+            // identically whatever the band decomposition), so they recombine
+            // exactly across thread counts like the private-cache counters.
+            launch_span.record("tex_fetch_lanes", Json::from(tex_stats.fetch_lanes));
+            launch_span.record("tex_filter_texels", Json::from(tex_stats.filter_texels));
+            launch_span.record("tex_plan_warps", Json::from(tex_stats.plan_warps));
+            launch_span.record("tex_plan_evals", Json::from(tex_stats.plan_evals));
             counters.record_obs("gpusim");
+            // Sampler-level instrumentation (lanes fetched, texels blended,
+            // plans staged/replayed) lives outside `Counters` so the report
+            // JSON and its content-addressed serving keys stay byte-stable;
+            // it reaches consumers only through the obs registry.
+            tex_stats.record_obs("gpusim");
         }
         self.finish_report(kernel, grid, sample.len(), sm_cycles_total, counters)
     }
@@ -301,7 +316,8 @@ impl Gpu {
         let warps = kernel.block_threads().div_ceil(self.cfg.warp_size);
 
         let sample = self.policy.select(grid);
-        let (sm_cycles_total, counters) = self.simulate_band(kernel, &[], &sample, warps);
+        let (sm_cycles_total, counters, _tex_stats) =
+            self.simulate_band(kernel, &[], &sample, warps);
         self.finish_report(kernel, grid, sample.len(), sm_cycles_total, counters)
     }
 
@@ -316,7 +332,7 @@ impl Gpu {
         warmup: &[usize],
         blocks: &[usize],
         warps: usize,
-    ) -> (f64, Counters) {
+    ) -> (f64, Counters, TexStats) {
         let mut l1 = Cache::new(self.cfg.l1);
         let mut tex = Cache::new(self.cfg.tex_cache);
         let mut l2 = Cache::new(self.cfg.l2);
@@ -331,6 +347,7 @@ impl Gpu {
         tex.flush();
 
         let mut counters = Counters::default();
+        let mut tex_stats = TexStats::default();
         let mut sm_cycles = 0.0f64;
         for &b in blocks {
             l1.flush();
@@ -339,8 +356,9 @@ impl Gpu {
             kernel.trace_block(b, &mut sink);
             sm_cycles += self.block_cycles(&sink.cost);
             counters.merge(&sink.counters);
+            tex_stats.merge(&sink.tex_stats);
         }
-        (sm_cycles, counters)
+        (sm_cycles, counters, tex_stats)
     }
 
     /// Extrapolates sampled totals to the full grid and integrates time.

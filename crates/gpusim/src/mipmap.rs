@@ -23,6 +23,12 @@ use crate::texture::{AddressMode, FilterMode, LayeredTexture2d, TextureLimitErro
 /// built with a 2×2 box filter as GPU runtimes do.
 pub struct MipmappedArray2d {
     levels: Vec<LayeredTexture2d>,
+    /// Per-level coordinate scale reciprocals: `inv_scale[l] = 2^-l`.
+    /// Powers of two are exact in fp32, so `coord · inv_scale[l]` is
+    /// bit-identical to the legacy `coord / 2^l` division on every input —
+    /// the trilinear walk pays one multiply instead of a shift + int→float
+    /// convert + divide per level sample.
+    inv_scale: Vec<f32>,
 }
 
 impl MipmappedArray2d {
@@ -73,7 +79,10 @@ impl MipmappedArray2d {
             h = nh;
             w = nw;
         }
-        Ok(MipmappedArray2d { levels })
+        let inv_scale = (0..levels.len())
+            .map(|l| 1.0 / (1u32 << l) as f32)
+            .collect();
+        Ok(MipmappedArray2d { levels, inv_scale })
     }
 
     /// Number of pyramid levels.
@@ -103,14 +112,46 @@ impl MipmappedArray2d {
     /// Trilinear fetch: bilinear samples at `floor(lod)` and `ceil(lod)`,
     /// linearly blended by the LOD fraction. Coordinates are given in
     /// level-0 texel space and scaled per level.
+    ///
+    /// Rewritten hot path: level scales come from the precomputed exact
+    /// reciprocal table, and the integer-LOD / top-of-pyramid cases fold
+    /// into a single `blends` predicate, so a degenerate trilinear fetch is
+    /// exactly one bilinear fetch behind one branch (no closure, no
+    /// per-sample shift/divide). Bit-identical to
+    /// [`MipmappedArray2d::fetch_trilinear_legacy`].
     pub fn fetch_trilinear(&self, layer: usize, y: f32, x: f32, lod: f32) -> f32 {
+        let top = self.levels.len() - 1;
+        let lod = lod.clamp(0.0, top as f32);
+        let l0 = lod.floor() as usize;
+        let l1 = (l0 + 1).min(top);
+        let frac = lod - l0 as f32;
+        let v0 = self.levels[l0]
+            .fetch(layer, y * self.inv_scale[l0], x * self.inv_scale[l0])
+            .value;
+        let blends = frac != 0.0 && l0 != l1;
+        if !blends {
+            return v0;
+        }
+        let v1 = self.levels[l1]
+            .fetch(layer, y * self.inv_scale[l1], x * self.inv_scale[l1])
+            .value;
+        (1.0 - frac) * v0 + frac * v1
+    }
+
+    /// Verbatim pre-rewrite trilinear path (per-sample scale
+    /// reconstruction, closure-based branch tree). Oracle for the boundary
+    /// property tests — [`MipmappedArray2d::fetch_trilinear`] must match it
+    /// bit for bit.
+    pub fn fetch_trilinear_legacy(&self, layer: usize, y: f32, x: f32, lod: f32) -> f32 {
         let lod = lod.clamp(0.0, (self.levels.len() - 1) as f32);
         let l0 = lod.floor() as usize;
         let l1 = (l0 + 1).min(self.levels.len() - 1);
         let frac = lod - l0 as f32;
         let sample = |lvl: usize| {
             let scale = (1u32 << lvl) as f32;
-            self.levels[lvl].fetch(layer, y / scale, x / scale).value
+            self.levels[lvl]
+                .fetch_legacy(layer, y / scale, x / scale)
+                .value
         };
         let v0 = sample(l0);
         if frac == 0.0 || l0 == l1 {

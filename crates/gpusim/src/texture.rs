@@ -72,6 +72,13 @@ pub struct LayeredTexture2d {
     width: usize,
     tiles_x: usize,
     tiles_y: usize,
+    /// Block-linear bytes per layer (`tiles_x · tiles_y · TILE_BYTES`),
+    /// precomputed so the per-fetch address math is three adds and a
+    /// multiply instead of rebuilding the stride every texel.
+    layer_bytes: u64,
+    /// Row-major texels per layer (`height · width`), precomputed for the
+    /// same reason on the value side.
+    layer_texels: usize,
     /// Base byte address of the texture in the simulated address space.
     base_addr: u64,
     /// Addressing mode for both coordinates.
@@ -89,6 +96,29 @@ pub struct Fetch {
     /// Texel byte addresses touched (0–4 entries).
     pub addresses: [u64; 4],
     /// Number of valid entries in `addresses`.
+    pub len: u8,
+}
+
+/// The layer-independent half of a texture fetch: filter weights, in-layer
+/// texel indices, and layer-relative block-linear byte offsets for every
+/// texel the filter will read, in contribution order.
+///
+/// A plan is computed once per coordinate by [`LayeredTexture2d::plan_fetch`]
+/// (floor/quantize/address-mode resolution — the expensive part) and then
+/// replayed against any layer by [`LayeredTexture2d::eval_plan`], which is a
+/// weighted sum plus a base-address add. The deformable kernels exploit this:
+/// every channel of a deform group shares the same sampling coordinate, so
+/// one plan serves `C_in / G` layers. `Copy + Default` so warp batches fit a
+/// fixed-capacity `LaneBuf` scratch (no heap in the trace hot path).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FetchPlan {
+    /// Per-texel filter weights (`wy · wx`), contribution order.
+    pub weights: [f32; 4],
+    /// Layer-relative block-linear byte offsets of the texels.
+    pub rel_addrs: [u64; 4],
+    /// In-layer row-major texel indices (`y · width + x`).
+    pub indices: [u32; 4],
+    /// Number of valid entries.
     pub len: u8,
 }
 
@@ -155,6 +185,8 @@ impl LayeredTexture2d {
             width,
             tiles_x,
             tiles_y,
+            layer_bytes: (tiles_x * tiles_y * TILE_BYTES) as u64,
+            layer_texels: height * width,
             base_addr,
             address_mode: AddressMode::Border,
             filter_mode: FilterMode::Linear { frac_bits: 23 },
@@ -181,23 +213,31 @@ impl LayeredTexture2d {
         self.layers * self.tiles_x * self.tiles_y * TILE_BYTES
     }
 
+    /// Layer-relative block-linear byte offset of in-layer texel `(y, x)`.
+    ///
+    /// The full address decomposes exactly into
+    /// `base + layer·layer_bytes + rel(y, x)`; splitting it this way lets
+    /// [`FetchPlan`]s stay layer-independent and keeps the per-texel math to
+    /// two divides/mods and two multiply-adds (all integer — bit-exact
+    /// against the legacy single-expression form).
+    #[inline]
+    fn rel_addr(&self, y: usize, x: usize) -> u64 {
+        let (ty, tx) = (y / TILE_H, x / TILE_W);
+        let (iy, ix) = (y % TILE_H, x % TILE_W);
+        ((ty * self.tiles_x + tx) * TILE_BYTES) as u64 + ((iy * TILE_W + ix) * TEXEL_BYTES) as u64
+    }
+
     /// Block-linear byte address of texel `(layer, y, x)`.
     #[inline]
     pub fn texel_addr(&self, layer: usize, y: usize, x: usize) -> u64 {
         debug_assert!(layer < self.layers && y < self.height && x < self.width);
-        let (ty, tx) = (y / TILE_H, x / TILE_W);
-        let (iy, ix) = (y % TILE_H, x % TILE_W);
-        let layer_bytes = (self.tiles_x * self.tiles_y * TILE_BYTES) as u64;
-        self.base_addr
-            + layer as u64 * layer_bytes
-            + ((ty * self.tiles_x + tx) * TILE_BYTES) as u64
-            + ((iy * TILE_W + ix) * TEXEL_BYTES) as u64
+        self.base_addr + layer as u64 * self.layer_bytes + self.rel_addr(y, x)
     }
 
     /// Raw texel value (no filtering, in-bounds only).
     #[inline]
     pub fn texel(&self, layer: usize, y: usize, x: usize) -> f32 {
-        self.data[(layer * self.height + y) * self.width + x]
+        self.data[layer * self.layer_texels + y * self.width + x]
     }
 
     /// Resolves one integer coordinate through the addressing mode.
@@ -223,9 +263,118 @@ impl LayeredTexture2d {
         }
     }
 
+    /// Computes the layer-independent [`FetchPlan`] for fractional
+    /// coordinates `(y, x)` (texel centers at integer coordinates).
+    ///
+    /// This is the expensive half of a fetch — floor, fraction
+    /// quantization, and address-mode resolution — restructured so the
+    /// addressing mode is resolved once per *axis endpoint* (≤ 4 calls)
+    /// instead of once per texel visit, and each surviving row's tile/index
+    /// components are computed once and reused across its columns. Texel
+    /// visit order, the zero-weight skips, and the weight products are
+    /// exactly those of the legacy path, so the plan replays to
+    /// bit-identical values and addresses.
+    pub fn plan_fetch(&self, y: f32, x: f32) -> FetchPlan {
+        let mut plan = FetchPlan::default();
+        match self.filter_mode {
+            FilterMode::Point => {
+                let qy = self.resolve(y.round() as isize, self.height);
+                let qx = self.resolve(x.round() as isize, self.width);
+                if let (Some(ry), Some(rx)) = (qy, qx) {
+                    plan.weights[0] = 1.0;
+                    plan.rel_addrs[0] = self.rel_addr(ry, rx);
+                    plan.indices[0] = (ry * self.width + rx) as u32;
+                    plan.len = 1;
+                }
+            }
+            FilterMode::Linear { frac_bits } => {
+                let y0 = y.floor();
+                let x0 = x.floor();
+                let (dy, dx) = if frac_bits >= 23 {
+                    (y - y0, x - x0)
+                } else {
+                    let scale = (1u32 << frac_bits) as f32;
+                    let inv = 1.0 / scale; // 2^-k: exact, so `· inv ≡ / scale`
+                    (
+                        ((y - y0) * scale).round() * inv,
+                        ((x - x0) * scale).round() * inv,
+                    )
+                };
+                let (y0, x0) = (y0 as isize, x0 as isize);
+                // Address-mode resolution hoisted out of the 2×2 texel loop:
+                // each axis endpoint resolves once, rows precompute their
+                // tile/index components once.
+                let rows = [
+                    (self.resolve(y0, self.height), 1.0 - dy),
+                    (self.resolve(y0 + 1, self.height), dy),
+                ];
+                let cols = [
+                    (self.resolve(x0, self.width), 1.0 - dx),
+                    (self.resolve(x0 + 1, self.width), dx),
+                ];
+                for (ry, wy) in rows {
+                    if wy == 0.0 {
+                        continue;
+                    }
+                    let Some(ry) = ry else {
+                        continue;
+                    };
+                    let (ty, iy) = (ry / TILE_H, ry % TILE_H);
+                    let row_rel =
+                        (ty * self.tiles_x * TILE_BYTES + iy * TILE_W * TEXEL_BYTES) as u64;
+                    let row_idx = ry * self.width;
+                    for (rx, wx) in cols {
+                        if wx == 0.0 {
+                            continue;
+                        }
+                        let Some(rx) = rx else {
+                            continue;
+                        };
+                        let (tx, ix) = (rx / TILE_W, rx % TILE_W);
+                        let n = plan.len as usize;
+                        plan.weights[n] = wy * wx;
+                        plan.rel_addrs[n] = row_rel + (tx * TILE_BYTES + ix * TEXEL_BYTES) as u64;
+                        plan.indices[n] = (row_idx + rx) as u32;
+                        plan.len += 1;
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Replays a [`FetchPlan`] against one layer: weighted sum of the
+    /// planned texels plus the layer's base-address offset. Accumulation
+    /// order and products match the legacy per-texel loop bit for bit.
+    #[inline]
+    pub fn eval_plan(&self, plan: &FetchPlan, layer: usize) -> Fetch {
+        let layer_base = self.base_addr + layer as u64 * self.layer_bytes;
+        let texels = &self.data[layer * self.layer_texels..(layer + 1) * self.layer_texels];
+        let mut value = 0.0f32;
+        let mut addresses = [0u64; 4];
+        let len = plan.len as usize;
+        for i in 0..len {
+            value += plan.weights[i] * texels[plan.indices[i] as usize];
+            addresses[i] = layer_base + plan.rel_addrs[i];
+        }
+        Fetch {
+            value,
+            addresses,
+            len: plan.len,
+        }
+    }
+
     /// Fetches the texture at fractional coordinates `(y, x)` (texel centers
     /// at integer coordinates, matching the CPU reference sampler).
     pub fn fetch(&self, layer: usize, y: f32, x: f32) -> Fetch {
+        self.eval_plan(&self.plan_fetch(y, x), layer)
+    }
+
+    /// Verbatim pre-rewrite fetch path (per-texel address-mode resolution,
+    /// stride math rebuilt per texel, branchy 2×2 walk). Retained as the
+    /// oracle for the hot-path equivalence bench and the boundary property
+    /// tests — [`LayeredTexture2d::fetch`] must match it bit for bit.
+    pub fn fetch_legacy(&self, layer: usize, y: f32, x: f32) -> Fetch {
         match self.filter_mode {
             FilterMode::Point => {
                 let qy = self.resolve(y.round() as isize, self.height);
@@ -233,7 +382,7 @@ impl LayeredTexture2d {
                 match (qy, qx) {
                     (Some(qy), Some(qx)) => Fetch {
                         value: self.texel(layer, qy, qx),
-                        addresses: [self.texel_addr(layer, qy, qx), 0, 0, 0],
+                        addresses: [self.texel_addr_legacy(layer, qy, qx), 0, 0, 0],
                         len: 1,
                     },
                     _ => Fetch {
@@ -275,7 +424,7 @@ impl LayeredTexture2d {
                             continue;
                         };
                         value += wy * wx * self.texel(layer, ry, rx);
-                        addresses[len as usize] = self.texel_addr(layer, ry, rx);
+                        addresses[len as usize] = self.texel_addr_legacy(layer, ry, rx);
                         len += 1;
                     }
                 }
@@ -286,6 +435,19 @@ impl LayeredTexture2d {
                 }
             }
         }
+    }
+
+    /// The pre-rewrite texel address computation (layer stride rebuilt on
+    /// every call), kept for [`LayeredTexture2d::fetch_legacy`].
+    #[inline]
+    fn texel_addr_legacy(&self, layer: usize, y: usize, x: usize) -> u64 {
+        let (ty, tx) = (y / TILE_H, x / TILE_W);
+        let (iy, ix) = (y % TILE_H, x % TILE_W);
+        let layer_bytes = (self.tiles_x * self.tiles_y * TILE_BYTES) as u64;
+        self.base_addr
+            + layer as u64 * layer_bytes
+            + ((ty * self.tiles_x + tx) * TILE_BYTES) as u64
+            + ((iy * TILE_W + ix) * TEXEL_BYTES) as u64
     }
 }
 

@@ -10,8 +10,60 @@ use crate::cache::{Access, Cache};
 use crate::coalesce::{coalesce, coalesce_into, SECTOR_BYTES};
 use crate::device::DeviceConfig;
 use crate::report::Counters;
-use crate::texture::{FilterMode, LayeredTexture2d};
+use crate::texture::{FetchPlan, FilterMode, LayeredTexture2d};
 pub use defcon_support::lanebuf::LaneBuf;
+
+/// Per-fetch texture-unit statistics, kept **outside** [`Counters`] so the
+/// report JSON (and every golden snapshot / serving cache key derived from
+/// it) is unchanged. These feed the observability registry as
+/// `gpusim.texture.*` counters and the launch span, and exist to make the
+/// texture hot loop visible: how many lane fetches ran, how many texels the
+/// filter actually read (border clipping shrinks the 2×2 quad), and how
+/// often a staged warp plan was replayed across layers without re-planning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TexStats {
+    /// Lane-level filtered fetches issued.
+    pub fetch_lanes: u64,
+    /// Texels read by the filter across all lane fetches (≤ 4 per lane).
+    pub filter_texels: u64,
+    /// Warp-level coordinate stagings (each computes one set of
+    /// [`FetchPlan`]s: floor, quantize, address-mode resolution).
+    pub plan_warps: u64,
+    /// Warp-level texture instructions issued from staged plans. The excess
+    /// over `plan_warps` is per-coordinate planning work the batched
+    /// `kernels::fused` path avoided by reusing one plan across the layers
+    /// of a deform group.
+    pub plan_evals: u64,
+}
+
+impl TexStats {
+    /// Accumulates another block's / band's stats.
+    pub fn merge(&mut self, other: &TexStats) {
+        self.fetch_lanes += other.fetch_lanes;
+        self.filter_texels += other.filter_texels;
+        self.plan_warps += other.plan_warps;
+        self.plan_evals += other.plan_evals;
+    }
+
+    /// Publishes the stats to the observability registry under
+    /// `{prefix}.texture.*`. No-op (single relaxed atomic load) when the
+    /// obs layer is disarmed.
+    pub fn record_obs(&self, prefix: &str) {
+        if !defcon_support::obs::armed() {
+            return;
+        }
+        defcon_support::obs::counter_add(
+            &format!("{prefix}.texture.fetch_lanes"),
+            self.fetch_lanes,
+        );
+        defcon_support::obs::counter_add(
+            &format!("{prefix}.texture.filter_texels"),
+            self.filter_texels,
+        );
+        defcon_support::obs::counter_add(&format!("{prefix}.texture.plan_warps"), self.plan_warps);
+        defcon_support::obs::counter_add(&format!("{prefix}.texture.plan_evals"), self.plan_evals);
+    }
+}
 
 /// A kernel, from the simulator's point of view: a grid of identical thread
 /// blocks, each able to describe its own work.
@@ -78,12 +130,18 @@ pub struct TraceSink<'a> {
     pub counters: Counters,
     /// Pipe occupancies for the current block.
     pub cost: BlockCost,
+    /// Texture-unit statistics for the current block (obs-only; not part
+    /// of the report JSON).
+    pub tex_stats: TexStats,
     /// Staged lane byte addresses of the current load/store instruction.
     lane_addrs: LaneBuf<u64>,
     /// Unique coalesced sectors of the current instruction.
     sectors: LaneBuf<u64>,
     /// Staged lane coordinates of the current texture instruction.
     coords: LaneBuf<(f32, f32)>,
+    /// Layer-independent fetch plans staged for the current texture warp —
+    /// computed once per coordinate set and replayed per layer.
+    plans: LaneBuf<FetchPlan>,
     /// Filtered outputs of the current texture instruction (one per lane).
     tex_out: LaneBuf<f32>,
     /// `Some(shift)` when the L1 line size is a power-of-two multiple of
@@ -122,9 +180,11 @@ impl<'a> TraceSink<'a> {
                 warps,
                 ..Default::default()
             },
+            tex_stats: TexStats::default(),
             lane_addrs: LaneBuf::new(),
             sectors: LaneBuf::new(),
             coords: LaneBuf::new(),
+            plans: LaneBuf::new(),
             tex_out: LaneBuf::new(),
             l1_sector_shift,
             tex_line_shift,
@@ -331,21 +391,69 @@ impl<'a> TraceSink<'a> {
         &self.tex_out
     }
 
-    /// Texture path over the staged `coords`; filtered values land in
-    /// `tex_out`.
+    /// Stages a warp's texture coordinates **without issuing a fetch**:
+    /// computes the layer-independent [`FetchPlan`] of every coordinate
+    /// (floor, fraction quantization, address-mode resolution) into the
+    /// sink's fixed-capacity scratch. Follow with one
+    /// [`TraceSink::tex_fetch_staged_warp`] per layer — the plans are valid
+    /// until the next staging call. This is how `kernels::fused` exploits
+    /// the deform-group structure: all `C_in / G` channels of a group
+    /// sample at the same coordinates, so the planning work is paid once
+    /// per (group, tap) instead of once per channel.
+    pub fn tex_stage_warp(
+        &mut self,
+        tex: &LayeredTexture2d,
+        coords: impl IntoIterator<Item = (f32, f32)>,
+    ) {
+        self.coords.fill_from(coords);
+        self.plans.clear();
+        for i in 0..self.coords.len() {
+            let (y, x) = self.coords[i];
+            self.plans.push(tex.plan_fetch(y, x));
+        }
+        self.tex_stats.plan_warps += 1;
+    }
+
+    /// One warp-level texture instruction replayed from the staged plans
+    /// against `layer`: bit-identical values, cache traffic, counters and
+    /// latency to a fresh [`TraceSink::tex_fetch_warp_into`] at the staged
+    /// coordinates. Returns the filtered values (one per staged
+    /// coordinate) as a slice of the sink's scratch.
+    pub fn tex_fetch_staged_warp(&mut self, tex: &LayeredTexture2d, layer: usize) -> &[f32] {
+        self.tex_replay_plans(tex, layer);
+        &self.tex_out
+    }
+
+    /// Texture path over the staged `coords`: plan each coordinate, then
+    /// replay the plans against `layer`.
     fn tex_fetch_staged(&mut self, tex: &LayeredTexture2d, layer: usize) {
-        self.tex_out.clear();
         debug_assert!(self.coords.len() <= self.cfg.warp_size);
-        if self.coords.is_empty() {
+        self.plans.clear();
+        for i in 0..self.coords.len() {
+            let (y, x) = self.coords[i];
+            self.plans.push(tex.plan_fetch(y, x));
+        }
+        self.tex_stats.plan_warps += 1;
+        self.tex_replay_plans(tex, layer);
+    }
+
+    /// The texture instruction proper: walks the staged plans' footprints
+    /// through the texture cache for one layer; filtered values land in
+    /// `tex_out`.
+    fn tex_replay_plans(&mut self, tex: &LayeredTexture2d, layer: usize) {
+        self.tex_out.clear();
+        if self.plans.is_empty() {
             return;
         }
         self.counters.tex_requests += 1;
         match tex.filter_mode {
             FilterMode::Linear { frac_bits } if frac_bits <= 10 => {
-                self.cost.tex_fetches_fp16 += self.coords.len() as u64
+                self.cost.tex_fetches_fp16 += self.plans.len() as u64
             }
-            _ => self.cost.tex_fetches_fp32 += self.coords.len() as u64,
+            _ => self.cost.tex_fetches_fp32 += self.plans.len() as u64,
         }
+        self.tex_stats.plan_evals += 1;
+        self.tex_stats.fetch_lanes += self.plans.len() as u64;
         let mut worst = 0u32;
         let tex_line_bytes = self.tex.line_bytes() as u64;
         // Adjacent lanes' bilinear footprints overlap heavily; when a
@@ -353,10 +461,10 @@ impl<'a> TraceSink<'a> {
         // it is a guaranteed texture-cache hit at the MRU front and is
         // counted without re-probing (same shortcut as the global walk).
         let mut prev_line = u64::MAX;
-        for i in 0..self.coords.len() {
-            let (y, x) = self.coords[i];
-            let f = tex.fetch(layer, y, x);
+        for i in 0..self.plans.len() {
+            let f = tex.eval_plan(&self.plans[i], layer);
             self.tex_out.push(f.value);
+            self.tex_stats.filter_texels += f.len as u64;
             // Unique lines in this lane's footprint go through the texture
             // cache (the quad almost always stays within 1–2 block-linear
             // lines).

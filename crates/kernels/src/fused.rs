@@ -292,10 +292,16 @@ impl BlockTrace for FusedTexDeformKernel<'_> {
                         let px = (ox * s.stride + kj) as f32 - s.pad as f32 + dx;
                         (py, px)
                     }));
+                    // Stage the warp's fetch plans once per (g, tap): the
+                    // floor/quantize/address-mode work is shared by every
+                    // channel of the group (the layers differ, the plans do
+                    // not), so each per-channel fetch below is just a plan
+                    // replay — a weighted sum plus the cache walk.
+                    sink.tex_stage_warp(&self.texture, coords.iter().copied());
                     // Each sample feeds C_out FMAs.
                     for ci in g * ch_per_group..(g + 1) * ch_per_group {
                         let layer = ni * s.c_in + ci;
-                        sink.tex_fetch_warp_into(&self.texture, layer, coords.iter().copied());
+                        sink.tex_fetch_staged_warp(&self.texture, layer);
                         // The fetched sample multiplies into this block's
                         // output-channel register accumulators.
                         sink.fma(nl * co_here as u64);
