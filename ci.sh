@@ -45,6 +45,13 @@ for threads in 1 4; do
     cargo test -q --offline --test serving_cache_props
     cargo test -q --offline -p defcon-bench --test serving_golden
 
+    # Chaos soak (DESIGN.md §12), called out explicitly: multi-hundred-
+    # request sessions under an armed probabilistic fault plan must hold
+    # the session invariants (none lost, accounting balance, legal breaker
+    # walks) and replay byte-identically — at both ambient thread counts.
+    echo "==> chaos-soak invariant suite (DEFCON_THREADS=$threads)"
+    cargo test -q --offline --test chaos_soak
+
     # Operator-family conformance (DESIGN.md §10), called out explicitly:
     # every {DCNv1, DCNv2, DCNv3} × {software, tex2D, tex2D++} cell against
     # its CPU reference, the two reduction identities bytewise, and exact
@@ -150,6 +157,23 @@ cmp "$serve_a.stripped" "$serve_b.stripped" || {
     exit 1
 }
 rm -f "$serve_a" "$serve_b" "$serve_a.stripped" "$serve_b.stripped"
+
+# Chaos-summary determinism, end to end on the release binary: the whole
+# chaos session — outcomes, fault log, breaker walk, digest — is a pure
+# function of the seed (DESIGN.md §12), so two back-to-back soaks must
+# write byte-identical summary JSON. The binary also asserts the session
+# invariants internally before printing anything.
+echo "==> repro_chaos summary byte-determinism (two release runs)"
+chaos_a="$(mktemp)" chaos_b="$(mktemp)"
+DEFCON_FAST=1 DEFCON_BENCH_OUT="$chaos_a" \
+    ./target/release/repro_chaos > /dev/null
+DEFCON_FAST=1 DEFCON_BENCH_OUT="$chaos_b" \
+    ./target/release/repro_chaos > /dev/null
+cmp "$chaos_a" "$chaos_b" || {
+    echo "chaos determinism FAIL: summary JSON differs between runs" >&2
+    exit 1
+}
+rm -f "$chaos_a" "$chaos_b"
 
 # Family-ablation golden (Table V analogue, DESIGN.md §10): the bench
 # byte-compares its report against the blessed golden internally at

@@ -110,6 +110,7 @@ fn main() {
         workers: defcon_gpusim::default_threads(),
         queue_capacity: 24.min(n / 2),
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
 
     let mut server = SimServer::new(cfg);

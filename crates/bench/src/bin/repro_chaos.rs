@@ -1,0 +1,81 @@
+//! `repro_chaos` — a seeded chaos-soak session over the serving layer.
+//!
+//! Serves a randomized multi-hundred-request stream through a small
+//! `SimServer` while every serving-path fault point is armed with seeded
+//! probabilistic schedules (`core::chaos`), then checks the session
+//! invariants (none lost, no `failed` outcome, cache accounting balance,
+//! legal breaker walk) and prints the deterministic summary.
+//!
+//! The whole session — responses, fault log, breaker transitions — is a
+//! pure function of the seed, so CI runs the binary twice and `cmp`s the
+//! summary JSON byte-for-byte.
+//!
+//! * `DEFCON_CHAOS_SEED=<n>` — session seed (default 0xC4A05);
+//! * `DEFCON_FAST=1` — 60-request session instead of 200;
+//! * `DEFCON_JSON=1` — emit the summary JSON as the last stdout line;
+//! * `DEFCON_BENCH_OUT=<path>` — additionally write the summary JSON to
+//!   `path` (what CI compares across runs).
+
+use defcon_bench::{emit_json, Table};
+use defcon_core::chaos::{self, ChaosConfig};
+use defcon_support::env;
+
+fn main() {
+    let _obs = defcon_bench::obs_scope();
+    let seed = env::or_die(env::u64_value(env::CHAOS_SEED)).unwrap_or(0xC4A05);
+    let requests = if defcon_bench::fast_mode() { 60 } else { 200 };
+    println!("DEFCON chaos soak: {requests} requests, seed {seed:#x}, all fault points armed");
+    println!("==========================================================================");
+
+    let cfg = ChaosConfig {
+        seed,
+        requests,
+        ..ChaosConfig::default()
+    };
+    let summary = chaos::run_session(&cfg);
+    summary.assert_invariants();
+
+    let mut table = Table::new(&["outcome", "count"]);
+    for (name, count) in [
+        ("served", summary.outcomes[0]),
+        ("shed", summary.outcomes[1]),
+        ("deadline_exceeded", summary.outcomes[2]),
+        ("failed", summary.outcomes[3]),
+    ] {
+        table.row(&[name.to_string(), count.to_string()]);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "faults injected {}  breaker transitions {}  retries {}  degraded {}  terminal sheds {}",
+        summary.fault_log.len(),
+        summary.breaker_log.len(),
+        summary.admission.retries,
+        summary.admission.degraded_admissions,
+        summary.admission.terminal_sheds,
+    );
+    println!(
+        "cache: hits {}  misses {}  inserts {} (= len {} + evictions {} + drops {})",
+        summary.cache.hits,
+        summary.cache.misses,
+        summary.cache.inserts,
+        summary.cache.len,
+        summary.cache.evictions,
+        summary.cache.drops,
+    );
+    for line in &summary.breaker_log {
+        println!("breaker {line}");
+    }
+    println!("response digest {:016x}", summary.digest);
+
+    let report = summary.to_json();
+    if let Some(path) = env::or_die(env::path(env::BENCH_OUT)) {
+        std::fs::write(&path, format!("{report}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("summary written to {}", path.display());
+    }
+    emit_json(&report);
+}

@@ -22,12 +22,16 @@
 //!   admission queue over parallel workers with a content-addressed
 //!   launch-report cache, exploiting the engine's byte-determinism to
 //!   answer repeated requests without re-simulating.
+//! * [`chaos`] — seeded **chaos-soak sessions** over the serving layer:
+//!   randomized request streams served under an armed fault plan, with a
+//!   deterministic summary for invariant and golden checks.
 //!
 //! Accuracy-side experiments (the YOLACT-style detector, synthetic
 //! dataset, mAP) live in `defcon-models`; the reproduction harnesses in
 //! `defcon-bench`.
 
 pub mod autotune;
+pub mod chaos;
 pub mod lut;
 pub mod pipeline;
 pub mod search;

@@ -35,21 +35,64 @@
 //! When the queue is full (or the `serve.enqueue` fault point fires),
 //! [`SimServer::submit`] sheds the request with a typed
 //! [`DefconError::Overloaded`]. The batch driver [`SimServer::serve`]
-//! responds by draining the backlog and retrying once; if admission still
-//! fails, the request is degraded one rung down the paper's
+//! responds with a **deterministic retry loop** ([`RetryPolicy`], default
+//! one retry — the original drain-and-retry behaviour): drain the backlog,
+//! charge a seeded exponential backoff *in virtual cycles* against the
+//! request's deadline budget, and re-attempt admission (the
+//! `retry.attempt` fault point fails an attempt outright). When retries
+//! are exhausted, the request is degraded one rung down the paper's
 //! `tex2D++ → tex2D → software` ladder ([`SamplingMethod::degrade`]) and
-//! served inline — shed → degrade → serve, never silently dropped. The
+//! served inline; a request already at the software floor is **terminally
+//! shed** — it still gets a response, carrying the `Overloaded` error.
+//! Every request thus ends in exactly one of three outcomes: served, shed,
+//! or deadline-exceeded ([`ServeOutcome`]) — never silently dropped. The
 //! `serve.cache` fault point models a corrupt cache entry: the entry is
 //! dropped and the request re-simulated, which re-derives identical bytes.
+//!
+//! ## Deadline budgets (virtual time)
+//!
+//! A request may carry a deadline in **virtual cycles**
+//! ([`RequestPolicy::deadline_cycles`], or the server-wide
+//! `DEFCON_SERVE_DEADLINE` default). Enforcement never reads a wall
+//! clock, so verdicts are byte-reproducible: retry backoffs are charged
+//! against the budget up front, a LUT-backed preflight rejects requests
+//! whose tabulated cost already exceeds what remains (uniformly, *before*
+//! the cache is consulted, so temperature cannot change the verdict), and
+//! a miss simulation runs against a [`DeadlineBudget`] whose cooperative
+//! cancellation unwinds the engine's band workers between launches. A
+//! cache hit replays the same verdict by walking the cached per-launch
+//! cycle charges — hit and miss agree because a budget trips at the first
+//! launch whose cumulative `ceil(cycles)` crosses the remainder, and that
+//! is a pure function of the (deterministic) report stream. Exceeded
+//! requests are never cached. The `serve.deadline` fault point forces the
+//! verdict at admission.
+//!
+//! ## Circuit breaker over the kernel ladder
+//!
+//! [`SimServer::serve`] consults a per-rung circuit breaker
+//! ([`LadderBreaker`]) over the two texture rungs at admission: a rung
+//! whose breaker refuses is skipped *before* canonicalization, so the
+//! request is planned down the ladder without burning a simulation on a
+//! rung that keeps failing. Outcomes feed back in response order — each
+//! response's recorded ladder degradations mark the failed rungs, the
+//! served method marks a success — so breaker evolution is a pure
+//! function of the response stream (cached and fresh responses carry
+//! identical degradation lists), invariant to worker count and cache
+//! temperature. The software floor is exempt: it cannot fail texture
+//! setup, so there is always a rung to land on. The `breaker.trip` fault
+//! point force-opens the requested rung at admission.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use defcon_gpusim::{DeviceConfig, Gpu, KernelReport, SamplePolicy};
+use defcon_gpusim::{DeadlineBudget, DeviceConfig, Gpu, KernelReport, SamplePolicy};
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OpFamily, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
+use defcon_support::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use defcon_support::error::DefconError;
 use defcon_support::json::{Json, ToJson};
 use defcon_support::par::ParallelSliceMut;
+use defcon_support::retry::RetryPolicy;
 use defcon_support::{env, fault, obs};
 
 use crate::lut::{LatencyKey, LatencyLut};
@@ -113,6 +156,11 @@ pub struct RequestPolicy {
     pub seed: u64,
     /// Offset spread in milli-pixels (4000 = the paper's ±4.0 px).
     pub spread_milli: u32,
+    /// Per-request deadline budget in **virtual cycles**; 0 (the default)
+    /// means no per-request deadline (the server default, if any,
+    /// applies). Omitted from the canonical form when 0 so pre-deadline
+    /// requests keep their content addresses.
+    pub deadline_cycles: u64,
 }
 
 impl Default for RequestPolicy {
@@ -121,6 +169,7 @@ impl Default for RequestPolicy {
             max_blocks: 96,
             seed: 2024,
             spread_milli: 4000,
+            deadline_cycles: 0,
         }
     }
 }
@@ -158,7 +207,9 @@ impl SimRequest {
     /// `kernel_family`): every pre-family request — always implicitly
     /// v1 — renders to exactly the bytes it rendered to before the field
     /// existed, so persisted digests and pinned FNV vectors survive the
-    /// format extension.
+    /// format extension. `deadline_cycles` follows the same discipline:
+    /// emitted (last in the policy object) only when non-zero, so every
+    /// deadline-free request renders to its pre-deadline bytes.
     pub fn canonical(&self) -> Json {
         let l = &self.layer;
         let mut fields = vec![
@@ -183,14 +234,18 @@ impl SimRequest {
         if self.op_family != OpFamily::DcnV1 {
             fields.push(("op_family", Json::str(self.op_family.name())));
         }
-        fields.push((
-            "policy",
-            Json::obj(vec![
-                ("max_blocks", Json::from(self.policy.max_blocks)),
-                ("seed", Json::str(format!("{:016x}", self.policy.seed))),
-                ("spread_milli", Json::from(self.policy.spread_milli as u64)),
-            ]),
-        ));
+        let mut policy = vec![
+            ("max_blocks", Json::from(self.policy.max_blocks)),
+            ("seed", Json::str(format!("{:016x}", self.policy.seed))),
+            ("spread_milli", Json::from(self.policy.spread_milli as u64)),
+        ];
+        if self.policy.deadline_cycles != 0 {
+            policy.push((
+                "deadline_cycles",
+                Json::str(format!("{:016x}", self.policy.deadline_cycles)),
+            ));
+        }
+        fields.push(("policy", Json::obj(policy)));
         Json::obj(fields)
     }
 
@@ -252,6 +307,7 @@ pub struct ReportCache {
     misses: u64,
     evictions: u64,
     drops: u64,
+    inserts: u64,
 }
 
 impl ReportCache {
@@ -265,6 +321,7 @@ impl ReportCache {
             misses: 0,
             evictions: 0,
             drops: 0,
+            inserts: 0,
         }
     }
 
@@ -342,6 +399,7 @@ impl ReportCache {
             degradations: degradations.to_vec(),
             last_used: self.tick,
         });
+        self.inserts += 1;
     }
 
     /// Entries currently cached.
@@ -379,6 +437,14 @@ impl ReportCache {
         self.drops
     }
 
+    /// Entries actually pushed (refreshes excluded). Every inserted entry
+    /// is still resident, was LRU-evicted, or was fault-dropped, so
+    /// `inserts == len + evictions + drops` at every quiescent point —
+    /// the chaos soak's cache-accounting invariant.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
     /// Lifetime hit rate in `[0, 1]` (0 before any lookup).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -390,7 +456,8 @@ impl ReportCache {
     }
 }
 
-/// Server sizing. All three knobs have env overrides (see
+/// Server sizing and robustness tuning. The sizing knobs and the
+/// retry/deadline knobs have env overrides (see
 /// [`ServeConfig::with_env_overrides`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -402,6 +469,14 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Report-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Admission retry schedule. The default (`max_retries = 1`)
+    /// reproduces the original drain-and-retry-once behaviour.
+    pub retry: RetryPolicy,
+    /// Server-wide deadline budget in virtual cycles applied to requests
+    /// that do not carry their own; 0 = no default deadline.
+    pub default_deadline_cycles: u64,
+    /// Tuning for the per-rung ladder breakers.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -410,13 +485,17 @@ impl Default for ServeConfig {
             workers: defcon_gpusim::default_threads(),
             queue_capacity: 64,
             cache_capacity: 256,
+            retry: RetryPolicy::default(),
+            default_deadline_cycles: 0,
+            breaker: BreakerConfig::default(),
         }
     }
 }
 
 impl ServeConfig {
-    /// Applies `DEFCON_SERVE_QUEUE` / `DEFCON_SERVE_CACHE` overrides on
-    /// top of `self`. (`workers` already follows `DEFCON_THREADS` through
+    /// Applies `DEFCON_SERVE_QUEUE` / `DEFCON_SERVE_CACHE` /
+    /// `DEFCON_RETRY_MAX` / `DEFCON_SERVE_DEADLINE` overrides on top of
+    /// `self`. (`workers` already follows `DEFCON_THREADS` through
     /// [`defcon_gpusim::default_threads`] in [`ServeConfig::default`].)
     pub fn with_env_overrides(mut self) -> Result<Self, DefconError> {
         if let Some(q) = env::positive_usize(env::SERVE_QUEUE)? {
@@ -425,12 +504,49 @@ impl ServeConfig {
         if let Some(c) = env::positive_usize(env::SERVE_CACHE)? {
             self.cache_capacity = c;
         }
+        if let Some(r) = env::u64_value(env::RETRY_MAX)? {
+            self.retry.max_retries = r.min(u32::MAX as u64) as u32;
+        }
+        if let Some(d) = env::u64_value(env::SERVE_DEADLINE)? {
+            self.default_deadline_cycles = d;
+        }
         Ok(self)
     }
 
     /// The default configuration with env overrides applied.
     pub fn from_env() -> Result<Self, DefconError> {
         ServeConfig::default().with_env_overrides()
+    }
+}
+
+/// The terminal state of a request: every request the server accepts a
+/// reference to ends in exactly one of these (the chaos soak's
+/// none-lost invariant partitions a session's responses over them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Answered with reports (possibly degraded, possibly from cache).
+    Served,
+    /// Admission failed at the software floor after all retries; the
+    /// response carries the final `Overloaded` error and no reports.
+    Shed,
+    /// The virtual-time deadline verdict fired (at admission, preflight,
+    /// or mid-simulation); the response carries the `DeadlineExceeded`
+    /// rendering and no reports.
+    DeadlineExceeded,
+    /// The simulation itself failed with a non-deadline error. The chaos
+    /// soak asserts this never happens (the software floor always runs).
+    Failed,
+}
+
+impl ServeOutcome {
+    /// Display name, used in summaries and obs events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeOutcome::Served => "served",
+            ServeOutcome::Shed => "shed",
+            ServeOutcome::DeadlineExceeded => "deadline_exceeded",
+            ServeOutcome::Failed => "failed",
+        }
     }
 }
 
@@ -462,6 +578,10 @@ pub struct SimResponse {
     /// Simulation failure rendering, when the request could not be
     /// served (reports empty in that case).
     pub error: Option<String>,
+    /// The request's terminal state. Like `from_cache`, provenance —
+    /// excluded from [`SimResponse::content_json`] (the `error` field
+    /// already carries the distinguishing content).
+    pub outcome: ServeOutcome,
 }
 
 impl SimResponse {
@@ -499,6 +619,9 @@ impl SimResponse {
 enum Plan {
     Hit(CachedHit),
     Miss(usize),
+    /// The deadline verdict fired in phase A (injected fault or LUT
+    /// preflight), before the cache was consulted.
+    Deadline(DefconError),
 }
 
 struct SimOutcome {
@@ -506,17 +629,28 @@ struct SimOutcome {
     latency_ns: u64,
 }
 
-fn simulate_request(req: &SimRequest, device: &DeviceConfig) -> SimOutcome {
+fn simulate_request(
+    req: &SimRequest,
+    device: &DeviceConfig,
+    remaining_cycles: Option<u64>,
+) -> SimOutcome {
     let t0 = Instant::now();
     // Engine threads pinned to 1: report bytes must be a pure function of
     // the canonical request, independent of the server's worker count.
-    let gpu = Gpu::with_policy(
+    let mut gpu = Gpu::with_policy(
         device.clone(),
         SamplePolicy {
             max_blocks: req.policy.max_blocks,
             threads: 1,
         },
     );
+    // Deadline enforcement: the remaining budget (deadline minus retry
+    // backoffs already charged) rides into the engine as a cooperative
+    // cancellation token — launches past the budget unwind and surface as
+    // DeadlineExceeded, which is non-degradable and exits the ladder.
+    if let Some(r) = remaining_cycles {
+        gpu = gpu.with_budget(Arc::new(DeadlineBudget::new(r)));
+    }
     let (x, offsets) = synthetic_inputs(&req.layer, req.policy.spread(), req.policy.seed);
     // `modulation: None` — the trace is keyed on the family alone, never
     // on modulation *values*, so a served v2/v3 request needs no tensor;
@@ -535,6 +669,145 @@ fn simulate_request(req: &SimRequest, device: &DeviceConfig) -> SimOutcome {
     }
 }
 
+/// Replays the deadline verdict for a cache hit: walks the cached
+/// per-launch reports accumulating the same integer charge the engine's
+/// [`DeadlineBudget`] applies, and returns the error of the first launch
+/// whose cumulative charge crosses `remaining` — the exact launch a fresh
+/// budgeted simulation of the same (deterministic) report stream would
+/// have failed at, so hit and miss produce byte-identical errors.
+fn hit_deadline_verdict(remaining: u64, reports: &[KernelReport]) -> Option<DefconError> {
+    let mut acc = 0u64;
+    for r in reports {
+        acc = acc.saturating_add(DeadlineBudget::charge_units(r.cycles));
+        if acc > remaining {
+            return Some(DefconError::DeadlineExceeded {
+                what: format!("launch {}", r.kernel),
+                budget_cycles: remaining,
+            });
+        }
+    }
+    None
+}
+
+/// Per-rung circuit breakers over the texture rungs of the fallback
+/// ladder. The software floor is deliberately unguarded — it cannot fail
+/// texture setup, so admission always has a rung to land on.
+pub struct LadderBreaker {
+    tex2dpp: CircuitBreaker,
+    tex2d: CircuitBreaker,
+    /// Rendered transition log across both rungs, in the order the
+    /// transitions happened (lines like `"tex2D:closed->open:trip"`).
+    log: Vec<String>,
+    drained: [usize; 2],
+}
+
+impl LadderBreaker {
+    fn new(cfg: BreakerConfig) -> Self {
+        LadderBreaker {
+            tex2dpp: CircuitBreaker::new(cfg),
+            tex2d: CircuitBreaker::new(cfg),
+            log: Vec::new(),
+            drained: [0; 2],
+        }
+    }
+
+    fn rung_mut(&mut self, method: SamplingMethod) -> Option<&mut CircuitBreaker> {
+        match method {
+            SamplingMethod::Tex2dPlusPlus => Some(&mut self.tex2dpp),
+            SamplingMethod::Tex2d => Some(&mut self.tex2d),
+            SamplingMethod::SoftwareBilinear => None,
+        }
+    }
+
+    /// Current state of a rung's breaker (the software floor reads as
+    /// permanently closed).
+    pub fn state(&self, method: SamplingMethod) -> BreakerState {
+        match method {
+            SamplingMethod::Tex2dPlusPlus => self.tex2dpp.state(),
+            SamplingMethod::Tex2d => self.tex2d.state(),
+            SamplingMethod::SoftwareBilinear => BreakerState::Closed,
+        }
+    }
+
+    /// Plans a request's entry rung: starting at `requested`, consults
+    /// each guarded rung's breaker (burning one cooldown tick when open)
+    /// and steps down past refusals. Always terminates — the software
+    /// floor allows unconditionally.
+    fn plan(&mut self, requested: SamplingMethod) -> SamplingMethod {
+        let mut method = requested;
+        loop {
+            match self.rung_mut(method) {
+                None => return method,
+                Some(b) => {
+                    if b.allow() {
+                        return method;
+                    }
+                    method = method
+                        .degrade()
+                        .expect("guarded rungs always have a lower rung");
+                }
+            }
+        }
+    }
+
+    /// Feeds one response's outcome back: the rungs the ladder recorded
+    /// as degraded (walking down from the admitted family) each count a
+    /// failure; the rung that served counts a success.
+    fn note_outcome(&mut self, admitted: SamplingMethod, failed_rungs: usize) {
+        let mut method = admitted;
+        for _ in 0..failed_rungs {
+            if let Some(b) = self.rung_mut(method) {
+                b.record_failure();
+            }
+            match method.degrade() {
+                Some(next) => method = next,
+                None => return,
+            }
+        }
+        if let Some(b) = self.rung_mut(method) {
+            b.record_success();
+        }
+    }
+
+    /// Appends freshly-recorded transitions (since the last sync) to the
+    /// combined log, emitting one obs event per transition and refreshing
+    /// the per-rung state gauges.
+    fn sync_obs(&mut self) {
+        for (i, rung) in [SamplingMethod::Tex2dPlusPlus, SamplingMethod::Tex2d]
+            .into_iter()
+            .enumerate()
+        {
+            let b = match rung {
+                SamplingMethod::Tex2dPlusPlus => &self.tex2dpp,
+                _ => &self.tex2d,
+            };
+            let fresh: Vec<String> = b.transitions()[self.drained[i]..]
+                .iter()
+                .map(|t| format!("{}:{}", rung.name(), t.render()))
+                .collect();
+            self.drained[i] = b.transitions().len();
+            for line in fresh {
+                obs::event_with("serve.breaker.transition", || {
+                    vec![("rung", Json::str(rung.name())), ("edge", Json::str(&line))]
+                });
+                self.log.push(line);
+            }
+            obs::gauge_set(
+                match rung {
+                    SamplingMethod::Tex2dPlusPlus => "serve.breaker.tex2dpp",
+                    _ => "serve.breaker.tex2d",
+                },
+                b.state().gauge(),
+            );
+        }
+    }
+
+    /// The combined rendered transition log, in event order.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+}
+
 /// The throughput-mode simulation service. See the module docs for the
 /// correctness argument; see `repro_serving` for a driveable session.
 pub struct SimServer {
@@ -542,11 +815,17 @@ pub struct SimServer {
     /// Shared-immutable device state, resolved once at construction.
     devices: Vec<(ServeDevice, DeviceConfig)>,
     lut: Option<LatencyLut>,
-    queue: Vec<SimRequest>,
+    /// Queued requests, each with the virtual backoff cycles its
+    /// admission retries already charged against its deadline budget.
+    queue: Vec<(SimRequest, u64)>,
     cache: ReportCache,
+    breaker: LadderBreaker,
     sheds: u64,
     served: u64,
     degraded_admissions: u64,
+    terminal_sheds: u64,
+    deadline_exceeded: u64,
+    retries: u64,
 }
 
 impl SimServer {
@@ -558,6 +837,7 @@ impl SimServer {
             .collect();
         SimServer {
             cache: ReportCache::new(cfg.cache_capacity),
+            breaker: LadderBreaker::new(cfg.breaker),
             cfg,
             devices,
             lut: None,
@@ -565,6 +845,9 @@ impl SimServer {
             sheds: 0,
             served: 0,
             degraded_admissions: 0,
+            terminal_sheds: 0,
+            deadline_exceeded: 0,
+            retries: 0,
         }
     }
 
@@ -587,6 +870,12 @@ impl SimServer {
     /// firing `serve.enqueue` fault — sheds the request with a typed
     /// [`DefconError::Overloaded`]; nothing is partially admitted.
     pub fn submit(&mut self, req: SimRequest) -> Result<(), DefconError> {
+        self.submit_with(req, 0)
+    }
+
+    /// [`SimServer::submit`] carrying the virtual backoff cycles already
+    /// charged against the request's deadline by admission retries.
+    fn submit_with(&mut self, req: SimRequest, backoff_cycles: u64) -> Result<(), DefconError> {
         let depth = self.queue.len();
         // Short-circuit: the fault point is only consulted for requests
         // the queue could actually hold, so `fault::log()` indices stay
@@ -605,17 +894,63 @@ impl SimServer {
                 capacity: self.cfg.queue_capacity,
             });
         }
-        self.queue.push(req);
+        self.queue.push((req, backoff_cycles));
         obs::gauge_set("serve.queue_depth", self.queue.len() as f64);
         Ok(())
     }
 
+    /// The deadline governing `req`: its own, else the server default;
+    /// 0 = none.
+    fn effective_deadline(&self, req: &SimRequest) -> u64 {
+        if req.policy.deadline_cycles != 0 {
+            req.policy.deadline_cycles
+        } else {
+            self.cfg.default_deadline_cycles
+        }
+    }
+
+    /// The virtual cycles still available to `req` after `backoff_cycles`
+    /// of admission backoff, or `None` when no deadline governs it.
+    fn remaining_for(&self, req: &SimRequest, backoff_cycles: u64) -> Option<u64> {
+        let d = self.effective_deadline(req);
+        (d != 0).then(|| d.saturating_sub(backoff_cycles))
+    }
+
+    /// Phase-A deadline gate, run (owner thread, admission order) for
+    /// every deadline-carrying request **before** the cache is consulted,
+    /// so cache temperature cannot change the verdict. Returns the fatal
+    /// error when the `serve.deadline` fault fires or the LUT preflight
+    /// says the tabulated cost already exceeds the remaining budget.
+    fn deadline_gate(&self, req: &SimRequest, remaining: u64) -> Option<DefconError> {
+        if fault::fires("serve.deadline") {
+            return Some(DefconError::DeadlineExceeded {
+                what: "serve admission".to_string(),
+                budget_cycles: remaining,
+            });
+        }
+        // LUT preflight: the tabulated deform latency (when this layer is
+        // tabulated) converted to virtual cycles on the target device. An
+        // estimate — the table was built under its own policy — used only
+        // to fast-reject requests that cannot plausibly fit.
+        let lut = self.lut.as_ref()?;
+        let entry = lut.get(&LatencyKey::of(&req.layer))?;
+        let cfg = self.device_config(req.device);
+        let est_cycles = entry.deform_ms * cfg.core_clock_ghz * 1e6;
+        (DeadlineBudget::charge_units(est_cycles) > remaining).then(|| {
+            DefconError::DeadlineExceeded {
+                what: "serve preflight".to_string(),
+                budget_cycles: remaining,
+            }
+        })
+    }
+
     /// Serves everything queued and returns responses in submission
-    /// order. Three phases keep the result deterministic: (A) cache
-    /// consultation on the owner thread in request order, (B) miss
-    /// simulation fanned across worker bands into disjoint slots, (C)
-    /// assembly and cache insertion back on the owner thread in request
-    /// order.
+    /// order. Three phases keep the result deterministic: (A) deadline
+    /// gate and cache consultation on the owner thread in request order,
+    /// (B) miss simulation fanned across worker bands into disjoint
+    /// slots (each against its request's remaining deadline budget), (C)
+    /// assembly, deadline replay for hits, cache insertion, and breaker
+    /// feedback back on the owner thread in request order.
     pub fn drain(&mut self) -> Vec<SimResponse> {
         let batch = std::mem::take(&mut self.queue);
         if batch.is_empty() {
@@ -629,21 +964,30 @@ impl SimServer {
             ]
         });
 
-        // Phase A — content-address each request and consult the cache.
+        // Phase A — deadline-gate and content-address each request, then
+        // consult the cache. The gate runs before the lookup so the
+        // verdict is identical on cold and warm caches.
         let mut keys: Vec<(u64, String)> = Vec::with_capacity(batch.len());
+        let mut remainings: Vec<Option<u64>> = Vec::with_capacity(batch.len());
         let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
         let mut jobs: Vec<usize> = Vec::new();
-        for req in &batch {
+        for (req, backoff) in &batch {
+            let remaining = self.remaining_for(req, *backoff);
             let canonical = req.canonical_string();
             let key = fnv1a64(canonical.as_bytes());
-            match self.cache.lookup(key, &canonical) {
-                Some(hit) => plans.push(Plan::Hit(hit)),
-                None => {
-                    plans.push(Plan::Miss(jobs.len()));
-                    jobs.push(keys.len());
-                }
+            let gated = remaining.and_then(|r| self.deadline_gate(req, r));
+            match gated {
+                Some(e) => plans.push(Plan::Deadline(e)),
+                None => match self.cache.lookup(key, &canonical) {
+                    Some(hit) => plans.push(Plan::Hit(hit)),
+                    None => {
+                        plans.push(Plan::Miss(jobs.len()));
+                        jobs.push(keys.len());
+                    }
+                },
             }
             keys.push((key, canonical));
+            remainings.push(remaining);
         }
 
         // Phase B — simulate the misses. Workers read shared-immutable
@@ -653,44 +997,77 @@ impl SimServer {
             let devices = &self.devices;
             let batch_ref = &batch;
             let jobs_ref = &jobs;
+            let remainings_ref = &remainings;
             slots
                 .par_chunks_mut(1)
                 .threads(workers)
                 .enumerate()
                 .for_each(|(i, slot)| {
-                    let req = &batch_ref[jobs_ref[i]];
+                    let (req, _) = &batch_ref[jobs_ref[i]];
                     let cfg = devices
                         .iter()
                         .find(|(d, _)| *d == req.device)
                         .map(|(_, c)| c)
                         .expect("SimServer::new resolves every ServeDevice");
-                    slot[0] = Some(simulate_request(req, cfg));
+                    slot[0] = Some(simulate_request(req, cfg, remainings_ref[jobs_ref[i]]));
                 });
         }
 
         // Phase C — assemble responses and fill the cache, in order.
         let mut out = Vec::with_capacity(batch.len());
         let (mut hits, mut misses) = (0u64, 0u64);
-        for (i, ((req, plan), (key, canonical))) in
-            batch.into_iter().zip(plans).zip(keys).enumerate()
+        for (i, (((req, _), plan), ((key, canonical), remaining))) in batch
+            .into_iter()
+            .zip(plans)
+            .zip(keys.into_iter().zip(remainings))
+            .enumerate()
         {
-            let (reports, method, degradations, from_cache, error, latency_ns) = match plan {
+            let (reports, method, degradations, from_cache, error, outcome, latency_ns) = match plan
+            {
+                Plan::Deadline(e) => (
+                    Vec::new(),
+                    req.kernel_family,
+                    Vec::new(),
+                    false,
+                    Some(e.to_string()),
+                    ServeOutcome::DeadlineExceeded,
+                    0,
+                ),
                 Plan::Hit(hit) => {
                     hits += 1;
-                    (
-                        hit.reports,
-                        hit.method,
-                        hit.degradations,
-                        true,
-                        None,
-                        hit.latency_ns,
-                    )
+                    // Replay the deadline verdict against the cached
+                    // launch charges — the same predicate a budgeted
+                    // fresh simulation evaluates.
+                    match remaining.and_then(|r| hit_deadline_verdict(r, &hit.reports)) {
+                        Some(e) => (
+                            Vec::new(),
+                            req.kernel_family,
+                            Vec::new(),
+                            false,
+                            Some(e.to_string()),
+                            ServeOutcome::DeadlineExceeded,
+                            hit.latency_ns,
+                        ),
+                        None => (
+                            hit.reports,
+                            hit.method,
+                            hit.degradations,
+                            true,
+                            None,
+                            ServeOutcome::Served,
+                            hit.latency_ns,
+                        ),
+                    }
                 }
                 Plan::Miss(j) => {
                     misses += 1;
                     let outcome = slots[j].take().expect("phase B fills every miss slot");
                     match outcome.result {
                         Ok((reports, method, degradations)) => {
+                            // Deadline-exceeded results never reach
+                            // this arm (the ladder propagates the
+                            // error), so everything inserted here fit
+                            // its budget.
                             self.cache
                                 .insert(key, canonical, &reports, method, &degradations);
                             (
@@ -699,17 +1076,26 @@ impl SimServer {
                                 degradations,
                                 false,
                                 None,
+                                ServeOutcome::Served,
                                 outcome.latency_ns,
                             )
                         }
-                        Err(e) => (
-                            Vec::new(),
-                            req.kernel_family,
-                            Vec::new(),
-                            false,
-                            Some(e.to_string()),
-                            outcome.latency_ns,
-                        ),
+                        Err(e) => {
+                            let o = if matches!(e, DefconError::DeadlineExceeded { .. }) {
+                                ServeOutcome::DeadlineExceeded
+                            } else {
+                                ServeOutcome::Failed
+                            };
+                            (
+                                Vec::new(),
+                                req.kernel_family,
+                                Vec::new(),
+                                false,
+                                Some(e.to_string()),
+                                o,
+                                outcome.latency_ns,
+                            )
+                        }
                     }
                 }
             };
@@ -725,6 +1111,24 @@ impl SimServer {
             request_span.record("reports", Json::from(reports.len()));
             drop(request_span);
             self.served += 1;
+            if outcome == ServeOutcome::DeadlineExceeded {
+                self.deadline_exceeded += 1;
+                obs::counter_add("serve.deadline_exceeded", 1);
+                obs::event_with("serve.deadline", || {
+                    vec![
+                        ("index", Json::from(i)),
+                        ("budget", Json::from(remaining.unwrap_or(0))),
+                    ]
+                });
+            }
+            // Breaker feedback: the ladder's recorded degradations mark
+            // the failed rungs, the served method the healthy one. Only
+            // genuine serves feed it — deadline/shed verdicts say nothing
+            // about rung health.
+            if outcome == ServeOutcome::Served {
+                self.breaker
+                    .note_outcome(req.kernel_family, degradations.len());
+            }
             out.push(SimResponse {
                 dcn_overhead_ms: self.lut_overhead(&req),
                 request: req,
@@ -736,8 +1140,10 @@ impl SimServer {
                 degraded_admission: false,
                 latency_ns,
                 error,
+                outcome,
             });
         }
+        self.breaker.sync_obs();
         obs::counter_add("serve.requests", out.len() as u64);
         obs::counter_add("serve.cache_hits", hits);
         obs::counter_add("serve.cache_misses", misses);
@@ -750,43 +1156,111 @@ impl SimServer {
     }
 
     /// Serves one request on the owner thread, bypassing the queue. Used
-    /// for degraded admissions; same cache discipline as [`drain`].
+    /// for degraded admissions; same deadline gate, cache discipline and
+    /// breaker feedback as [`drain`].
     ///
     /// [`drain`]: SimServer::drain
-    fn serve_inline(&mut self, req: SimRequest, degraded_admission: bool) -> SimResponse {
+    fn serve_inline(
+        &mut self,
+        req: SimRequest,
+        backoff_cycles: u64,
+        degraded_admission: bool,
+    ) -> SimResponse {
+        let remaining = self.remaining_for(&req, backoff_cycles);
         let canonical = req.canonical_string();
         let key = fnv1a64(canonical.as_bytes());
         let t0 = Instant::now();
-        let (reports, method, degradations, from_cache, error) =
-            match self.cache.lookup(key, &canonical) {
-                Some(hit) => (hit.reports, hit.method, hit.degradations, true, None),
+        let gated = remaining.and_then(|r| self.deadline_gate(&req, r));
+        // `None` when the deadline gate fired before the cache was
+        // consulted; otherwise whether the lookup hit (mirrors drain's
+        // hit/miss accounting even when the hit then fails its verdict).
+        let mut cache_hit: Option<bool> = None;
+        let (reports, method, degradations, from_cache, error, outcome) = match gated {
+            Some(e) => (
+                Vec::new(),
+                req.kernel_family,
+                Vec::new(),
+                false,
+                Some(e.to_string()),
+                ServeOutcome::DeadlineExceeded,
+            ),
+            None => match {
+                let looked = self.cache.lookup(key, &canonical);
+                cache_hit = Some(looked.is_some());
+                looked
+            } {
+                Some(hit) => match remaining.and_then(|r| hit_deadline_verdict(r, &hit.reports)) {
+                    Some(e) => (
+                        Vec::new(),
+                        req.kernel_family,
+                        Vec::new(),
+                        false,
+                        Some(e.to_string()),
+                        ServeOutcome::DeadlineExceeded,
+                    ),
+                    None => (
+                        hit.reports,
+                        hit.method,
+                        hit.degradations,
+                        true,
+                        None,
+                        ServeOutcome::Served,
+                    ),
+                },
                 None => {
-                    let outcome = simulate_request(&req, self.device_config(req.device));
-                    match outcome.result {
+                    let sim = simulate_request(&req, self.device_config(req.device), remaining);
+                    match sim.result {
                         Ok((reports, method, degradations)) => {
                             self.cache
                                 .insert(key, canonical, &reports, method, &degradations);
-                            (reports, method, degradations, false, None)
+                            (
+                                reports,
+                                method,
+                                degradations,
+                                false,
+                                None,
+                                ServeOutcome::Served,
+                            )
                         }
-                        Err(e) => (
-                            Vec::new(),
-                            req.kernel_family,
-                            Vec::new(),
-                            false,
-                            Some(e.to_string()),
-                        ),
+                        Err(e) => {
+                            let o = if matches!(e, DefconError::DeadlineExceeded { .. }) {
+                                ServeOutcome::DeadlineExceeded
+                            } else {
+                                ServeOutcome::Failed
+                            };
+                            (
+                                Vec::new(),
+                                req.kernel_family,
+                                Vec::new(),
+                                false,
+                                Some(e.to_string()),
+                                o,
+                            )
+                        }
                     }
                 }
-            };
-        obs::counter_add("serve.requests", 1);
-        obs::counter_add(
-            if from_cache {
-                "serve.cache_hits"
-            } else {
-                "serve.cache_misses"
             },
-            1,
-        );
+        };
+        obs::counter_add("serve.requests", 1);
+        if let Some(hit) = cache_hit {
+            obs::counter_add(
+                if hit {
+                    "serve.cache_hits"
+                } else {
+                    "serve.cache_misses"
+                },
+                1,
+            );
+        }
+        if outcome == ServeOutcome::DeadlineExceeded {
+            self.deadline_exceeded += 1;
+            obs::counter_add("serve.deadline_exceeded", 1);
+        }
+        if outcome == ServeOutcome::Served {
+            self.breaker
+                .note_outcome(req.kernel_family, degradations.len());
+        }
+        self.breaker.sync_obs();
         obs::gauge_set("serve.hit_rate", self.cache.hit_rate());
         self.served += 1;
         SimResponse {
@@ -800,6 +1274,7 @@ impl SimServer {
             degraded_admission,
             latency_ns: t0.elapsed().as_nanos() as u64,
             error,
+            outcome,
         }
     }
 
@@ -808,37 +1283,179 @@ impl SimServer {
         lut.try_dcn_overhead_ms(&LatencyKey::of(&req.layer)).ok()
     }
 
-    /// Drives a whole request stream through admission control:
-    /// submit; on overload, drain the backlog and retry; if admission
-    /// still fails, degrade one ladder rung and serve inline. Responses
-    /// come back in submission order.
+    /// Drives a whole request stream through admission control. Per
+    /// request, in order:
+    ///
+    /// 1. **Breaker planning** — the request's entry rung is stepped down
+    ///    past any texture rung whose circuit breaker refuses (and the
+    ///    `breaker.trip` fault can force the requested rung open first).
+    /// 2. **Submit, retry with backoff** — on overload, drain the
+    ///    backlog, charge a seeded exponential backoff in virtual cycles
+    ///    against the request's deadline budget, and re-attempt (the
+    ///    `retry.attempt` fault fails an attempt outright). The default
+    ///    [`RetryPolicy`] (one retry) reproduces the original
+    ///    drain-and-retry-once behaviour.
+    /// 3. **Degrade or shed** — when retries are exhausted, step one
+    ///    ladder rung down and serve inline; a request already at the
+    ///    software floor is terminally shed with an `Overloaded` error
+    ///    response. A backoff spend that exhausts the deadline budget
+    ///    short-circuits to a `DeadlineExceeded` response.
+    ///
+    /// Every request produces exactly one response; responses come back
+    /// in submission order.
     pub fn serve(&mut self, reqs: &[SimRequest]) -> Vec<SimResponse> {
         let mut out = Vec::with_capacity(reqs.len());
         for req in reqs {
-            if self.submit(req.clone()).is_ok() {
+            let req = self.plan_admission(req);
+            let deadline = self.effective_deadline(&req);
+            if self.submit_with(req.clone(), 0).is_ok() {
                 continue;
             }
-            out.extend(self.drain());
-            match self.submit(req.clone()) {
-                Ok(()) => {}
-                Err(e) => {
-                    // Admission keeps failing even against an empty
-                    // queue — shed → degrade → serve.
-                    let degraded = req.degraded().unwrap_or_else(|| req.clone());
+            let mut backoff_spent = 0u64;
+            let mut attempt = 0u32;
+            let mut settled = false;
+            let mut last_err: Option<DefconError> = None;
+            while attempt < self.cfg.retry.max_retries {
+                out.extend(self.drain());
+                let pause = self.cfg.retry.backoff_cycles(attempt);
+                backoff_spent = backoff_spent.saturating_add(pause);
+                self.retries += 1;
+                obs::counter_add("serve.retries", 1);
+                obs::event_with("serve.retry", || {
+                    vec![
+                        ("attempt", Json::from(attempt as u64)),
+                        ("backoff_cycles", Json::from(pause)),
+                    ]
+                });
+                if deadline != 0 && backoff_spent >= deadline {
+                    // The backoff alone exhausted the budget: the request
+                    // is terminally deadline-exceeded without simulating.
+                    self.deadline_exceeded += 1;
+                    obs::counter_add("serve.deadline_exceeded", 1);
+                    self.served += 1;
+                    out.push(self.terminal_response(
+                        req.clone(),
+                        DefconError::DeadlineExceeded {
+                            what: "serve backoff".to_string(),
+                            budget_cycles: deadline,
+                        },
+                        ServeOutcome::DeadlineExceeded,
+                    ));
+                    settled = true;
+                    break;
+                }
+                // The `retry.attempt` fault fails this re-attempt before
+                // the queue is consulted (a lost admission race).
+                let result = if fault::fires("retry.attempt") {
+                    Err(DefconError::Overloaded {
+                        what: "serve retry".to_string(),
+                        queue_depth: self.queue.len(),
+                        capacity: self.cfg.queue_capacity,
+                    })
+                } else {
+                    self.submit_with(req.clone(), backoff_spent)
+                };
+                match result {
+                    Ok(()) => {
+                        settled = true;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+                attempt += 1;
+            }
+            if settled {
+                continue;
+            }
+            // Retries exhausted: degrade one rung, or terminally shed at
+            // the software floor.
+            let err = last_err.unwrap_or(DefconError::Overloaded {
+                what: "serve queue".to_string(),
+                queue_depth: self.queue.len(),
+                capacity: self.cfg.queue_capacity,
+            });
+            match req.degraded() {
+                Some(degraded) => {
                     self.degraded_admissions += 1;
                     obs::event_with("serve.degrade", || {
                         vec![
                             ("from", Json::str(req.kernel_family.name())),
                             ("to", Json::str(degraded.kernel_family.name())),
-                            ("error", Json::str(e.to_string())),
+                            ("error", Json::str(err.to_string())),
                         ]
                     });
-                    out.push(self.serve_inline(degraded, true));
+                    out.push(self.serve_inline(degraded, backoff_spent, true));
+                }
+                None => {
+                    self.terminal_sheds += 1;
+                    obs::counter_add("serve.sheds_terminal", 1);
+                    obs::event_with("serve.shed_terminal", || {
+                        vec![
+                            ("kernel_family", Json::str(req.kernel_family.name())),
+                            ("error", Json::str(err.to_string())),
+                        ]
+                    });
+                    self.served += 1;
+                    out.push(self.terminal_response(req.clone(), err, ServeOutcome::Shed));
                 }
             }
         }
         out.extend(self.drain());
         out
+    }
+
+    /// Breaker-aware admission planning: force-opens the requested rung
+    /// when the `breaker.trip` fault fires, then steps the request down
+    /// past rungs whose breakers refuse. The fault (like the breakers) is
+    /// only consulted for guarded (texture) rungs, so software-floor
+    /// request streams keep their fault-log indices.
+    fn plan_admission(&mut self, req: &SimRequest) -> SimRequest {
+        if req.kernel_family == SamplingMethod::SoftwareBilinear {
+            return req.clone();
+        }
+        if fault::fires("breaker.trip") {
+            if let Some(b) = self.breaker.rung_mut(req.kernel_family) {
+                b.trip();
+            }
+        }
+        let planned = self.breaker.plan(req.kernel_family);
+        if planned != req.kernel_family {
+            obs::event_with("serve.breaker.reroute", || {
+                vec![
+                    ("from", Json::str(req.kernel_family.name())),
+                    ("to", Json::str(planned.name())),
+                ]
+            });
+        }
+        self.breaker.sync_obs();
+        SimRequest {
+            kernel_family: planned,
+            ..req.clone()
+        }
+    }
+
+    /// A reports-free response for a terminal (shed / deadline) verdict.
+    fn terminal_response(
+        &self,
+        req: SimRequest,
+        err: DefconError,
+        outcome: ServeOutcome,
+    ) -> SimResponse {
+        let canonical = req.canonical_string();
+        let method = req.kernel_family;
+        SimResponse {
+            dcn_overhead_ms: self.lut_overhead(&req),
+            key: fnv1a64(canonical.as_bytes()),
+            request: req,
+            reports: Vec::new(),
+            method,
+            degradations: Vec::new(),
+            from_cache: false,
+            degraded_admission: false,
+            latency_ns: 0,
+            error: Some(err.to_string()),
+            outcome,
+        }
     }
 
     /// The sizing this server was built with.
@@ -869,6 +1486,29 @@ impl SimServer {
     /// Requests that were degraded at admission before being served.
     pub fn degraded_admissions(&self) -> u64 {
         self.degraded_admissions
+    }
+
+    /// Requests terminally shed at the software floor (each still
+    /// produced an error-carrying response).
+    pub fn terminal_sheds(&self) -> u64 {
+        self.terminal_sheds
+    }
+
+    /// Requests that ended deadline-exceeded (admission gate, preflight,
+    /// backoff exhaustion, cached-verdict replay, or mid-simulation).
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded
+    }
+
+    /// Admission re-attempts made by [`SimServer::serve`]'s retry loop.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Read-only view of the ladder circuit breakers (states and the
+    /// combined transition log).
+    pub fn breaker(&self) -> &LadderBreaker {
+        &self.breaker
     }
 }
 
@@ -904,6 +1544,7 @@ mod tests {
             workers,
             queue_capacity: 8,
             cache_capacity: 32,
+            ..ServeConfig::default()
         }
     }
 
@@ -934,6 +1575,7 @@ mod tests {
             workers: 1,
             queue_capacity: 2,
             cache_capacity: 8,
+            ..ServeConfig::default()
         });
         let req = tiny_request(2, SamplingMethod::SoftwareBilinear);
         server.submit(req.clone()).expect("first fits");
@@ -1062,5 +1704,154 @@ mod tests {
         assert_eq!(percentile_ns(&sample, 99.0), 40);
         assert_eq!(percentile_ns(&sample, 0.0), 10);
         assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+
+    fn deadline_request(c: usize, deadline_cycles: u64) -> SimRequest {
+        let mut req = tiny_request(c, SamplingMethod::SoftwareBilinear);
+        req.policy.deadline_cycles = deadline_cycles;
+        req
+    }
+
+    #[test]
+    fn impossible_deadline_is_a_typed_terminal_verdict_and_never_cached() {
+        let _quiet = fault::quiesce();
+        let mut server = SimServer::new(cfg(1));
+        let req = deadline_request(2, 1);
+        let out = server.serve(std::slice::from_ref(&req));
+        assert_eq!(out[0].outcome, ServeOutcome::DeadlineExceeded);
+        assert!(out[0].reports.is_empty());
+        let rendered = out[0].error.as_deref().expect("verdict carries an error");
+        assert!(rendered.contains("deadline exceeded"), "{rendered}");
+        assert!(rendered.contains("launch"), "{rendered}");
+        assert_eq!(server.deadline_exceeded(), 1);
+        // Exceeded requests are never cached: a replay misses again and
+        // renders the identical verdict (determinism across temperature).
+        let again = server.serve(std::slice::from_ref(&req));
+        assert_eq!(server.cache().hits(), 0);
+        assert_eq!(out[0].content_string(), again[0].content_string());
+    }
+
+    #[test]
+    fn generous_deadline_hits_cache_with_identical_bytes() {
+        let _quiet = fault::quiesce();
+        let mut server = SimServer::new(cfg(1));
+        let req = deadline_request(2, u64::MAX / 2);
+        let cold = server.serve(std::slice::from_ref(&req));
+        let warm = server.serve(std::slice::from_ref(&req));
+        assert_eq!(cold[0].outcome, ServeOutcome::Served);
+        assert!(!cold[0].from_cache);
+        assert!(warm[0].from_cache, "second serve must hit");
+        assert_eq!(cold[0].content_string(), warm[0].content_string());
+        // A budgeted request keys separately from its unbudgeted twin.
+        let unbudgeted = tiny_request(2, SamplingMethod::SoftwareBilinear);
+        assert_ne!(req.cache_key(), unbudgeted.cache_key());
+    }
+
+    #[test]
+    fn server_default_deadline_applies_to_unbudgeted_requests() {
+        let _quiet = fault::quiesce();
+        let mut server = SimServer::new(ServeConfig {
+            default_deadline_cycles: 1,
+            ..cfg(1)
+        });
+        let req = tiny_request(2, SamplingMethod::SoftwareBilinear);
+        let out = server.serve(std::slice::from_ref(&req));
+        assert_eq!(out[0].outcome, ServeOutcome::DeadlineExceeded);
+        // A request-level budget overrides the server default.
+        let generous = deadline_request(2, u64::MAX / 2);
+        let out2 = server.serve(std::slice::from_ref(&generous));
+        assert_eq!(out2[0].outcome, ServeOutcome::Served);
+    }
+
+    #[test]
+    fn hit_verdict_replays_the_engine_charge_exactly() {
+        // The replay must trip at the first launch whose cumulative
+        // integer charge crosses the remaining budget — mirroring
+        // `DeadlineBudget::charge` on a fresh simulation of the same
+        // report stream.
+        let mk = |kernel: &str, cycles: f64| KernelReport {
+            device: "test".into(),
+            kernel: kernel.to_string(),
+            time_ms: 0.0,
+            cycles,
+            grid_blocks: 0,
+            simulated_blocks: 0,
+            counters: Default::default(),
+        };
+        let reports = [mk("a", 100.2), mk("b", 50.0)];
+        // ceil(100.2) = 101; 101 + 50 = 151.
+        assert!(hit_deadline_verdict(151, &reports).is_none());
+        match hit_deadline_verdict(150, &reports) {
+            Some(DefconError::DeadlineExceeded {
+                what,
+                budget_cycles,
+            }) => {
+                assert_eq!(what, "launch b");
+                assert_eq!(budget_cycles, 150);
+            }
+            other => panic!("expected a deadline verdict, got {other:?}"),
+        }
+        match hit_deadline_verdict(100, &reports) {
+            Some(DefconError::DeadlineExceeded { what, .. }) => assert_eq!(what, "launch a"),
+            other => panic!("expected a deadline verdict, got {other:?}"),
+        }
+        // The charge the replay applies is the engine's own unit function.
+        assert_eq!(DeadlineBudget::charge_units(100.2), 101);
+    }
+
+    #[test]
+    fn tripped_breaker_reroutes_requests_down_the_ladder() {
+        use defcon_support::fault::{FaultPlan, Schedule};
+        // Trip the tex2D++ rung on the first request only; admission must
+        // land it on tex2D, and the breaker log records the edge.
+        let _armed = fault::arm(FaultPlan::new(7).point("breaker.trip", Schedule::Nth(0)));
+        let mut server = SimServer::new(cfg(1));
+        let req = tiny_request(2, SamplingMethod::Tex2dPlusPlus);
+        let out = server.serve(std::slice::from_ref(&req));
+        assert_eq!(out[0].request.kernel_family, SamplingMethod::Tex2d);
+        assert_eq!(
+            server.breaker().state(SamplingMethod::Tex2dPlusPlus),
+            BreakerState::Open
+        );
+        assert_eq!(
+            server.breaker().log(),
+            ["tex2D++:closed->open:trip".to_string()]
+        );
+        // The open rung recovers: after the cooldown's worth of consults
+        // a probe is admitted, and its success re-closes the breaker.
+        let consults = server.cfg.breaker.cooldown_consults as usize + 1;
+        for _ in 0..consults {
+            server.serve(std::slice::from_ref(&req));
+        }
+        assert_eq!(
+            server.breaker().state(SamplingMethod::Tex2dPlusPlus),
+            BreakerState::Closed
+        );
+        let log = server.breaker().log();
+        assert!(
+            log.iter().any(|l| l.contains("open->half-open")),
+            "missing probe edge in {log:?}"
+        );
+        assert!(
+            log.iter().any(|l| l.contains("closed")),
+            "missing recovery edge in {log:?}"
+        );
+    }
+
+    #[test]
+    fn retry_and_env_knobs_parse() {
+        // `serve()` counts one retry per drain-and-retry pass (the
+        // default policy retries once, reproducing the original
+        // behaviour).
+        assert_eq!(RetryPolicy::default().max_retries, 1);
+        std::env::set_var(env::RETRY_MAX, "5");
+        std::env::set_var(env::SERVE_DEADLINE, "123456");
+        let cfg = ServeConfig::default()
+            .with_env_overrides()
+            .expect("valid overrides");
+        std::env::remove_var(env::RETRY_MAX);
+        std::env::remove_var(env::SERVE_DEADLINE);
+        assert_eq!(cfg.retry.max_retries, 5);
+        assert_eq!(cfg.default_deadline_cycles, 123_456);
     }
 }

@@ -32,10 +32,12 @@ use crate::cache::Cache;
 use crate::device::DeviceConfig;
 use crate::report::{Counters, KernelReport};
 use crate::trace::{BlockCost, BlockTrace, TexStats, TraceSink};
+use defcon_support::error::DefconError;
 use defcon_support::json::Json;
 use defcon_support::obs;
 use defcon_support::par::ParallelSliceMut;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Simulator worker threads implied by the environment: the
 /// `DEFCON_THREADS` env var if set to a positive integer, else **1**.
@@ -133,10 +135,118 @@ const MLP_PER_WARP: f64 = 4.0;
 /// overhead that vanishes for exhaustive launches.
 const BAND_WARMUP_BLOCKS: usize = 8;
 
+/// A per-request virtual-time budget with a cooperative cancellation
+/// token (the serving layer's deadline enforcement — DESIGN.md §12).
+///
+/// Virtual, never wall clock: `charge` is fed each completed launch's
+/// *simulated* cycle count, so whether a budget trips is a pure function
+/// of (request, budget), byte-reproducible across machines and thread
+/// counts. Spent cycles accumulate as `ceil(cycles)` per launch — an
+/// integer, so accumulation order cannot change the total through float
+/// rounding.
+///
+/// The cancellation flag only ever transitions *between* launches (it is
+/// charged on the launching thread after each launch completes, or set by
+/// an explicit [`DeadlineBudget::cancel`]): band workers inside
+/// [`Gpu::launch`] check it when they pick up their band, see a single
+/// consistent value for the whole launch, and unwind as a unit — so a
+/// cancelled launch is all-or-nothing, never a torn report.
+#[derive(Debug)]
+pub struct DeadlineBudget {
+    budget_cycles: u64,
+    spent_cycles: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl DeadlineBudget {
+    /// A fresh budget of `budget_cycles` virtual cycles.
+    pub fn new(budget_cycles: u64) -> Self {
+        DeadlineBudget {
+            budget_cycles,
+            spent_cycles: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget_cycles(&self) -> u64 {
+        self.budget_cycles
+    }
+
+    /// Virtual cycles charged so far.
+    pub fn spent_cycles(&self) -> u64 {
+        self.spent_cycles.load(Ordering::SeqCst)
+    }
+
+    /// Budget not yet spent (0 when exceeded).
+    pub fn remaining_cycles(&self) -> u64 {
+        self.budget_cycles.saturating_sub(self.spent_cycles())
+    }
+
+    /// True once the spend has passed the budget.
+    pub fn exceeded(&self) -> bool {
+        self.spent_cycles() > self.budget_cycles
+    }
+
+    /// Requests cooperative cancellation: in-flight band workers unwind
+    /// at their next between-bands check, future launches fail at entry.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True when cancellation was requested (explicitly or by an
+    /// over-budget charge).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// The integer charge for a launch of `cycles` simulated cycles:
+    /// `ceil`, clamped to `[0, u64::MAX]`. Public so the serving layer's
+    /// cache-hit verdict can replay *exactly* the arithmetic a live
+    /// budget applies.
+    pub fn charge_units(cycles: f64) -> u64 {
+        if cycles <= 0.0 {
+            0
+        } else if cycles >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            cycles.ceil() as u64
+        }
+    }
+
+    /// Charges `cycles` simulated cycles (rounded up to an integer) and
+    /// returns whether the budget still holds; an over-budget charge also
+    /// raises the cancellation flag so the next launch fails fast.
+    pub fn charge(&self, cycles: f64) -> bool {
+        let units = Self::charge_units(cycles);
+        let prev = self.spent_cycles.fetch_add(units, Ordering::SeqCst);
+        let total = prev.saturating_add(units);
+        if total > self.budget_cycles {
+            self.cancel();
+            false
+        } else {
+            true
+        }
+    }
+
+    /// The typed error a tripped budget surfaces. Carries only the budget
+    /// (never the spend at detection — see the variant docs).
+    pub fn deadline_error(&self, what: &str) -> DefconError {
+        DefconError::DeadlineExceeded {
+            what: what.to_string(),
+            budget_cycles: self.budget_cycles,
+        }
+    }
+}
+
 /// The simulated GPU.
 pub struct Gpu {
     cfg: DeviceConfig,
     policy: SamplePolicy,
+    /// Optional deadline budget; when attached, launches check the
+    /// cancellation token and charge their cycles. `None` (the default)
+    /// is byte-identical to the pre-budget engine.
+    budget: Option<Arc<DeadlineBudget>>,
 }
 
 impl Gpu {
@@ -145,12 +255,31 @@ impl Gpu {
         Gpu {
             cfg,
             policy: SamplePolicy::default(),
+            budget: None,
         }
     }
 
     /// Overrides the sampling policy.
     pub fn with_policy(cfg: DeviceConfig, policy: SamplePolicy) -> Self {
-        Gpu { cfg, policy }
+        Gpu {
+            cfg,
+            policy,
+            budget: None,
+        }
+    }
+
+    /// Attaches a deadline budget: subsequent launches via
+    /// [`Gpu::launch_checked`] / [`Gpu::try_launch`] fail with
+    /// [`DefconError::DeadlineExceeded`] once the budget is cancelled or
+    /// exhausted, and each completed launch charges its simulated cycles.
+    pub fn with_budget(mut self, budget: Arc<DeadlineBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The attached deadline budget, if any.
+    pub fn budget(&self) -> Option<&Arc<DeadlineBudget>> {
+        self.budget.as_ref()
     }
 
     /// Device configuration.
@@ -191,10 +320,31 @@ impl Gpu {
         if kernel.block_threads() == 0 {
             return Err(constraint("empty block (block_threads() == 0)".to_string()));
         }
-        Ok(self.launch(kernel))
+        self.launch_impl(kernel)
     }
 
     pub fn launch(&self, kernel: &dyn BlockTrace) -> KernelReport {
+        self.launch_impl(kernel)
+            .expect("launch(): deadline budget tripped — use launch_checked on budgeted paths")
+    }
+
+    /// [`Gpu::launch`] returning a `Result`: when a [`DeadlineBudget`] is
+    /// attached and is (or becomes) cancelled/exhausted, the launch fails
+    /// with [`DefconError::DeadlineExceeded`] instead of panicking. Without
+    /// a budget this never fails and is byte-identical to `launch`.
+    pub fn launch_checked(&self, kernel: &dyn BlockTrace) -> Result<KernelReport, DefconError> {
+        self.launch_impl(kernel)
+    }
+
+    fn launch_impl(&self, kernel: &dyn BlockTrace) -> Result<KernelReport, DefconError> {
+        // Fail fast between launches: the token only transitions on the
+        // owner thread (charge / explicit cancel), so this entry check is
+        // deterministic for a fixed (request, budget) pair.
+        if let Some(b) = &self.budget {
+            if b.is_cancelled() || b.exceeded() {
+                return Err(b.deadline_error(&format!("launch {}", kernel.label())));
+            }
+        }
         let grid = kernel.grid_blocks();
         assert!(grid > 0, "empty grid");
         let warps = kernel.block_threads().div_ceil(self.cfg.warp_size);
@@ -214,14 +364,26 @@ impl Gpu {
 
         // One result slot per band; `par` hands each worker exactly one
         // chunk (chunk size 1, band count == thread count), so the slot a
-        // worker fills is fixed by its band index, not by scheduling.
-        let mut bands: Vec<(f64, Counters, TexStats)> =
-            vec![(0.0, Counters::default(), TexStats::default()); threads];
+        // worker fills is fixed by its band index, not by scheduling. Slots
+        // are `Option` so a worker that observes the cancellation token can
+        // unwind without producing a band — any `None` after the join means
+        // the launch was cancelled mid-flight.
+        let mut bands: Vec<Option<(f64, Counters, TexStats)>> = vec![None; threads];
         bands
             .par_chunks_mut(1)
             .threads(threads)
             .enumerate()
             .for_each(|(b, slot)| {
+                // Cooperative cancellation: the token is checked once, when
+                // the worker picks up its band. It only flips between
+                // launches (owner-thread charge or explicit cancel), so
+                // either every worker sees it set (no bands simulated) or
+                // none does — a cancelled launch is all-or-nothing.
+                if let Some(budget) = &self.budget {
+                    if budget.is_cancelled() {
+                        return;
+                    }
+                }
                 // Cold-shard mitigation: replay the tail of the previous
                 // band into this band's L2 without recording, so the shard
                 // enters the band roughly as warm as the serial L2 would be
@@ -230,8 +392,22 @@ impl Gpu {
                 // keeps the single-band (threads = 1) case byte-identical.
                 let start = ranges[b].start;
                 let warmup = &sample[start.saturating_sub(BAND_WARMUP_BLOCKS)..start];
-                slot[0] = self.simulate_band(kernel, warmup, &sample[ranges[b].clone()], warps);
+                slot[0] =
+                    Some(self.simulate_band(kernel, warmup, &sample[ranges[b].clone()], warps));
             });
+
+        // A cancel raised while workers ran (or a worker that unwound
+        // without filling its slot) fails the whole launch — the partial
+        // band results are discarded, never merged into a torn report.
+        if let Some(b) = &self.budget {
+            if b.is_cancelled() || bands.iter().any(Option::is_none) {
+                return Err(b.deadline_error(&format!("launch {}", kernel.label())));
+            }
+        }
+        let bands: Vec<(f64, Counters, TexStats)> = bands
+            .into_iter()
+            .map(|slot| slot.expect("unfilled band without a budget"))
+            .collect();
 
         // Merge in band order == ascending block-index order. With a single
         // band the f64 additions happen in exactly the serial order. Per-band
@@ -304,7 +480,17 @@ impl Gpu {
             // it reaches consumers only through the obs registry.
             tex_stats.record_obs("gpusim");
         }
-        self.finish_report(kernel, grid, sample.len(), sm_cycles_total, counters)
+        let report = self.finish_report(kernel, grid, sample.len(), sm_cycles_total, counters);
+        // Owner-thread charge, after the launch completes: `ceil(cycles)`
+        // integer units, so the running spend is order-exact. An over-budget
+        // charge fails *this* launch (its report is discarded) and cancels
+        // the token so the next one fails at entry.
+        if let Some(b) = &self.budget {
+            if !b.charge(report.cycles) {
+                return Err(b.deadline_error(&format!("launch {}", kernel.label())));
+            }
+        }
+        Ok(report)
     }
 
     /// The reference single-threaded engine: walks every sampled block in
@@ -826,6 +1012,126 @@ mod tests {
         let sw = gpu.launch(&mk(false));
         let hw = gpu.launch(&mk(true));
         assert!(hw.time_ms < sw.time_ms);
+    }
+
+    #[test]
+    fn budget_charges_per_launch_and_trips_across_launches() {
+        let k = StreamKernel {
+            blocks: 64,
+            threads: 128,
+            loads_per_thread: 3,
+            fma_per_thread: 8,
+        };
+        // Measure one launch to size the budget: room for exactly two.
+        let probe = Gpu::new(DeviceConfig::xavier_agx()).launch(&k);
+        let per_launch = probe.cycles.ceil() as u64;
+        let budget = Arc::new(DeadlineBudget::new(2 * per_launch));
+        let gpu = Gpu::new(DeviceConfig::xavier_agx()).with_budget(Arc::clone(&budget));
+
+        let r1 = gpu.launch_checked(&k).expect("first launch fits");
+        let r2 = gpu.launch_checked(&k).expect("second launch fits exactly");
+        assert_eq!(budget.spent_cycles(), 2 * per_launch);
+        assert!(!budget.exceeded());
+        // Third launch pushes the spend past the budget: the launch fails,
+        // its report is discarded, and the token is now cancelled.
+        let e = gpu.launch_checked(&k).unwrap_err();
+        assert!(matches!(
+            e,
+            DefconError::DeadlineExceeded { budget_cycles, .. } if budget_cycles == 2 * per_launch
+        ));
+        assert!(budget.is_cancelled());
+        // Fourth fails at entry, without simulating anything.
+        assert!(gpu.launch_checked(&k).is_err());
+        // The two completed reports are bytes-identical to unbudgeted runs.
+        assert_eq!(r1.to_json().to_string(), probe.to_json().to_string());
+        assert_eq!(r2.to_json().to_string(), probe.to_json().to_string());
+    }
+
+    #[test]
+    fn pre_cancelled_budget_fails_at_entry() {
+        let k = StreamKernel {
+            blocks: 16,
+            threads: 64,
+            loads_per_thread: 1,
+            fma_per_thread: 1,
+        };
+        let budget = Arc::new(DeadlineBudget::new(u64::MAX));
+        budget.cancel();
+        let gpu = Gpu::new(DeviceConfig::xavier_agx()).with_budget(Arc::clone(&budget));
+        let e = gpu.launch_checked(&k).unwrap_err();
+        assert!(matches!(e, DefconError::DeadlineExceeded { .. }));
+        assert_eq!(budget.spent_cycles(), 0, "nothing was simulated");
+    }
+
+    #[test]
+    fn generous_budget_is_byte_identical_to_no_budget() {
+        let k = StreamKernel {
+            blocks: 300,
+            threads: 128,
+            loads_per_thread: 3,
+            fma_per_thread: 8,
+        };
+        for threads in [1usize, 4] {
+            let plain = Gpu::with_policy(
+                DeviceConfig::xavier_agx(),
+                SamplePolicy::default().with_threads(threads),
+            );
+            let budgeted = Gpu::with_policy(
+                DeviceConfig::xavier_agx(),
+                SamplePolicy::default().with_threads(threads),
+            )
+            .with_budget(Arc::new(DeadlineBudget::new(u64::MAX)));
+            assert_eq!(
+                budgeted
+                    .launch_checked(&k)
+                    .expect("u64::MAX budget cannot trip")
+                    .to_json()
+                    .to_string(),
+                plain.launch(&k).to_json().to_string(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_flight_cancel_unwinds_parallel_launch_cleanly() {
+        // Cancel raised by another thread while the banded launch runs: the
+        // launch must come back Err (never a torn report, never a panic).
+        // The token may flip before, during, or after the band loop — all
+        // three outcomes are legal here; what the test pins is that a raised
+        // token is always *eventually* fatal and never corrupts a report.
+        let k = StreamKernel {
+            blocks: 2000,
+            threads: 256,
+            loads_per_thread: 8,
+            fma_per_thread: 32,
+        };
+        let budget = Arc::new(DeadlineBudget::new(u64::MAX));
+        let gpu = Gpu::with_policy(
+            DeviceConfig::xavier_agx(),
+            SamplePolicy::exhaustive().with_threads(2),
+        )
+        .with_budget(Arc::clone(&budget));
+        let canceller = {
+            let b = Arc::clone(&budget);
+            std::thread::spawn(move || b.cancel())
+        };
+        let first = gpu.launch_checked(&k);
+        canceller.join().unwrap();
+        if let Ok(report) = first {
+            // Raced ahead of the cancel: the completed report must be exact.
+            let plain = Gpu::with_policy(
+                DeviceConfig::xavier_agx(),
+                SamplePolicy::exhaustive().with_threads(2),
+            );
+            assert_eq!(
+                report.to_json().to_string(),
+                plain.launch(&k).to_json().to_string()
+            );
+        }
+        // Once the token is set, every subsequent launch fails at entry.
+        let e = gpu.launch_checked(&k).unwrap_err();
+        assert!(matches!(e, DefconError::DeadlineExceeded { .. }));
     }
 
     #[test]

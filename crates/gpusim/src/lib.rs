@@ -50,7 +50,7 @@ pub mod texture;
 pub mod trace;
 
 pub use device::DeviceConfig;
-pub use engine::{default_threads, Gpu, SamplePolicy};
+pub use engine::{default_threads, DeadlineBudget, Gpu, SamplePolicy};
 pub use report::{Counters, KernelReport};
 pub use texture::{AddressMode, FilterMode, LayeredTexture2d};
 pub use trace::{BlockTrace, TraceSink};

@@ -263,7 +263,10 @@ impl DeformConvOp {
                 )
                 .map_err(texture_constraint)?;
                 let gemm_stage = GemmKernel::for_conv(&self.shape);
-                Ok(vec![gpu.launch(&im2col), gpu.launch(&gemm_stage)])
+                Ok(vec![
+                    gpu.launch_checked(&im2col)?,
+                    gpu.launch_checked(&gemm_stage)?,
+                ])
             }
             SamplingMethod::Tex2d | SamplingMethod::Tex2dPlusPlus => {
                 let frac_bits = match self.method.sampling() {
@@ -285,7 +288,7 @@ impl DeformConvOp {
                 .map_err(texture_constraint)?;
                 fused.co_blocks =
                     crate::fused::FusedTexDeformKernel::pick_co_blocks(&self.shape, self.tile, cfg);
-                Ok(vec![gpu.launch(&fused)])
+                Ok(vec![gpu.launch_checked(&fused)?])
             }
         }
     }

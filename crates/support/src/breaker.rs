@@ -1,0 +1,425 @@
+//! A deterministic circuit breaker in virtual time.
+//!
+//! The classic closed → open → half-open pattern, with two departures
+//! forced by this workspace's determinism contract:
+//!
+//! * **No wall clock.** An open breaker does not wait for a timeout; it
+//!   counts *consultations* (`allow` calls) as its cooldown ticks. The
+//!   serving layer consults once per request in admission order, so the
+//!   cooldown elapses at a point that is a pure function of the request
+//!   stream — never of scheduling.
+//! * **A pure, total transition function.** [`step`] maps every
+//!   `(state, event)` pair to a next state. Counting (failure thresholds,
+//!   cooldown ticks) lives in [`CircuitBreaker`], which *synthesizes*
+//!   `Trip` / `CooldownElapsed` events when its counters saturate; the
+//!   edge set itself is a closed table. Illegal transitions — Closed →
+//!   HalfOpen, Open → Closed — are unrepresentable: no event maps to
+//!   them, which the exhaustive state-machine test enumerates.
+//!
+//! The breaker records every state *change* in a transition log (legal by
+//! construction, goldenable by determinism) and exposes its state as a
+//! small integer for obs gauges.
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// Probing: requests flow; the next outcome decides open vs closed.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Display name (used in transition logs and obs events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Gauge encoding: 0 closed, 1 half-open, 2 open (monotone in how
+    /// unhealthy the rung is).
+    pub fn gauge(&self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+
+    /// Every state.
+    pub fn all() -> [BreakerState; 3] {
+        [
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+        ]
+    }
+}
+
+/// Events fed to [`step`]. `Success`/`Failure` come from observed
+/// outcomes; `Trip` and `CooldownElapsed` are synthesized by
+/// [`CircuitBreaker`] when its counters saturate (or forced by the
+/// `breaker.trip` fault point).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// The guarded operation succeeded.
+    Success,
+    /// The guarded operation failed (below the trip threshold).
+    Failure,
+    /// The failure threshold was reached, or a trip was injected.
+    Trip,
+    /// An open breaker's consultation cooldown ran out.
+    CooldownElapsed,
+}
+
+impl BreakerEvent {
+    /// Display name (used in transition logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerEvent::Success => "success",
+            BreakerEvent::Failure => "failure",
+            BreakerEvent::Trip => "trip",
+            BreakerEvent::CooldownElapsed => "cooldown",
+        }
+    }
+
+    /// Every event.
+    pub fn all() -> [BreakerEvent; 4] {
+        [
+            BreakerEvent::Success,
+            BreakerEvent::Failure,
+            BreakerEvent::Trip,
+            BreakerEvent::CooldownElapsed,
+        ]
+    }
+}
+
+/// The total transition function. Every representable edge is one of:
+///
+/// ```text
+/// Closed   --Trip-->             Open       (threshold or injected)
+/// Open     --CooldownElapsed-->  HalfOpen
+/// HalfOpen --Success-->          Closed
+/// HalfOpen --Failure/Trip-->     Open
+/// ```
+///
+/// plus self-loops; in particular Closed → HalfOpen and Open → Closed do
+/// not exist (recovery must pass through a half-open probe).
+pub fn step(state: BreakerState, event: BreakerEvent) -> BreakerState {
+    use BreakerEvent::*;
+    use BreakerState::*;
+    match (state, event) {
+        (Closed, Success) => Closed,
+        (Closed, Failure) => Closed, // below threshold; Trip opens
+        (Closed, Trip) => Open,
+        (Closed, CooldownElapsed) => Closed,
+        (Open, Success) => Open, // stale outcome from an in-flight batch
+        (Open, Failure) => Open,
+        (Open, Trip) => Open,
+        (Open, CooldownElapsed) => HalfOpen,
+        (HalfOpen, Success) => Closed,
+        (HalfOpen, Failure) => Open,
+        (HalfOpen, Trip) => Open,
+        (HalfOpen, CooldownElapsed) => HalfOpen,
+    }
+}
+
+/// Breaker tuning. Integer-only; both counters are in deterministic units
+/// (consecutive failures, consultations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// `allow` consultations an open breaker refuses before moving to
+    /// half-open.
+    pub cooldown_consults: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_consults: 4,
+        }
+    }
+}
+
+/// One recorded state change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// State before.
+    pub from: BreakerState,
+    /// State after (always ≠ `from`; self-loops are not logged).
+    pub to: BreakerState,
+    /// The event that caused it.
+    pub event: BreakerEvent,
+}
+
+impl Transition {
+    /// `"closed->open:trip"` — the golden-log line format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}->{}:{}",
+            self.from.name(),
+            self.to.name(),
+            self.event.name()
+        )
+    }
+}
+
+/// A stateful breaker over [`step`], with deterministic counters.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    transitions: Vec<Transition>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Applies `event` through [`step`], logging the change and running
+    /// entry actions (reset counters on entering Closed, arm the cooldown
+    /// on entering Open). Returns the new state.
+    fn apply(&mut self, event: BreakerEvent) -> BreakerState {
+        let from = self.state;
+        let to = step(from, event);
+        if to != from {
+            self.transitions.push(Transition { from, to, event });
+            match to {
+                BreakerState::Open => {
+                    self.cooldown_left = self.cfg.cooldown_consults;
+                    self.consecutive_failures = 0;
+                }
+                BreakerState::Closed => self.consecutive_failures = 0,
+                BreakerState::HalfOpen => {}
+            }
+            self.state = to;
+        }
+        to
+    }
+
+    /// Consults the breaker before using the guarded resource. Closed and
+    /// half-open allow; open refuses and burns one cooldown consultation —
+    /// when the cooldown hits zero the breaker moves to half-open and
+    /// **this** consultation is allowed as the probe.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.apply(BreakerEvent::CooldownElapsed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful outcome of the guarded operation.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.apply(BreakerEvent::Success);
+    }
+
+    /// Records a failed outcome. While closed, failures accumulate and the
+    /// threshold synthesizes a `Trip`; in half-open one failure re-opens.
+    pub fn record_failure(&mut self) {
+        if self.state == BreakerState::Closed {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures >= self.cfg.failure_threshold {
+                self.apply(BreakerEvent::Trip);
+            } else {
+                self.apply(BreakerEvent::Failure);
+            }
+        } else {
+            self.apply(BreakerEvent::Failure);
+        }
+    }
+
+    /// Forces the breaker open (the `breaker.trip` fault point).
+    pub fn trip(&mut self) {
+        self.apply(BreakerEvent::Trip);
+    }
+
+    /// Every state change so far, in order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The transition log rendered to golden-log lines.
+    pub fn transition_log(&self) -> Vec<String> {
+        self.transitions.iter().map(Transition::render).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BreakerEvent::*;
+    use BreakerState::*;
+
+    /// Every (state, event) pair, against the pinned edge table. The
+    /// function is total — no pair panics — and only legal edges appear;
+    /// anything absent from `LEGAL` is unrepresentable.
+    #[test]
+    fn exhaustive_state_machine_table() {
+        const LEGAL: &[(BreakerState, BreakerEvent, BreakerState)] = &[
+            (Closed, Success, Closed),
+            (Closed, Failure, Closed),
+            (Closed, Trip, Open),
+            (Closed, CooldownElapsed, Closed),
+            (Open, Success, Open),
+            (Open, Failure, Open),
+            (Open, Trip, Open),
+            (Open, CooldownElapsed, HalfOpen),
+            (HalfOpen, Success, Closed),
+            (HalfOpen, Failure, Open),
+            (HalfOpen, Trip, Open),
+            (HalfOpen, CooldownElapsed, HalfOpen),
+        ];
+        assert_eq!(LEGAL.len(), 3 * 4, "table covers the full product");
+        for &(s, e, want) in LEGAL {
+            assert_eq!(step(s, e), want, "step({s:?}, {e:?})");
+        }
+        // The forbidden edges really are unreachable: no event maps
+        // Closed→HalfOpen or Open→Closed.
+        for e in BreakerEvent::all() {
+            assert_ne!(step(Closed, e), HalfOpen, "Closed may not skip to HalfOpen");
+            assert_ne!(step(Open, e), Closed, "Open may not skip to Closed");
+        }
+    }
+
+    #[test]
+    fn threshold_trips_and_probe_recovers() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_consults: 3,
+        });
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), Closed, "one failure below threshold");
+        b.record_failure();
+        assert_eq!(b.state(), Open, "threshold trips");
+        // Cooldown: two refused consultations, the third is the probe.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow(), "cooldown elapsed -> half-open probe");
+        assert_eq!(b.state(), HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), Closed, "probe success closes");
+        assert_eq!(
+            b.transition_log(),
+            vec![
+                "closed->open:trip",
+                "open->half-open:cooldown",
+                "half-open->closed:success",
+            ]
+        );
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_rearms_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_consults: 2,
+        });
+        b.record_failure(); // threshold 1: open immediately
+        assert_eq!(b.state(), Open);
+        assert!(!b.allow());
+        assert!(b.allow()); // probe
+        b.record_failure();
+        assert_eq!(b.state(), Open, "failed probe re-opens");
+        assert!(!b.allow(), "cooldown re-armed");
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), Closed);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_consults: 1,
+        });
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), Closed, "non-consecutive failures do not trip");
+    }
+
+    /// Random event sequences: the recorded log only ever contains edges
+    /// from the legal table, and consecutive records chain (each `from`
+    /// equals the previous `to`).
+    #[test]
+    fn prop_logged_transitions_are_legal_and_chained() {
+        use crate::prop::{self, Config};
+        use crate::rng::Rng;
+
+        prop::check(
+            "breaker logs only legal, chained transitions",
+            &Config::cases(32),
+            |rng| {
+                let ops: Vec<u32> = (0..rng.gen_range(5usize..60))
+                    .map(|_| rng.gen_range(0u32..4))
+                    .collect();
+                (rng.gen_range(1u32..4), rng.gen_range(1u32..5), ops)
+            },
+            |(threshold, cooldown, ops)| {
+                let mut b = CircuitBreaker::new(BreakerConfig {
+                    failure_threshold: *threshold,
+                    cooldown_consults: *cooldown,
+                });
+                for op in ops {
+                    match op {
+                        0 => {
+                            b.allow();
+                        }
+                        1 => b.record_success(),
+                        2 => b.record_failure(),
+                        _ => b.trip(),
+                    }
+                }
+                let mut prev = Closed;
+                for t in b.transitions() {
+                    crate::prop_assert!(
+                        t.from == prev,
+                        "log does not chain: {:?} after {prev:?}",
+                        t
+                    );
+                    crate::prop_assert!(
+                        step(t.from, t.event) == t.to && t.from != t.to,
+                        "illegal logged edge {:?}",
+                        t
+                    );
+                    prev = t.to;
+                }
+                crate::prop_assert!(b.transitions().is_empty() || prev == b.state());
+                Ok(())
+            },
+        );
+    }
+}

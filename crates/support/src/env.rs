@@ -43,6 +43,18 @@ pub const SERVE_CACHE: &str = "DEFCON_SERVE_CACHE";
 /// `DEFCON_BENCH_OUT` — override path for a bench binary's JSON report
 /// (used by CI to compare two runs without touching the committed file).
 pub const BENCH_OUT: &str = "DEFCON_BENCH_OUT";
+/// `DEFCON_CHAOS_SEED` — seed for the `repro_chaos` soak harness (fault
+/// plan + request stream); any u64, default when unset is the harness's
+/// pinned seed.
+pub const CHAOS_SEED: &str = "DEFCON_CHAOS_SEED";
+/// `DEFCON_SERVE_DEADLINE` — server-default per-request deadline budget in
+/// virtual cycles for `core::serve` (0 or unset = no default deadline;
+/// requests carrying their own budget are unaffected).
+pub const SERVE_DEADLINE: &str = "DEFCON_SERVE_DEADLINE";
+/// `DEFCON_RETRY_MAX` — admission re-attempts after the initial try in
+/// `SimServer::serve` (0 = fail straight to degrade; unset = the default
+/// single retry).
+pub const RETRY_MAX: &str = "DEFCON_RETRY_MAX";
 
 /// Reads a boolean flag. Unset and empty mean **off**; `1`, `true`, `yes`,
 /// `on` mean **on**; `0`, `false`, `no`, `off` mean **off** (all
@@ -81,6 +93,23 @@ pub fn positive_usize(name: &str) -> Result<Option<usize>, DefconError> {
 /// The `DEFCON_THREADS` override, if set (and valid).
 pub fn threads_override() -> Result<Option<usize>, DefconError> {
     positive_usize(THREADS)
+}
+
+/// Reads a non-negative `u64` variable (seeds, cycle budgets — zero is a
+/// meaningful value for these, unlike the counts `positive_usize` parses).
+/// Unset means `None`; negatives and garbage are [`DefconError::Env`].
+pub fn u64_value(name: &str) -> Result<Option<u64>, DefconError> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(DefconError::Env {
+                var: name.to_string(),
+                value: v,
+                expected: "a non-negative integer",
+            }),
+        },
+    }
 }
 
 /// Reads a path-valued variable. Unset and empty mean `None`; a
@@ -176,6 +205,21 @@ mod tests {
             path(name),
             Ok(Some(std::path::PathBuf::from("/tmp/trace.json")))
         );
+        std::env::remove_var(name);
+    }
+
+    #[test]
+    fn u64_value_accepts_zero_and_rejects_garbage() {
+        let name = "DEFCON_TEST_U64";
+        assert_eq!(u64_value("DEFCON_TEST_U64_UNSET"), Ok(None));
+        std::env::set_var(name, "0");
+        assert_eq!(u64_value(name), Ok(Some(0)));
+        std::env::set_var(name, "18446744073709551615");
+        assert_eq!(u64_value(name), Ok(Some(u64::MAX)));
+        for bad in ["-1", "nine", "1.5", ""] {
+            std::env::set_var(name, bad);
+            assert!(u64_value(name).is_err(), "value {bad:?}");
+        }
         std::env::remove_var(name);
     }
 

@@ -89,6 +89,18 @@ pub enum DefconError {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// A request's virtual-time deadline budget was exhausted (serving-mode
+    /// SLO enforcement). Deliberately carries only the *budget*, not the
+    /// cycles spent when the budget tripped: a cancelled simulation stops
+    /// at a launch boundary while a cache hit evaluates the full report
+    /// set, so spent-at-detection differs between byte-identical outcomes
+    /// and must not leak into response content.
+    DeadlineExceeded {
+        /// What ran out of budget (e.g. "serve request").
+        what: String,
+        /// The virtual-cycle budget that was exhausted.
+        budget_cycles: u64,
+    },
 }
 
 impl fmt::Display for DefconError {
@@ -123,6 +135,15 @@ impl fmt::Display for DefconError {
                 queue_depth,
                 capacity,
             } => write!(f, "{what} overloaded ({queue_depth}/{capacity} queued)"),
+            DefconError::DeadlineExceeded {
+                what,
+                budget_cycles,
+            } => {
+                write!(
+                    f,
+                    "{what} deadline exceeded (budget {budget_cycles} cycles)"
+                )
+            }
         }
     }
 }
@@ -149,7 +170,10 @@ impl DefconError {
     /// True for failure classes a caller may sensibly retry or fall back
     /// from (constraint violations, non-finite values, corrupt inputs,
     /// admission rejections); false for programming/environment errors
-    /// that will not heal.
+    /// that will not heal. `DeadlineExceeded` is deliberately **not**
+    /// degradable: a deadline must propagate straight out of the fallback
+    /// ladder (trying a slower rung can only spend more of a budget that
+    /// is already gone).
     pub fn is_degradable(&self) -> bool {
         matches!(
             self,
@@ -159,6 +183,33 @@ impl DefconError {
                 | DefconError::Corrupt { .. }
                 | DefconError::Overloaded { .. }
         )
+    }
+
+    /// True for failure classes where *re-attempting the same operation
+    /// later* can plausibly succeed: transient resource pressure
+    /// (`Overloaded`), filesystem flakes (`Io`), and integrity failures a
+    /// re-read or re-derivation can heal (`Corrupt`). Everything else is
+    /// deterministic on its inputs — retrying re-derives the same failure
+    /// — or, for `DeadlineExceeded`, the budget is already spent and
+    /// retries can only burn more of it.
+    ///
+    /// The match is exhaustive on purpose (no `_` arm): a new variant must
+    /// pick a retry class here before the crate compiles, so nothing can
+    /// silently default to the wrong class.
+    pub fn retryable(&self) -> bool {
+        match self {
+            DefconError::Io { .. }
+            | DefconError::Corrupt { .. }
+            | DefconError::Overloaded { .. } => true,
+            DefconError::Json { .. }
+            | DefconError::NonFinite { .. }
+            | DefconError::NotPositiveDefinite { .. }
+            | DefconError::Constraint { .. }
+            | DefconError::Env { .. }
+            | DefconError::MissingKey { .. }
+            | DefconError::RetriesExhausted { .. }
+            | DefconError::DeadlineExceeded { .. } => false,
+        }
     }
 }
 
@@ -216,10 +267,115 @@ mod tests {
                 queue_depth: 64,
                 capacity: 64,
             },
+            DefconError::DeadlineExceeded {
+                what: "serve request".into(),
+                budget_cycles: 250_000,
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// One representative of *every* variant, so classification tests
+    /// below cannot silently skip a variant. Kept in the declaration
+    /// order of the enum.
+    fn one_of_each() -> Vec<DefconError> {
+        vec![
+            DefconError::json("lut.json", JsonError::msg("bad")),
+            DefconError::Io {
+                path: "/x".into(),
+                detail: "denied".into(),
+            },
+            DefconError::Corrupt {
+                what: "checkpoint".into(),
+                detail: "crc mismatch".into(),
+            },
+            DefconError::NonFinite {
+                what: "loss".into(),
+                step: 3,
+            },
+            DefconError::NotPositiveDefinite {
+                pivot: 2,
+                value: -1e-9,
+            },
+            DefconError::Constraint {
+                what: "texture".into(),
+                detail: "too many layers".into(),
+            },
+            DefconError::Env {
+                var: "DEFCON_THREADS".into(),
+                value: "lots".into(),
+                expected: "a positive integer",
+            },
+            DefconError::MissingKey {
+                what: "LUT key".into(),
+            },
+            DefconError::RetriesExhausted {
+                what: "training step".into(),
+                attempts: 4,
+            },
+            DefconError::Overloaded {
+                what: "serve queue".into(),
+                queue_depth: 64,
+                capacity: 64,
+            },
+            DefconError::DeadlineExceeded {
+                what: "serve request".into(),
+                budget_cycles: 1,
+            },
+        ]
+    }
+
+    /// Exhaustive classification table: every variant's retry class is
+    /// pinned explicitly. The helper match below has no wildcard arm, so
+    /// adding a variant without extending this test is a compile error —
+    /// the class can never default silently.
+    #[test]
+    fn retryable_classification_is_exhaustive_and_pinned() {
+        fn expected(e: &DefconError) -> bool {
+            match e {
+                // Transient: resource pressure drains, IO flakes pass,
+                // corruption heals on re-derivation.
+                DefconError::Io { .. }
+                | DefconError::Corrupt { .. }
+                | DefconError::Overloaded { .. } => true,
+                // Deterministic on inputs — a retry re-derives the failure.
+                DefconError::Json { .. }
+                | DefconError::NonFinite { .. }
+                | DefconError::NotPositiveDefinite { .. }
+                | DefconError::Constraint { .. }
+                | DefconError::Env { .. }
+                | DefconError::MissingKey { .. }
+                | DefconError::RetriesExhausted { .. } => false,
+                // The budget is spent; retrying cannot un-spend it.
+                DefconError::DeadlineExceeded { .. } => false,
+            }
+        }
+        let cases = one_of_each();
+        assert_eq!(cases.len(), 11, "keep one_of_each in sync with the enum");
+        for e in &cases {
+            assert_eq!(e.retryable(), expected(e), "retry class of {e}");
+        }
+        // At least one of each class, so the table cannot degenerate.
+        assert!(cases.iter().any(DefconError::retryable));
+        assert!(!cases.iter().all(DefconError::retryable));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_terminal_everywhere() {
+        let e = DefconError::DeadlineExceeded {
+            what: "serve request".into(),
+            budget_cycles: 9000,
+        };
+        // Non-retryable: the budget is gone.
+        assert!(!e.retryable());
+        // Non-degradable: the fallback ladder must propagate it instead of
+        // spending more budget on a slower rung.
+        assert!(!e.is_degradable());
+        let msg = e.to_string();
+        assert!(msg.contains("deadline exceeded"), "{msg}");
+        assert!(msg.contains("9000"), "{msg}");
     }
 
     #[test]

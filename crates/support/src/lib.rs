@@ -33,7 +33,13 @@
 //! * [`obs`] — deterministic observability: hierarchical spans on a
 //!   logical clock, a typed counter/gauge registry, and Chrome-trace /
 //!   metrics-snapshot exporters (zero cost disarmed, byte-reproducible
-//!   armed).
+//!   armed);
+//! * [`retry`] — deterministic retry scheduling: capped exponential
+//!   backoff with seeded jitter, charged in virtual cycles instead of
+//!   wall-clock sleeps;
+//! * [`breaker`] — a closed/open/half-open circuit breaker whose cooldown
+//!   counts consultations (virtual time), built on a pure, total
+//!   transition function with an exhaustively-enumerable edge set.
 //!
 //! Design rule: these are *replacements for the slice of API this
 //! workspace uses*, not general-purpose rewrites. Determinism outranks
@@ -42,6 +48,7 @@
 //! reports.
 
 pub mod bench;
+pub mod breaker;
 pub mod ckpt;
 pub mod env;
 pub mod error;
@@ -51,5 +58,6 @@ pub mod lanebuf;
 pub mod obs;
 pub mod par;
 pub mod prop;
+pub mod retry;
 pub mod rng;
 pub mod testalloc;

@@ -1,0 +1,179 @@
+//! Chaos-soak invariants for the serving layer (`core::chaos`).
+//!
+//! Each soak serves a seeded randomized multi-hundred-request stream
+//! while every serving-path fault point is armed with probabilistic
+//! schedules, then checks the properties that must survive *any* fault
+//! weather (DESIGN.md §12):
+//!
+//! * **None lost** — requests and responses are in bijection, and every
+//!   response terminates `served`, `shed`, or `deadline_exceeded`
+//!   (never `failed`).
+//! * **Seed determinism** — identical `(seed, stream)` gives a
+//!   byte-identical summary: response contents, digest, fault log,
+//!   breaker transitions, every counter.
+//! * **Accounting balance** — cache `inserts == len + evictions +
+//!   drops` and `hits + misses` equals the lookups performed.
+//! * **Legal breaker walks** — the transition log only takes edges of
+//!   the breaker state machine, chained per rung.
+//!
+//! Arming faults is process-global, so the sessions serialize on the
+//! fault lock; the obs test takes the obs lock first (same order as
+//! `obs_invariants.rs`, so the two locks cannot deadlock).
+
+use defcon::core::chaos::{self, ChaosConfig, FaultPointSet};
+use defcon_support::obs::{self, ObsConfig};
+
+/// The soak seeds. Three full-size sessions plus the pinned-golden seed
+/// below satisfy the "≥ 3 seeds × 200 requests" soak contract.
+const SOAK_SEEDS: [u64; 3] = [0xD15EA5E, 0xB10C0DE, 0x5EED];
+
+fn soak_cfg(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        requests: 200,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn soak_sessions_hold_invariants_and_replay_byte_identically() {
+    for seed in SOAK_SEEDS {
+        let cfg = soak_cfg(seed);
+        let first = chaos::run_session(&cfg);
+        first.assert_invariants();
+        // The soak must actually exercise the robustness machinery, not
+        // vacuously pass on a quiet session.
+        assert!(
+            !first.fault_log.is_empty(),
+            "seed {seed:#x}: no faults fired"
+        );
+        assert!(
+            first.admission.retries > 0,
+            "seed {seed:#x}: no retry exercised"
+        );
+        assert!(
+            first.outcomes[2] > 0,
+            "seed {seed:#x}: no deadline verdict exercised"
+        );
+        let second = chaos::run_session(&cfg);
+        assert_eq!(
+            first, second,
+            "seed {seed:#x}: same seed must replay byte-identically"
+        );
+    }
+}
+
+#[test]
+fn cache_lookup_accounting_balances_under_chaos() {
+    let s = chaos::run_session(&soak_cfg(0x0B5E55ED));
+    s.assert_invariants();
+    // Lookups-side balance: every consult is a hit or a miss. The session
+    // summary records both sides; their sum is the lookup count the
+    // serving layer performed (terminal sheds and admission-gated
+    // deadline verdicts never reach the cache).
+    assert_eq!(
+        s.cache.hits + s.cache.misses,
+        s.requests as u64
+            - s.admission.terminal_sheds
+            - (s.outcomes[2] as u64 - launch_stage_deadline_verdicts(&s)),
+        "hits + misses must equal the requests that reached the cache"
+    );
+}
+
+/// Deadline verdicts that *did* consult the cache before tripping. Gate-
+/// stage verdicts (`serve admission` / `serve preflight` / `serve
+/// backoff`) fire before the lookup and never touch the cache; launch-
+/// stage verdicts (`launch <kernel>`, whether from a fresh simulation or
+/// a hit's replay) consulted it first. The error rendering distinguishes
+/// them, so count the launch-stage ones from the response contents.
+fn launch_stage_deadline_verdicts(s: &chaos::ChaosSummary) -> u64 {
+    s.contents
+        .iter()
+        .filter(|c| c.contains("deadline exceeded") && c.contains("launch "))
+        .count() as u64
+}
+
+#[test]
+fn owner_thread_fault_plans_are_worker_count_invariant() {
+    // Restricted to fault points consulted on the owner thread in
+    // admission order, the whole summary — responses, fault log, breaker
+    // walk, every counter — must be independent of the worker count.
+    let cfg = |workers| ChaosConfig {
+        seed: 0xFA57,
+        requests: 120,
+        workers,
+        points: FaultPointSet::OwnerOnly,
+        ..ChaosConfig::default()
+    };
+    let single = chaos::run_session(&cfg(1));
+    single.assert_invariants();
+    assert!(!single.fault_log.is_empty());
+    let quad = chaos::run_session(&cfg(4));
+    assert_eq!(
+        single, quad,
+        "worker count changed an owner-thread chaos session"
+    );
+}
+
+/// The pinned golden breaker walk for the default chaos seed. If a
+/// deliberate change to the breaker tuning, fault schedules, or request
+/// stream moves this log, re-pin it from the `repro_chaos` output — the
+/// *shape* (legal chained edges) is enforced separately above.
+#[test]
+fn default_seed_breaker_walk_is_pinned() {
+    let s = chaos::run_session(&ChaosConfig::default());
+    s.assert_invariants();
+    assert_eq!(
+        s.breaker_log,
+        [
+            "tex2D:closed->open:trip",
+            "tex2D:open->half-open:cooldown",
+            "tex2D:half-open->closed:success",
+            "tex2D:closed->open:trip",
+            "tex2D:open->half-open:cooldown",
+            "tex2D:half-open->closed:success",
+            "tex2D++:closed->open:trip",
+            "tex2D++:open->half-open:cooldown",
+            "tex2D++:half-open->closed:success",
+            "tex2D:closed->open:trip",
+            "tex2D:open->half-open:cooldown",
+            "tex2D:half-open->closed:success",
+            "tex2D:closed->open:trip",
+        ],
+        "golden breaker walk moved — re-pin from repro_chaos if intentional"
+    );
+}
+
+#[test]
+fn chaos_sessions_populate_the_obs_registry() {
+    // Obs lock first, fault lock second (inside run_session) — the fixed
+    // order documented in obs_invariants.rs.
+    let _obs = obs::arm(ObsConfig::default());
+    let s = chaos::run_session(&ChaosConfig {
+        seed: 0xC0FFEE,
+        requests: 80,
+        ..ChaosConfig::default()
+    });
+    s.assert_invariants();
+    let metrics = obs::metrics_json().expect("armed");
+    let counters = metrics.get("counters").expect("counters object");
+    for key in ["serve.requests", "serve.cache_misses", "serve.retries"] {
+        assert!(
+            counters.get(key).is_some(),
+            "missing counter {key} in {counters}"
+        );
+    }
+    if s.admission.terminal_sheds > 0 {
+        assert!(counters.get("serve.sheds_terminal").is_some());
+    }
+    if s.admission.deadline_exceeded > 0 {
+        assert!(counters.get("serve.deadline_exceeded").is_some());
+    }
+    let gauges = metrics.get("gauges").expect("gauges object");
+    for key in ["serve.breaker.tex2dpp", "serve.breaker.tex2d"] {
+        assert!(
+            gauges.get(key).is_some(),
+            "missing breaker gauge {key} in {gauges}"
+        );
+    }
+}

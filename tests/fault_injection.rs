@@ -432,15 +432,19 @@ fn serve_cfg() -> defcon::core::serve::ServeConfig {
         workers: 1,
         queue_capacity: 4,
         cache_capacity: 16,
+        ..defcon::core::serve::ServeConfig::default()
     }
 }
 
 #[test]
 fn enqueue_fault_sheds_then_degrades_then_serves() {
-    use defcon::core::serve::SimServer;
+    use defcon::core::serve::{ServeOutcome, SimServer};
     // Admission fails on *every* submit: each request is shed once, shed
     // again on the post-drain retry, then degraded one ladder rung and
-    // served inline — shed → degrade → serve, nothing dropped.
+    // served inline. A request already at the software floor has no rung
+    // left to give up, so it is shed *terminally* with a typed Overloaded
+    // error — but still answered: shed → degrade-or-terminal, nothing
+    // dropped.
     let _armed = fault::arm(FaultPlan::new(81).point("serve.enqueue", Schedule::Always));
     let mut server = SimServer::new(serve_cfg());
     let reqs = vec![
@@ -450,20 +454,31 @@ fn enqueue_fault_sheds_then_degrades_then_serves() {
     ];
     let out = server.serve(&reqs);
     assert_eq!(out.len(), 3, "every request must still be answered");
-    assert!(out.iter().all(|r| r.degraded_admission));
-    assert!(out.iter().all(|r| r.error.is_none()));
-    // One rung down from each requested family; the software floor stays.
+    // One rung down from each requested texture family; served degraded.
+    assert!(out[0].degraded_admission && out[1].degraded_admission);
+    assert!(out[0].error.is_none() && out[1].error.is_none());
+    assert_eq!(out[0].outcome, ServeOutcome::Served);
+    assert_eq!(out[1].outcome, ServeOutcome::Served);
     assert_eq!(out[0].request.kernel_family, SamplingMethod::Tex2d);
     assert_eq!(
         out[1].request.kernel_family,
         SamplingMethod::SoftwareBilinear
     );
+    // The software-floor request is terminally shed with a typed error.
+    assert!(!out[2].degraded_admission);
+    assert_eq!(out[2].outcome, ServeOutcome::Shed);
+    assert!(out[2]
+        .error
+        .as_deref()
+        .is_some_and(|e| e.contains("overloaded")));
+    assert!(out[2].reports.is_empty());
     assert_eq!(
         out[2].request.kernel_family,
         SamplingMethod::SoftwareBilinear
     );
     assert_eq!(server.sheds(), 6, "submit + retry rejected per request");
-    assert_eq!(server.degraded_admissions(), 3);
+    assert_eq!(server.degraded_admissions(), 2);
+    assert_eq!(server.terminal_sheds(), 1);
     // Pinned fault ordering: two `serve.enqueue` evaluations per request.
     assert_eq!(
         fault::log(),
@@ -525,6 +540,92 @@ fn cache_fault_drops_the_entry_and_resimulates_identically() {
     assert_eq!(first[0].content_string(), third[0].content_string());
     assert_eq!(server.cache().drops(), 1);
     assert_eq!(fault::log(), vec!["serve.cache#0"]);
+}
+
+#[test]
+fn deadline_fault_forces_an_admission_verdict() {
+    use defcon::core::serve::{ServeOutcome, SimServer};
+    // `serve.deadline` models the deadline gate firing at admission. It
+    // is only consulted for deadline-carrying requests, so unbudgeted
+    // streams keep their fault-log indices.
+    let _armed = fault::arm(FaultPlan::new(83).point("serve.deadline", Schedule::Always));
+    let mut server = SimServer::new(serve_cfg());
+    let unbudgeted = serve_req(4, SamplingMethod::Tex2d);
+    let mut budgeted = serve_req(6, SamplingMethod::Tex2d);
+    budgeted.policy.deadline_cycles = u64::MAX / 2;
+    let out = server.serve(&[unbudgeted, budgeted]);
+    assert_eq!(out[0].outcome, ServeOutcome::Served);
+    assert!(out[0].error.is_none());
+    assert_eq!(out[1].outcome, ServeOutcome::DeadlineExceeded);
+    assert!(out[1]
+        .error
+        .as_deref()
+        .is_some_and(|e| e.contains("serve admission")));
+    assert!(out[1].reports.is_empty());
+    assert_eq!(server.deadline_exceeded(), 1);
+    // Exactly one consult: the unbudgeted request never reached the gate.
+    assert_eq!(fault::log(), vec!["serve.deadline#0"]);
+}
+
+#[test]
+fn retry_attempt_fault_costs_the_retry_then_degrades() {
+    use defcon::core::serve::{ServeOutcome, SimServer};
+    // First admission is shed (`serve.enqueue` hit 0); the single default
+    // retry is then lost to `retry.attempt` before the queue is even
+    // consulted, so the request exhausts its retries and degrades one
+    // rung — the (sorted) fault log pins exactly one consult of each.
+    let _armed = fault::arm(
+        FaultPlan::new(84)
+            .point("serve.enqueue", Schedule::Nth(0))
+            .point("retry.attempt", Schedule::Always),
+    );
+    let mut server = SimServer::new(serve_cfg());
+    let out = server.serve(&[serve_req(4, SamplingMethod::Tex2d)]);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].outcome, ServeOutcome::Served);
+    assert!(out[0].degraded_admission);
+    assert_eq!(
+        out[0].request.kernel_family,
+        SamplingMethod::SoftwareBilinear
+    );
+    assert_eq!(server.retries(), 1);
+    assert_eq!(server.degraded_admissions(), 1);
+    assert_eq!(fault::log(), vec!["retry.attempt#0", "serve.enqueue#0"]);
+}
+
+#[test]
+fn breaker_trip_fault_reroutes_only_texture_rungs() {
+    use defcon::core::serve::{ServeOutcome, SimServer};
+    use defcon_support::breaker::BreakerState;
+    // `breaker.trip` force-opens the requested rung at admission. The
+    // software floor is unguarded, so a floor request neither consults
+    // the fault nor shifts the log indices.
+    let _armed = fault::arm(FaultPlan::new(85).point("breaker.trip", Schedule::Nth(0)));
+    let mut server = SimServer::new(serve_cfg());
+    let out = server.serve(&[
+        serve_req(4, SamplingMethod::SoftwareBilinear),
+        serve_req(4, SamplingMethod::Tex2d),
+    ]);
+    assert_eq!(out[0].outcome, ServeOutcome::Served);
+    assert_eq!(
+        out[0].request.kernel_family,
+        SamplingMethod::SoftwareBilinear
+    );
+    // The texture request was rerouted to the floor and still served.
+    assert_eq!(out[1].outcome, ServeOutcome::Served);
+    assert_eq!(
+        out[1].request.kernel_family,
+        SamplingMethod::SoftwareBilinear
+    );
+    assert_eq!(
+        server.breaker().state(SamplingMethod::Tex2d),
+        BreakerState::Open
+    );
+    assert_eq!(
+        server.breaker().log(),
+        ["tex2D:closed->open:trip".to_string()]
+    );
+    assert_eq!(fault::log(), vec!["breaker.trip#0"]);
 }
 
 #[test]

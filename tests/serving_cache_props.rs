@@ -46,6 +46,13 @@ fn gen_request(rng: &mut StdRng) -> SimRequest {
             max_blocks: rng.gen_range(1usize..128),
             seed: rng.gen_range(0u64..u64::MAX),
             spread_milli: rng.gen_range(0u32..8000),
+            // Mix unbudgeted (0) and budgeted requests so injectivity and
+            // totality cover the optional `deadline_cycles` field.
+            deadline_cycles: if rng.gen_range(0u32..4) == 0 {
+                rng.gen_range(1u64..u64::MAX)
+            } else {
+                0
+            },
         },
     }
 }
@@ -133,6 +140,18 @@ fn single_field_mutations_change_the_canonical_form() {
                 max_blocks,
                 seed,
                 spread_milli,
+                ..RequestPolicy::default()
+            },
+            ..base.clone()
+        });
+    }
+    // A deadline budget must be visible to the canonical form (and two
+    // distinct budgets must render distinctly).
+    for deadline_cycles in [1u64, 1 << 20] {
+        mutants.push(SimRequest {
+            policy: RequestPolicy {
+                deadline_cycles,
+                ..base.policy.clone()
             },
             ..base.clone()
         });
@@ -179,6 +198,23 @@ fn hash_is_pinned_across_runs_and_releases() {
     assert!(v3.canonical_string().contains("\"op_family\":\"DCNv3\""));
     assert_eq!(v2.cache_key(), 0x0775_2b87_cb8a_6dfb);
     assert_eq!(v3.cache_key(), 0x32b5_84fd_5755_73a2);
+
+    // A deadline budget appends `deadline_cycles` (16-digit hex, last in
+    // the policy object) and lands on its own pinned address. Unbudgeted
+    // requests omit the field entirely, so every pre-deadline persisted
+    // digest keeps its original content address (checked above).
+    assert!(!req.canonical_string().contains("deadline_cycles"));
+    let budgeted = SimRequest {
+        policy: RequestPolicy {
+            deadline_cycles: 0x0002_0000,
+            ..req.policy.clone()
+        },
+        ..req.clone()
+    };
+    assert!(budgeted
+        .canonical_string()
+        .contains("\"deadline_cycles\":\"0000000000020000\""));
+    assert_eq!(budgeted.cache_key(), 0xfb42_147a_ac58_4a00);
 }
 
 #[test]
@@ -203,6 +239,7 @@ fn lru_eviction_changes_hit_rates_only() {
         workers: 1,
         queue_capacity: 4,
         cache_capacity,
+        ..ServeConfig::default()
     };
     let mut tight = SimServer::new(cfg(2));
     let mut roomy = SimServer::new(cfg(64));

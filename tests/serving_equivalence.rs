@@ -71,6 +71,7 @@ fn one_vs_four_workers_byte_identical() {
         workers,
         queue_capacity: 8,
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
     assert_eq!(
         serve_fresh(cfg(1), &stream),
@@ -108,6 +109,7 @@ fn cold_vs_warm_cache_byte_identical() {
         workers: 2,
         queue_capacity: 8,
         cache_capacity: 64,
+        ..ServeConfig::default()
     });
     let cold = server.serve(&stream);
     let hits_after_cold = server.cache().hits();
@@ -129,6 +131,7 @@ fn eviction_pressure_changes_hit_rate_not_bytes() {
         workers: 2,
         queue_capacity: 8,
         cache_capacity,
+        ..ServeConfig::default()
     };
     let mut tight = SimServer::new(cfg(2));
     let mut roomy = SimServer::new(cfg(256));
@@ -151,6 +154,71 @@ fn repeated_cold_runs_are_reproducible() {
         workers: 3,
         queue_capacity: 4,
         cache_capacity: 32,
+        ..ServeConfig::default()
     };
     assert_eq!(serve_fresh(cfg, &stream), serve_fresh(cfg, &stream));
+}
+
+/// `random_stream` with a deadline mixed onto each request: unbudgeted,
+/// impossibly tight (trips at the first launch), mid-range (may trip mid
+/// ladder or mid launch sequence), and generous (never trips).
+fn budgeted_stream(seed: u64, n: usize) -> Vec<SimRequest> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    random_stream(seed, n)
+        .into_iter()
+        .map(|mut req| {
+            req.policy.deadline_cycles = match rng.gen_range(0u32..4) {
+                0 => 0,
+                1 => 1,
+                2 => rng.gen_range(10_000u64..10_000_000),
+                _ => u64::MAX / 2,
+            };
+            req
+        })
+        .collect()
+}
+
+#[test]
+fn deadline_verdicts_invariant_to_worker_count() {
+    // The deadline budget is virtual time (simulated cycles), so the
+    // worker count must not change a single verdict byte — including
+    // which launch a mid-range budget trips at.
+    let _quiet = fault::quiesce();
+    let stream = budgeted_stream(16, 24);
+    let cfg = |workers| ServeConfig {
+        workers,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    };
+    assert_eq!(
+        serve_fresh(cfg(1), &stream),
+        serve_fresh(cfg(4), &stream),
+        "worker count changed a deadline verdict"
+    );
+}
+
+#[test]
+fn deadline_verdicts_invariant_to_cache_temperature() {
+    // A cache hit replays the verdict over the cached per-launch reports
+    // (and exceeded requests are never cached), so warm serves must
+    // render byte-identical responses — errors included.
+    let _quiet = fault::quiesce();
+    let stream = budgeted_stream(17, 24);
+    let mut server = SimServer::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let cold = server.serve(&stream);
+    let warm = server.serve(&stream);
+    assert_eq!(
+        sorted_contents(&cold),
+        sorted_contents(&warm),
+        "cache temperature changed a deadline verdict"
+    );
+    // The stream's generous-budget requests must actually hit on the
+    // warm pass — the invariant is vacuous otherwise.
+    assert!(warm.iter().any(|r| r.from_cache));
 }

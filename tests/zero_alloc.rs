@@ -69,6 +69,26 @@ fn disarmed_obs_layer_does_not_allocate() {
     assert_eq!(thread_allocations() - before, 0);
 }
 
+/// The retry backoff schedule is consulted on the serving layer's
+/// admission path (potentially per request under overload), so computing
+/// a backoff pause must not touch the heap: it is pure integer/FNV
+/// arithmetic over `(seed, attempt)`.
+#[test]
+fn retry_backoff_schedule_does_not_allocate() {
+    use defcon_support::retry::RetryPolicy;
+    let policy = RetryPolicy::default();
+    // Warm anything lazily initialised, then measure.
+    let mut sink = policy.backoff_cycles(0);
+    let before = thread_allocations();
+    for attempt in 0..256u32 {
+        sink = sink.wrapping_add(policy.backoff_cycles(attempt));
+        sink = sink.wrapping_add(policy.envelope_cycles(attempt));
+        sink = sink.wrapping_add(policy.total_backoff_cycles(attempt));
+    }
+    assert_eq!(thread_allocations() - before, 0);
+    assert_ne!(sink, 0, "schedule must produce nonzero pauses");
+}
+
 #[test]
 fn im2col_software_traces_without_allocating() {
     let shape = table2_shape();
