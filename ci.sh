@@ -45,6 +45,13 @@ for threads in 1 4; do
     cargo test -q --offline --test serving_cache_props
     cargo test -q --offline -p defcon-bench --test serving_golden
 
+    # Cross-backend table golden (DESIGN.md §13): the repro_backends tiny
+    # report must match the blessed snapshot byte for byte. Both timing
+    # models are closed-form deterministic, so this holds at any ambient
+    # thread count (the test pins its own child to DEFCON_THREADS=1).
+    echo "==> backends golden table (DEFCON_THREADS=$threads)"
+    cargo test -q --offline -p defcon-bench --test backends_golden
+
     # Chaos soak (DESIGN.md §12), called out explicitly: multi-hundred-
     # request sessions under an armed probabilistic fault plan must hold
     # the session invariants (none lost, accounting balance, legal breaker
@@ -58,6 +65,15 @@ for threads in 1 4; do
     # counter equality across thread counts — at both ambient values.
     echo "==> operator-family differential conformance (DEFCON_THREADS=$threads)"
     cargo test -q --offline --test operator_conformance
+
+    # Cross-backend conformance (DESIGN.md §13), called out explicitly:
+    # gpusim and accel must produce byte-identical functional outputs for
+    # every family × kernel-path cell, and the accel tile scheduler's
+    # property suite (exact coverage, halo monotonicity, buffer bounds,
+    # visit-order invariance) must hold — at both ambient thread counts.
+    echo "==> cross-backend conformance + accel scheduler properties (DEFCON_THREADS=$threads)"
+    cargo test -q --offline --test backend_conformance
+    cargo test -q --offline -p defcon-accel
 done
 unset DEFCON_THREADS
 
@@ -193,5 +209,21 @@ cmp "$abl_a" "$abl_b" || {
 rm -f "$abl_a" "$abl_b"
 DEFCON_TINY=1 DEFCON_THREADS=4 \
     cargo bench --offline -p defcon-bench --bench ablations > /dev/null
+
+# Backends-table determinism, end to end on the release binary: the
+# cross-backend sweep (gpusim trace replay + accel integer cycle model)
+# is a pure function of the code, so two back-to-back release runs must
+# write byte-identical report JSON (DESIGN.md §13).
+echo "==> repro_backends report byte-determinism (two release runs)"
+back_a="$(mktemp)" back_b="$(mktemp)"
+DEFCON_TINY=1 DEFCON_THREADS=1 DEFCON_BENCH_OUT="$back_a" \
+    ./target/release/repro_backends > /dev/null
+DEFCON_TINY=1 DEFCON_THREADS=1 DEFCON_BENCH_OUT="$back_b" \
+    ./target/release/repro_backends > /dev/null
+cmp "$back_a" "$back_b" || {
+    echo "backends determinism FAIL: report JSON differs between runs" >&2
+    exit 1
+}
+rm -f "$back_a" "$back_b"
 
 echo "CI OK"

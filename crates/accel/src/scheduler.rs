@@ -1,0 +1,594 @@
+//! The double-buffered tile scheduler and its analytic cycle model.
+//!
+//! The accelerator processes the output plane in `tile.h × tile.w`
+//! windows (the same tile space the GPU kernels use, so the autotuner's
+//! search transfers wholesale). For each output tile the scheduler
+//! stages the tile's **input halo** into the on-chip input buffer,
+//! streams weights through the PE array, and drains the finished output
+//! block — with loads of tile *i+1* overlapped against compute of tile
+//! *i* (double buffering).
+//!
+//! ## Bounded-offset halo
+//!
+//! The paper's `P = 7` offset clamp is what makes the halo *finite*: a
+//! deformable tap at output `(oy, ox)` can reach at most `P` pixels past
+//! its rigid receptive field, so an output tile's input footprint is the
+//! rigid footprint dilated by `P` (plus one row/column of bilinear
+//! support) and clamped to the feature map — the locality lever of
+//! Huang et al.'s algorithm–hardware co-design, modeled analytically per
+//! tile instead of per-lane.
+//!
+//! ## Determinism
+//!
+//! Every quantity here is integer arithmetic over shapes (bandwidth uses
+//! a Q16 fixed-point bytes-per-cycle constant), and the aggregate cost is
+//!
+//! ```text
+//! total = Σᵢ max(loadᵢ, computeᵢ, storeᵢ)  +  maxᵢ loadᵢ  +  maxᵢ storeᵢ
+//!         (steady state, tile i overlapped)   (pipeline fill)  (drain)
+//! ```
+//!
+//! — a sum and two maxes over the tile set, so the model is invariant
+//! under tile *visit order* by construction (the property suite pins
+//! this).
+
+use defcon_kernels::op::{DeformConvOp, OpFamily, SamplingMethod};
+use defcon_kernels::{DeformLayerShape, TileConfig};
+use defcon_support::error::DefconError;
+
+use crate::AccelConfig;
+
+/// One unit of scheduled work: an output window of batch item `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Batch item.
+    pub n: usize,
+    /// First output row of the window.
+    pub oy0: usize,
+    /// First output column of the window.
+    pub ox0: usize,
+    /// Window height (edge tiles are clamped to the output plane).
+    pub th: usize,
+    /// Window width (edge tiles are clamped).
+    pub tw: usize,
+}
+
+impl Tile {
+    /// Output positions in this tile.
+    pub fn pixels(&self) -> usize {
+        self.th * self.tw
+    }
+}
+
+/// The tile decomposition of a layer's output plane: a pure function of
+/// `(shape, tile, bound)` that can enumerate tiles and compute each
+/// tile's input halo without allocating.
+#[derive(Clone, Copy, Debug)]
+pub struct TilePlan {
+    /// Layer shape being decomposed.
+    pub shape: DeformLayerShape,
+    /// Output tile size.
+    pub tile: TileConfig,
+    /// Offset bound `P` (pixels) the halo assumes; offsets beyond it are
+    /// clamped by the operator's offset transform.
+    pub bound: usize,
+    tiles_y: usize,
+    tiles_x: usize,
+}
+
+impl TilePlan {
+    /// Decomposes `shape`'s output plane into `tile`-sized windows under
+    /// offset bound `bound`.
+    pub fn new(shape: DeformLayerShape, tile: TileConfig, bound: usize) -> TilePlan {
+        let (oh, ow) = shape.out_hw();
+        TilePlan {
+            shape,
+            tile,
+            bound,
+            tiles_y: oh.div_ceil(tile.h),
+            tiles_x: ow.div_ceil(tile.w),
+        }
+    }
+
+    /// Tile-grid height.
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Tile-grid width.
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Total scheduled tiles (`n × tiles_y × tiles_x`).
+    pub fn num_tiles(&self) -> usize {
+        self.shape.n * self.tiles_y * self.tiles_x
+    }
+
+    /// The `idx`-th tile in canonical (batch-major, row-major) order.
+    /// Pure index arithmetic — no allocation.
+    pub fn tile_at(&self, idx: usize) -> Tile {
+        let (oh, ow) = self.shape.out_hw();
+        let per_image = self.tiles_y * self.tiles_x;
+        let n = idx / per_image;
+        let rem = idx % per_image;
+        let ty = rem / self.tiles_x;
+        let tx = rem % self.tiles_x;
+        let oy0 = ty * self.tile.h;
+        let ox0 = tx * self.tile.w;
+        Tile {
+            n,
+            oy0,
+            ox0,
+            th: self.tile.h.min(oh - oy0),
+            tw: self.tile.w.min(ow - ox0),
+        }
+    }
+
+    /// Iterates the tiles in canonical order without allocating.
+    pub fn tiles(&self) -> impl Iterator<Item = Tile> + '_ {
+        (0..self.num_tiles()).map(|i| self.tile_at(i))
+    }
+
+    /// Input rows a tile's halo spans along one axis: the rigid footprint
+    /// `[o0·s − pad, o_last·s + k−1 − pad]` dilated by `bound` on both
+    /// sides plus one pixel of bilinear support, clamped to `[0, dim)`.
+    /// Monotone non-decreasing in `bound` by construction.
+    fn halo_extent(&self, o0: usize, len: usize, dim: usize) -> usize {
+        let s = self.shape;
+        let lo = (o0 * s.stride) as i64 - s.pad as i64 - self.bound as i64;
+        let hi = ((o0 + len - 1) * s.stride + s.kernel - 1) as i64 - s.pad as i64
+            + self.bound as i64
+            + 2;
+        let lo = lo.max(0);
+        let hi = hi.min(dim as i64);
+        (hi - lo).max(0) as usize
+    }
+
+    /// Input rows the tile's halo spans.
+    pub fn halo_rows(&self, t: &Tile) -> usize {
+        self.halo_extent(t.oy0, t.th, self.shape.h)
+    }
+
+    /// Input columns the tile's halo spans.
+    pub fn halo_cols(&self, t: &Tile) -> usize {
+        self.halo_extent(t.ox0, t.tw, self.shape.w)
+    }
+
+    /// Bytes of input feature map staged for this tile: the halo window
+    /// across all `C_in` planes, fp32.
+    pub fn halo_bytes(&self, t: &Tile) -> u64 {
+        (self.halo_rows(t) * self.halo_cols(t) * self.shape.c_in * 4) as u64
+    }
+
+    /// Bytes of input the tile set fetches beyond one copy of the feature
+    /// map — the halo-overlap refetch traffic the on-chip buffers pay for
+    /// bounded offsets. Zero when tiles don't overlap (single tile).
+    pub fn refetch_bytes(&self) -> u64 {
+        let s = self.shape;
+        let unique = (s.n * s.c_in * s.h * s.w * 4) as u64;
+        let total: u64 = self.tiles().map(|t| self.halo_bytes(&t)).sum();
+        total.saturating_sub(unique)
+    }
+}
+
+/// Worst-case on-chip working set of one scheduled tile, per buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Input buffer: current + prefetched halo (double buffered).
+    pub input_bytes: u64,
+    /// Weight buffer: the resident filter bank, or two streamed panels.
+    pub weight_bytes: u64,
+    /// Output buffer: two in-flight `pe_rows`-channel output blocks.
+    pub output_bytes: u64,
+}
+
+/// Per-tile pipeline-stage costs in accelerator cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileCycles {
+    /// DRAM → input buffer staging (halo + offsets + modulation, plus
+    /// weight panels when the filter bank doesn't fit resident).
+    pub load: u64,
+    /// PE-array + sampling-pipeline cycles.
+    pub compute: u64,
+    /// Output drain cycles.
+    pub store: u64,
+}
+
+/// Aggregate schedule cost; see the module docs for the formula.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Tiles scheduled.
+    pub tiles: u64,
+    /// Σ max(load, compute, store) over tiles.
+    pub steady_cycles: u64,
+    /// Pipeline fill: max load over tiles.
+    pub fill_cycles: u64,
+    /// Pipeline drain: max store over tiles.
+    pub drain_cycles: u64,
+    /// One-time resident-weight staging (0 when weights stream per tile).
+    pub weight_cycles: u64,
+    /// `steady + fill + drain + weight`.
+    pub total_cycles: u64,
+    /// DRAM bytes read (halos + offsets + modulation + weights).
+    pub load_bytes: u64,
+    /// DRAM bytes written (output).
+    pub store_bytes: u64,
+    /// Σ halo bytes (input staging only, for reuse accounting).
+    pub halo_bytes: u64,
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+    /// Deformable samples taken (bilinear interpolations).
+    pub samples: u64,
+}
+
+/// The analytic cycle/occupancy model of one operator on one accelerator
+/// configuration. All per-tile quantities are integer arithmetic over
+/// precomputed constants, so evaluating a plan is allocation-free and
+/// byte-deterministic.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleModel {
+    pe: u64,
+    pe_rows: u64,
+    interp_lanes: u64,
+    /// DRAM bytes per accelerator cycle, Q16 fixed point.
+    bpc_q16: u64,
+    c_out: u64,
+    group_taps: u64,
+    macs_per_pixel: u64,
+    samples_per_pixel: u64,
+    sample_cost: u64,
+    family: OpFamily,
+    weight_bytes: u64,
+    weight_panel_bytes: u64,
+    weight_resident: bool,
+    input_capacity: u64,
+    weight_capacity: u64,
+    output_capacity: u64,
+}
+
+impl CycleModel {
+    /// Builds the model for `op` on `cfg`.
+    pub fn new(cfg: &AccelConfig, op: &DeformConvOp) -> CycleModel {
+        let s = op.shape;
+        let kk = (s.kernel * s.kernel) as u64;
+        let weight_bytes = (s.c_out * s.c_in * s.kernel * s.kernel * 4) as u64;
+        // Streamed weights move through the array one pe_rows-wide output-
+        // channel panel at a time; resident weights are staged once.
+        let weight_panel_bytes = (s.c_in * s.kernel * s.kernel * cfg.pe_rows * 4) as u64;
+        CycleModel {
+            pe: (cfg.pe_rows * cfg.pe_cols) as u64,
+            pe_rows: cfg.pe_rows as u64,
+            interp_lanes: cfg.pe_cols as u64,
+            bpc_q16: cfg.bytes_per_cycle_q16(),
+            c_out: s.c_out as u64,
+            group_taps: (s.deform_groups as u64) * kk,
+            macs_per_pixel: (s.c_out * s.c_in) as u64 * kk,
+            samples_per_pixel: s.c_in as u64 * kk,
+            sample_cost: match op.method {
+                // No texture unit: software bilinear is lane-serial; the
+                // fp32 filter path halves interpolator throughput exactly
+                // like the GPU's texture filter rate; tex2D++-precision
+                // interpolation runs at full rate.
+                SamplingMethod::SoftwareBilinear => 4,
+                SamplingMethod::Tex2d => 2,
+                SamplingMethod::Tex2dPlusPlus => 1,
+            },
+            family: op.family,
+            weight_bytes,
+            weight_panel_bytes,
+            weight_resident: weight_bytes <= cfg.weight_buffer_bytes as u64,
+            input_capacity: cfg.input_buffer_bytes as u64,
+            weight_capacity: cfg.weight_buffer_bytes as u64,
+            output_capacity: cfg.output_buffer_bytes as u64,
+        }
+    }
+
+    fn dram_cycles(&self, bytes: u64) -> u64 {
+        (bytes << 16).div_ceil(self.bpc_q16)
+    }
+
+    /// Bytes staged for one tile besides the input halo: the tile's
+    /// offset field, the family's modulation channels, and (when the
+    /// filter bank streams) the full weight pass.
+    fn side_load_bytes(&self, t: &Tile) -> u64 {
+        let pixels = t.pixels() as u64;
+        let offset_bytes = 2 * self.group_taps * pixels * 4;
+        let modulation_bytes = match self.family {
+            OpFamily::DcnV1 => 0,
+            OpFamily::DcnV2 | OpFamily::DcnV3 => self.group_taps * pixels * 4,
+        };
+        let weight_stream = if self.weight_resident {
+            0
+        } else {
+            self.weight_bytes
+        };
+        offset_bytes + modulation_bytes + weight_stream
+    }
+
+    /// The three pipeline-stage costs of one tile.
+    pub fn tile_cycles(&self, plan: &TilePlan, t: &Tile) -> TileCycles {
+        let pixels = t.pixels() as u64;
+        let load_bytes = plan.halo_bytes(t) + self.side_load_bytes(t);
+        let samples = self.samples_per_pixel * pixels;
+        let mac_cycles = (self.macs_per_pixel * pixels).div_ceil(self.pe);
+        let sample_cycles = (samples * self.sample_cost).div_ceil(self.interp_lanes);
+        // v2 pays a mask multiply per sample on the PE array; v3 pays the
+        // same plus a grouped softmax (exp + normalize) per output pixel.
+        let family_cycles = match self.family {
+            OpFamily::DcnV1 => 0,
+            OpFamily::DcnV2 => samples.div_ceil(self.pe),
+            OpFamily::DcnV3 => {
+                samples.div_ceil(self.pe)
+                    + (2 * self.group_taps * pixels).div_ceil(self.interp_lanes)
+            }
+        };
+        TileCycles {
+            load: self.dram_cycles(load_bytes),
+            compute: mac_cycles.max(sample_cycles) + family_cycles,
+            store: self.dram_cycles(self.c_out * pixels * 4),
+        }
+    }
+
+    /// Worst-case buffer working set while this tile is in flight.
+    pub fn tile_occupancy(&self, plan: &TilePlan, t: &Tile) -> Occupancy {
+        Occupancy {
+            input_bytes: 2 * plan.halo_bytes(t),
+            weight_bytes: if self.weight_resident {
+                self.weight_bytes
+            } else {
+                2 * self.weight_panel_bytes
+            },
+            output_bytes: 2 * self.pe_rows * t.pixels() as u64 * 4,
+        }
+    }
+
+    /// Checks the worst-case (full-size, corner-interior) tile's working
+    /// set against the configured buffer capacities. Occupancy shrinks
+    /// with tile size, so passing here bounds every tile of the plan.
+    pub fn check_occupancy(&self, plan: &TilePlan) -> Result<(), DefconError> {
+        if plan.num_tiles() == 0 {
+            return Err(DefconError::Constraint {
+                what: "accel-buffer".into(),
+                detail: "empty tile plan".into(),
+            });
+        }
+        let worst = self.tile_occupancy(plan, &plan.tile_at(0));
+        let checks = [
+            ("input", worst.input_bytes, self.input_capacity),
+            ("weight", worst.weight_bytes, self.weight_capacity),
+            ("output", worst.output_bytes, self.output_capacity),
+        ];
+        for (buffer, need, cap) in checks {
+            if need > cap {
+                return Err(DefconError::Constraint {
+                    what: "accel-buffer".into(),
+                    detail: format!(
+                        "{buffer} buffer needs {need} bytes for a {}x{} tile (capacity {cap})",
+                        plan.tile.h, plan.tile.w
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregates the whole plan. Allocation-free: one pass over the
+    /// index-computed tile stream with integer accumulators.
+    pub fn totals(&self, plan: &TilePlan) -> Totals {
+        let mut acc = Totals {
+            tiles: plan.num_tiles() as u64,
+            ..Totals::default()
+        };
+        for t in plan.tiles() {
+            let c = self.tile_cycles(plan, &t);
+            let pixels = t.pixels() as u64;
+            let halo = plan.halo_bytes(&t);
+            acc.steady_cycles += c.load.max(c.compute).max(c.store);
+            acc.fill_cycles = acc.fill_cycles.max(c.load);
+            acc.drain_cycles = acc.drain_cycles.max(c.store);
+            acc.load_bytes += halo + self.side_load_bytes(&t);
+            acc.store_bytes += self.c_out * pixels * 4;
+            acc.halo_bytes += halo;
+            acc.macs += self.macs_per_pixel * pixels;
+            acc.samples += self.samples_per_pixel * pixels;
+        }
+        if self.weight_resident {
+            acc.weight_cycles = self.dram_cycles(self.weight_bytes);
+            acc.load_bytes += self.weight_bytes;
+        }
+        acc.total_cycles =
+            acc.steady_cycles + acc.fill_cycles + acc.drain_cycles + acc.weight_cycles;
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defcon_support::prop::{self, Config};
+    use defcon_support::rng::{Rng, StdRng};
+    use defcon_support::{prop_assert, prop_assert_eq};
+
+    fn gen_shape(rng: &mut StdRng) -> DeformLayerShape {
+        DeformLayerShape {
+            n: rng.gen_range(1usize..3),
+            c_in: rng.gen_range(1usize..48),
+            c_out: rng.gen_range(1usize..48),
+            h: rng.gen_range(3usize..56),
+            w: rng.gen_range(3usize..56),
+            kernel: rng.gen_range(1usize..4),
+            stride: rng.gen_range(1usize..3),
+            pad: rng.gen_range(0usize..2),
+            deform_groups: 1,
+        }
+    }
+
+    fn gen_tile(rng: &mut StdRng) -> TileConfig {
+        let sides = [2usize, 4, 8, 16, 32, 64];
+        TileConfig {
+            h: sides[rng.gen_range(0..sides.len())],
+            w: sides[rng.gen_range(0..sides.len())],
+        }
+    }
+
+    fn gen_case(rng: &mut StdRng) -> (DeformLayerShape, TileConfig, usize) {
+        (gen_shape(rng), gen_tile(rng), rng.gen_range(0usize..12))
+    }
+
+    /// Every output position of every batch item is covered by exactly
+    /// one tile — the scheduler neither drops nor double-schedules work.
+    #[test]
+    fn tile_coverage_is_exact_and_non_overlapping() {
+        prop::check(
+            "accel_tile_coverage",
+            &Config::cases(96),
+            gen_case,
+            |&(shape, tile, bound)| {
+                let plan = TilePlan::new(shape, tile, bound);
+                let (oh, ow) = shape.out_hw();
+                let mut hits = vec![0u32; shape.n * oh * ow];
+                for t in plan.tiles() {
+                    prop_assert!(t.th > 0 && t.tw > 0, "degenerate tile {t:?}");
+                    prop_assert!(t.oy0 + t.th <= oh && t.ox0 + t.tw <= ow);
+                    for dy in 0..t.th {
+                        for dx in 0..t.tw {
+                            hits[(t.n * oh + t.oy0 + dy) * ow + t.ox0 + dx] += 1;
+                        }
+                    }
+                }
+                prop_assert!(
+                    hits.iter().all(|&c| c == 1),
+                    "coverage counts off: min {:?} max {:?}",
+                    hits.iter().min(),
+                    hits.iter().max()
+                );
+                Ok(())
+            },
+        );
+    }
+
+    /// A larger offset bound can only widen a tile's input halo: the
+    /// bounded-offset locality argument is monotone in `P`.
+    #[test]
+    fn halo_bytes_are_monotone_in_the_offset_bound() {
+        prop::check(
+            "accel_halo_monotone",
+            &Config::cases(96),
+            |rng| {
+                let (shape, tile, p1) = gen_case(rng);
+                (shape, tile, p1, p1 + rng.gen_range(1usize..8))
+            },
+            |&(shape, tile, p1, p2)| {
+                let a = TilePlan::new(shape, tile, p1);
+                let b = TilePlan::new(shape, tile, p2);
+                prop_assert_eq!(a.num_tiles(), b.num_tiles());
+                for i in 0..a.num_tiles() {
+                    let t = a.tile_at(i);
+                    prop_assert!(
+                        a.halo_bytes(&t) <= b.halo_bytes(&b.tile_at(i)),
+                        "halo shrank when P grew {p1}->{p2} at tile {t:?}"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// When the model admits a plan, no scheduled tile's working set
+    /// exceeds any configured buffer capacity.
+    #[test]
+    fn admitted_plans_never_exceed_buffer_capacity() {
+        prop::check(
+            "accel_occupancy_bounded",
+            &Config::cases(96),
+            gen_case,
+            |&(shape, tile, bound)| {
+                let cfg = AccelConfig::edge();
+                let op = DeformConvOp {
+                    tile,
+                    ..DeformConvOp::baseline(shape)
+                };
+                let model = CycleModel::new(&cfg, &op);
+                let plan = TilePlan::new(shape, tile, bound);
+                if model.check_occupancy(&plan).is_err() {
+                    return Ok(()); // rejected plans never run
+                }
+                for t in plan.tiles() {
+                    let occ = model.tile_occupancy(&plan, &t);
+                    prop_assert!(occ.input_bytes <= cfg.input_buffer_bytes as u64);
+                    prop_assert!(occ.weight_bytes <= cfg.weight_buffer_bytes as u64);
+                    prop_assert!(occ.output_bytes <= cfg.output_buffer_bytes as u64);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// The aggregate cost is a sum and two maxes over the tile set, so
+    /// visiting tiles in any order produces identical totals.
+    #[test]
+    fn cycle_totals_are_invariant_under_tile_visit_order() {
+        prop::check(
+            "accel_order_invariance",
+            &Config::cases(64),
+            |rng| {
+                let (shape, tile, bound) = gen_case(rng);
+                let n = TilePlan::new(shape, tile, bound).num_tiles();
+                // A random permutation of the tile indices.
+                let mut order: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    order.swap(i, rng.gen_range(0..i + 1));
+                }
+                (shape, tile, bound, order)
+            },
+            |&(shape, tile, bound, ref order)| {
+                let cfg = AccelConfig::edge();
+                let op = DeformConvOp {
+                    tile,
+                    ..DeformConvOp::baseline(shape)
+                };
+                let model = CycleModel::new(&cfg, &op);
+                let plan = TilePlan::new(shape, tile, bound);
+                let canonical = model.totals(&plan);
+                let mut steady = 0u64;
+                let mut fill = 0u64;
+                let mut drain = 0u64;
+                for &i in order {
+                    let c = model.tile_cycles(&plan, &plan.tile_at(i));
+                    steady += c.load.max(c.compute).max(c.store);
+                    fill = fill.max(c.load);
+                    drain = drain.max(c.store);
+                }
+                prop_assert_eq!(steady, canonical.steady_cycles);
+                prop_assert_eq!(fill, canonical.fill_cycles);
+                prop_assert_eq!(drain, canonical.drain_cycles);
+                prop_assert_eq!(
+                    steady + fill + drain + canonical.weight_cycles,
+                    canonical.total_cycles
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn halo_clamps_to_the_feature_map() {
+        let shape = DeformLayerShape::same3x3(4, 4, 10, 10);
+        let plan = TilePlan::new(shape, TileConfig { h: 64, w: 64 }, 7);
+        assert_eq!(plan.num_tiles(), 1);
+        let t = plan.tile_at(0);
+        // One tile covers the whole plane; the halo is the whole input.
+        assert_eq!((plan.halo_rows(&t), plan.halo_cols(&t)), (10, 10));
+        assert_eq!(plan.refetch_bytes(), 0);
+    }
+
+    #[test]
+    fn refetch_traffic_appears_once_tiles_overlap() {
+        let shape = DeformLayerShape::same3x3(4, 4, 32, 32);
+        let whole = TilePlan::new(shape, TileConfig { h: 32, w: 32 }, 7);
+        let tiled = TilePlan::new(shape, TileConfig { h: 8, w: 8 }, 7);
+        assert_eq!(whole.refetch_bytes(), 0);
+        assert!(tiled.refetch_bytes() > 0, "overlapping halos must refetch");
+    }
+}

@@ -17,6 +17,7 @@
 use defcon_core::serve::{
     fnv1a64, percentile_ns, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer,
 };
+use defcon_kernels::backend::BackendKind;
 use defcon_kernels::op::{OpFamily, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
 use defcon_support::env;
@@ -35,6 +36,7 @@ fn stream(n: usize, shapes: &[DeformLayerShape], seed: u64) -> Vec<SimRequest> {
             layer: shapes[rng.gen_range(0..shapes.len())],
             kernel_family: families[rng.gen_range(0..families.len())],
             op_family: ops[rng.gen_range(0..ops.len())],
+            backend: BackendKind::Gpusim,
             policy: RequestPolicy {
                 max_blocks: 32,
                 ..RequestPolicy::default()

@@ -14,12 +14,16 @@
 
 use defcon_bench::{emit_json, f2, Table};
 use defcon_core::serve::{fnv1a64, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer};
+use defcon_kernels::backend::BackendKind;
 use defcon_kernels::op::{OpFamily, SamplingMethod};
 use defcon_support::env;
 use defcon_support::json::Json;
 
 /// 16 requests: 8 distinct, then the same 8 again.
 fn session_requests() -> Vec<SimRequest> {
+    // `DEFCON_BACKEND` reroutes the whole session; unset keeps the
+    // default gpusim substrate so the golden trace bytes are stable.
+    let backend = env::or_die(BackendKind::from_env());
     let sweep = defcon_bench::layer_sweep();
     let devices = ServeDevice::all();
     let families = SamplingMethod::ladder();
@@ -31,6 +35,7 @@ fn session_requests() -> Vec<SimRequest> {
             // Pinned to v1: the session backs the serving golden trace,
             // whose canonical request bytes predate the op_family field.
             op_family: OpFamily::DcnV1,
+            backend,
             policy: RequestPolicy::default(),
         })
         .collect();

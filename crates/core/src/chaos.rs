@@ -36,6 +36,7 @@
 use crate::serve::{
     fnv1a64, RequestPolicy, ServeConfig, ServeDevice, ServeOutcome, SimRequest, SimServer,
 };
+use defcon_kernels::backend::BackendKind;
 use defcon_kernels::op::{OpFamily, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
 use defcon_support::fault::{self, FaultPlan, Schedule};
@@ -155,6 +156,7 @@ pub fn request_stream(seed: u64, n: usize) -> Vec<SimRequest> {
             layer: shapes[rng.gen_range(0..shapes.len())],
             kernel_family: families[rng.gen_range(0..families.len())],
             op_family: ops[rng.gen_range(0..ops.len())],
+            backend: BackendKind::Gpusim,
             policy: RequestPolicy {
                 max_blocks: 16,
                 seed: rng.gen_range(0u64..3),

@@ -8,6 +8,7 @@
 //! the regular one.
 
 use defcon_gpusim::Gpu;
+use defcon_kernels::backend::Backend;
 use defcon_kernels::op::simulate_regular_conv_ms;
 use defcon_kernels::op::{
     synthetic_inputs, DeformConvOp, OffsetPredictorKind, OpFamily, SamplingMethod,
@@ -198,6 +199,47 @@ impl LatencyLut {
         }
     }
 
+    /// [`LatencyLut::build_family`] over any [`Backend`] — the route the
+    /// accel backend's tables take. Sequential (backend objects are not
+    /// required to be thread-splittable the way [`Gpu`] policies are),
+    /// deterministic, and falls back to the backend's own degradation
+    /// behaviour per key. Errors surface the first key that cannot be
+    /// timed at all.
+    pub fn build_family_backend(
+        backend: &dyn Backend,
+        keys: &[LatencyKey],
+        method: SamplingMethod,
+        predictor: OffsetPredictorKind,
+        family: OpFamily,
+    ) -> Result<Self, DefconError> {
+        let mut entries = HashMap::with_capacity(keys.len());
+        for key in keys {
+            let shape = key.shape();
+            let (x, offsets) = synthetic_inputs(&shape, 4.0, 0xDEFC);
+            let op = DeformConvOp {
+                shape,
+                tile: TileConfig::default16(),
+                method,
+                offset_predictor: predictor,
+                offset_transform: OffsetTransform::Identity,
+                family,
+                modulation: None,
+            };
+            let (deform_ms, _) = backend.launch_total(&op, &x, &offsets)?;
+            entries.insert(
+                *key,
+                LatencyEntry {
+                    regular_ms: backend.regular_conv_ms(&shape),
+                    deform_ms,
+                },
+            );
+        }
+        Ok(LatencyLut {
+            device: backend.device_name(),
+            entries,
+        })
+    }
+
     /// Looks up an entry.
     pub fn get(&self, key: &LatencyKey) -> Option<&LatencyEntry> {
         self.entries.get(key)
@@ -332,6 +374,27 @@ mod tests {
                 stride: 2,
             },
         ]
+    }
+
+    #[test]
+    fn backend_route_builds_tables_for_both_substrates() {
+        let keys = tiny_keys();
+        let method = SamplingMethod::Tex2dPlusPlus;
+        let pred = OffsetPredictorKind::Standard;
+        let gpu = Gpu::new(DeviceConfig::xavier_agx());
+        let via_gpu = LatencyLut::build_family_backend(&gpu, &keys, method, pred, OpFamily::DcnV1)
+            .expect("gpu backend route must build");
+        assert_eq!(via_gpu.device, "Jetson-AGX-Xavier");
+        let accel = defcon_accel::Accel::new(defcon_accel::AccelConfig::edge());
+        let via_accel =
+            LatencyLut::build_family_backend(&accel, &keys, method, pred, OpFamily::DcnV1)
+                .expect("accel backend route must build");
+        assert_eq!(via_accel.device, "DCN-Accel-Edge");
+        for key in &keys {
+            // Both substrates tabulate positive overheads for the key set.
+            assert!(via_gpu.dcn_overhead_ms(key) > 0.0);
+            assert!(via_accel.dcn_overhead_ms(key) > 0.0);
+        }
     }
 
     #[test]

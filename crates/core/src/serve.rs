@@ -85,7 +85,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use defcon_accel::{Accel, AccelConfig};
 use defcon_gpusim::{DeadlineBudget, DeviceConfig, Gpu, KernelReport, SamplePolicy};
+use defcon_kernels::backend::BackendKind;
 use defcon_kernels::op::{synthetic_inputs, DeformConvOp, OpFamily, SamplingMethod};
 use defcon_kernels::DeformLayerShape;
 use defcon_support::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -193,6 +195,10 @@ pub struct SimRequest {
     pub kernel_family: SamplingMethod,
     /// Which deformable operator generation to simulate (v1/v2/v3).
     pub op_family: OpFamily,
+    /// Which execution backend times the request. The default
+    /// [`BackendKind::Gpusim`] is omitted from the canonical form, so
+    /// every pre-backend request keeps its content address.
+    pub backend: BackendKind,
     /// Simulation policy knobs.
     pub policy: RequestPolicy,
 }
@@ -209,7 +215,9 @@ impl SimRequest {
     /// existed, so persisted digests and pinned FNV vectors survive the
     /// format extension. `deadline_cycles` follows the same discipline:
     /// emitted (last in the policy object) only when non-zero, so every
-    /// deadline-free request renders to its pre-deadline bytes.
+    /// deadline-free request renders to its pre-deadline bytes. And
+    /// `backend` likewise: emitted (after the family fields, before
+    /// `policy`) only when it is not the default `gpusim` substrate.
     pub fn canonical(&self) -> Json {
         let l = &self.layer;
         let mut fields = vec![
@@ -233,6 +241,9 @@ impl SimRequest {
         ];
         if self.op_family != OpFamily::DcnV1 {
             fields.push(("op_family", Json::str(self.op_family.name())));
+        }
+        if self.backend != BackendKind::Gpusim {
+            fields.push(("backend", Json::str(self.backend.name())));
         }
         let mut policy = vec![
             ("max_blocks", Json::from(self.policy.max_blocks)),
@@ -660,11 +671,31 @@ fn simulate_request(
         family: req.op_family,
         ..DeformConvOp::baseline(req.layer)
     };
-    let result = op
-        .simulate_deform_with_fallback(&gpu, &x, &offsets)
-        .map(|fb| (fb.reports, fb.method, fb.degradations));
+    let result = match req.backend {
+        BackendKind::Gpusim => op.simulate_deform_with_fallback(&gpu, &x, &offsets),
+        BackendKind::Accel => {
+            // Each serving device pairs with its deployment-class
+            // accelerator model; the gpusim ladder remains the fallback
+            // when the accel declines (buffers, armed accel.tile fault).
+            let accel = Accel::new(
+                AccelConfig::for_serve_device(req.device.canonical_name())
+                    .expect("every ServeDevice has a paired accelerator"),
+            );
+            defcon_accel::launch_with_gpu_fallback(&accel, &gpu, &op, &x, &offsets).and_then(|fb| {
+                // The accel launch is analytic and not budget-gated;
+                // replay the deadline charge walk over its reports so
+                // fresh simulations and cache hits produce identical
+                // verdicts. (Reports from the gpusim fallback already
+                // passed the engine's budget, so the walk re-passes.)
+                match remaining_cycles.and_then(|r| hit_deadline_verdict(r, &fb.reports)) {
+                    Some(e) => Err(e),
+                    None => Ok(fb),
+                }
+            })
+        }
+    };
     SimOutcome {
-        result,
+        result: result.map(|fb| (fb.reports, fb.method, fb.degradations)),
         latency_ns: t0.elapsed().as_nanos() as u64,
     }
 }
@@ -1532,6 +1563,7 @@ mod tests {
             layer: DeformLayerShape::same3x3(c, c, 10, 10),
             kernel_family: family,
             op_family: OpFamily::DcnV1,
+            backend: BackendKind::Gpusim,
             policy: RequestPolicy {
                 max_blocks: 16,
                 ..RequestPolicy::default()

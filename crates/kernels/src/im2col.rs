@@ -428,6 +428,61 @@ pub fn im2col_deform_numeric(kernel: &Im2colDeformKernel<'_>, ni: usize) -> Vec<
     cols
 }
 
+/// Tiled form of [`im2col_deform_numeric`]: materializes only the columns
+/// of the output window `[oy0, oy0+th) × [ox0, ox0+tw)` for batch item
+/// `ni`, as a `[C_in·k², th·tw]` row-major matrix (window-local column
+/// index `ty·tw + tx`).
+///
+/// Every element is computed by **exactly** the per-element pipeline of
+/// the full-plane function — same `sample_coord`, same sampler, same
+/// modulation factor, same v1 neutral-skip — so a GEMM over a tile's
+/// columns produces byte-identical output values to the corresponding
+/// columns of a full-plane GEMM (the blocked GEMM's per-element reduction
+/// order is independent of which columns are present; see
+/// `defcon_tensor::gemm`). This is the accel backend's tile kernel.
+pub fn im2col_deform_numeric_tile(
+    kernel: &Im2colDeformKernel<'_>,
+    ni: usize,
+    oy0: usize,
+    ox0: usize,
+    th: usize,
+    tw: usize,
+) -> Vec<f32> {
+    let s = kernel.shape;
+    let kk = s.kernel * s.kernel;
+    let neutral = kernel.family == OpFamily::DcnV1;
+    let mut cols = vec![0.0f32; s.c_in * kk * th * tw];
+    for ci in 0..s.c_in {
+        let g = ci / (s.c_in / s.deform_groups);
+        for tap in 0..kk {
+            let row = ci * kk + tap;
+            for ty in 0..th {
+                let oy = oy0 + ty;
+                for tx in 0..tw {
+                    let ox = ox0 + tx;
+                    let (py, px) = kernel.sample_coord(ni, g, tap, oy, ox);
+                    let v = match (&kernel.sampling, &kernel.texture) {
+                        (Sampling::Software, _) => {
+                            defcon_tensor::sample::bilinear_sample(kernel.x, ni, ci, py, px)
+                        }
+                        (Sampling::Texture { .. }, Some(tex)) => {
+                            tex.fetch(ni * s.c_in + ci, py, px).value
+                        }
+                        _ => unreachable!("texture sampling without texture"),
+                    };
+                    let v = if neutral {
+                        v
+                    } else {
+                        kernel.modulation_factor(ni, g, tap, oy, ox) * v
+                    };
+                    cols[row * th * tw + ty * tw + tx] = v;
+                }
+            }
+        }
+    }
+    cols
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,11 +29,13 @@
 //! column matrix) — the speedups of Fig. 7 / Tables II & IV come entirely
 //! from the sampling stage, which is exactly how the paper frames them.
 
+pub mod backend;
 pub mod fused;
 pub mod gemm_kernel;
 pub mod im2col;
 pub mod layer;
 pub mod op;
 
+pub use backend::{Backend, BackendKind};
 pub use layer::{paper_layer_sweep, DeformLayerShape, TileConfig};
 pub use op::{DeformConvOp, OpFamily, SamplingMethod};

@@ -55,6 +55,9 @@ pub const SERVE_DEADLINE: &str = "DEFCON_SERVE_DEADLINE";
 /// `SimServer::serve` (0 = fail straight to degrade; unset = the default
 /// single retry).
 pub const RETRY_MAX: &str = "DEFCON_RETRY_MAX";
+/// `DEFCON_BACKEND` — execution backend selection (`gpusim` or `accel`)
+/// for binaries that honour it; unset means the default `gpusim` backend.
+pub const BACKEND: &str = "DEFCON_BACKEND";
 
 /// Reads a boolean flag. Unset and empty mean **off**; `1`, `true`, `yes`,
 /// `on` mean **on**; `0`, `false`, `no`, `off` mean **off** (all

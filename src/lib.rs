@@ -13,7 +13,11 @@
 //!   hardware (Jetson AGX Xavier and RTX 2080 Ti presets);
 //! * [`kernels`] — the three deformable kernels the paper compares
 //!   (PyTorch-style software bilinear, `tex2D`, `tex2D++`), each with
-//!   numeric and timing interpretations;
+//!   numeric and timing interpretations, plus the `Backend` trait the
+//!   execution substrates plug into;
+//! * [`accel`] — the tiled dataflow accelerator backend: explicit
+//!   on-chip buffers, a double-buffered tile scheduler, and bounded-
+//!   offset halo reuse, byte-identical to gpusim numerically;
 //! * [`core`] — DEFCON proper: interval search, latency LUT, bounded
 //!   deformation, Bayesian tile autotuning, the configuration pipeline,
 //!   and the throughput-mode serving layer with its content-addressed
@@ -39,6 +43,7 @@
 //! assert!(t_tex < t_base, "texture hardware should win");
 //! ```
 
+pub use defcon_accel as accel;
 pub use defcon_core as core;
 pub use defcon_gpusim as gpusim;
 pub use defcon_kernels as kernels;
@@ -48,6 +53,7 @@ pub use defcon_tensor as tensor;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use defcon_accel::{Accel, AccelConfig};
     pub use defcon_core::autotune::Autotuner;
     pub use defcon_core::lut::{LatencyKey, LatencyLut};
     pub use defcon_core::pipeline::{DefconConfig, TileChoice};
@@ -56,6 +62,7 @@ pub mod prelude {
         RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimResponse, SimServer,
     };
     pub use defcon_gpusim::{DeviceConfig, Gpu, SamplePolicy};
+    pub use defcon_kernels::backend::{Backend, BackendKind};
     pub use defcon_kernels::op::{
         synthetic_inputs, synthetic_modulation, DeformConvOp, OffsetPredictorKind, OpFamily,
         SamplingMethod,

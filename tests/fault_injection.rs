@@ -414,12 +414,14 @@ fn truncated_search_checkpoint_restarts_and_reproduces_the_run() {
 
 fn serve_req(c: usize, family: SamplingMethod) -> defcon::core::serve::SimRequest {
     use defcon::core::serve::{RequestPolicy, ServeDevice, SimRequest};
+    use defcon::kernels::backend::BackendKind;
     use defcon::kernels::op::OpFamily;
     SimRequest {
         device: ServeDevice::XavierAgx,
         layer: DeformLayerShape::same3x3(c, c, 8, 8),
         kernel_family: family,
         op_family: OpFamily::DcnV1,
+        backend: BackendKind::Gpusim,
         policy: RequestPolicy {
             max_blocks: 16,
             ..RequestPolicy::default()
@@ -656,4 +658,81 @@ fn ckpt_write_fault_degrades_the_next_resume_to_a_fresh_start() {
     // And this run's checkpoints reached the disk intact.
     assert!(ckpt::load(&path).unwrap().is_some());
     std::fs::remove_file(&path).unwrap();
+}
+
+// --- accel: tile-scheduler faults fall back to the gpusim ladder --------
+
+/// An injected `accel.tile` fault at configuration time degrades the accel
+/// launch to the full gpusim fallback ladder: the launch still succeeds on
+/// the requested texture path, the degradation line names the abandoned
+/// substrate, the fault log is pinned (configuration evaluates the point
+/// exactly once), and the `kernels.fallback` obs event is tagged
+/// `from: "accel"` like any other abandoned rung.
+#[test]
+fn accel_tile_fault_degrades_to_the_gpusim_ladder_with_pinned_log() {
+    use defcon::accel::{launch_with_gpu_fallback, Accel, AccelConfig};
+    use defcon_support::obs::{self, find_spans, ObsConfig};
+
+    let gpu = Gpu::new(DeviceConfig::xavier_agx());
+    let accel = Accel::new(AccelConfig::edge());
+    let shape = DeformLayerShape::same3x3(16, 16, 12, 12);
+    let (x, offsets) = synthetic_inputs(&shape, 4.0, 11);
+    let op = DeformConvOp {
+        method: SamplingMethod::Tex2dPlusPlus,
+        ..DeformConvOp::baseline(shape)
+    };
+    // Obs lock first, then fault — the fixed order (see obs_invariants).
+    let _obs = obs::arm(ObsConfig::default());
+    let _armed = fault::arm(FaultPlan::new(91).point("accel.tile", Schedule::Always));
+    let fb = launch_with_gpu_fallback(&accel, &gpu, &op, &x, &offsets).unwrap();
+    // The gpusim ladder is healthy, so the requested rung survives.
+    assert_eq!(fb.method, SamplingMethod::Tex2dPlusPlus);
+    assert_eq!(fb.degradations.len(), 1, "{:?}", fb.degradations);
+    assert!(
+        fb.degradations[0].starts_with("accel unavailable"),
+        "{:?}",
+        fb.degradations
+    );
+    assert_eq!(fault::log(), vec!["accel.tile#0"]);
+    let forest = obs::snapshot();
+    let events = find_spans(&forest, "kernels.fallback");
+    assert_eq!(events.len(), 1, "one event for the abandoned substrate");
+    assert_eq!(events[0].str_arg("from"), Some("accel"));
+    // No accel launch span: the substrate was rejected before launching.
+    assert!(find_spans(&forest, "accel.launch").is_empty());
+}
+
+/// The same fault through the serving layer: a request pinned to the accel
+/// backend is still answered (via the gpusim ladder), carries the
+/// substrate degradation line, and stays cacheable — the replay is
+/// byte-identical content even though the fault only fired once.
+#[test]
+fn accel_tile_fault_in_serving_degrades_but_still_answers_and_caches() {
+    use defcon::core::serve::{ServeOutcome, SimServer};
+    use defcon::kernels::backend::BackendKind;
+
+    let _armed = fault::arm(FaultPlan::new(92).point("accel.tile", Schedule::Always));
+    let mut server = SimServer::new(serve_cfg());
+    let req = defcon::core::serve::SimRequest {
+        backend: BackendKind::Accel,
+        ..serve_req(4, SamplingMethod::Tex2d)
+    };
+    // Two separate sessions: within one drain a duplicate simulates
+    // rather than waiting on its twin, so the cache hit needs a second
+    // serve call (same discipline as the repro_serving session).
+    let mut out = server.serve(&[req.clone()]);
+    out.extend(server.serve(&[req]));
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].outcome, ServeOutcome::Served);
+    assert!(out[0].error.is_none());
+    assert_eq!(out[0].method, SamplingMethod::Tex2d);
+    assert!(out[0].degradations[0].starts_with("accel unavailable"));
+    // Second submission answers from the cache with identical content;
+    // the fault point is only evaluated by the one real simulation.
+    assert!(out[1].from_cache);
+    assert_eq!(
+        out[0].content_json().to_string(),
+        out[1].content_json().to_string()
+    );
+    assert_eq!(fault::log(), vec!["accel.tile#0"]);
 }

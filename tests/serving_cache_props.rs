@@ -13,6 +13,7 @@
 use defcon::core::serve::{
     fnv1a64, ReportCache, RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimServer,
 };
+use defcon::kernels::backend::BackendKind;
 use defcon::kernels::op::{OpFamily, SamplingMethod};
 use defcon::kernels::DeformLayerShape;
 use defcon_support::json::Json;
@@ -42,6 +43,13 @@ fn gen_request(rng: &mut StdRng) -> SimRequest {
         },
         kernel_family: families[rng.gen_range(0..families.len())],
         op_family: ops[rng.gen_range(0..ops.len())],
+        // Mix backends so totality/injectivity cover the optional
+        // `backend` field the same way they cover op_family/deadline.
+        backend: if rng.gen_range(0u32..4) == 0 {
+            BackendKind::Accel
+        } else {
+            BackendKind::Gpusim
+        },
         policy: RequestPolicy {
             max_blocks: rng.gen_range(1usize..128),
             seed: rng.gen_range(0u64..u64::MAX),
@@ -110,6 +118,7 @@ fn single_field_mutations_change_the_canonical_form() {
         layer: DeformLayerShape::same3x3(8, 8, 12, 12),
         kernel_family: SamplingMethod::Tex2d,
         op_family: OpFamily::DcnV1,
+        backend: BackendKind::Gpusim,
         policy: RequestPolicy::default(),
     };
     let mut mutants = vec![
@@ -127,6 +136,10 @@ fn single_field_mutations_change_the_canonical_form() {
         },
         SimRequest {
             op_family: OpFamily::DcnV3,
+            ..base.clone()
+        },
+        SimRequest {
+            backend: BackendKind::Accel,
             ..base.clone()
         },
         SimRequest {
@@ -177,6 +190,7 @@ fn hash_is_pinned_across_runs_and_releases() {
         layer: DeformLayerShape::same3x3(8, 8, 12, 12),
         kernel_family: SamplingMethod::Tex2dPlusPlus,
         op_family: OpFamily::DcnV1,
+        backend: BackendKind::Gpusim,
         policy: RequestPolicy::default(),
     };
     // A DCNv1 request canonicalizes WITHOUT an `op_family` field, so every

@@ -16,6 +16,7 @@
 use defcon::core::serve::{
     RequestPolicy, ServeConfig, ServeDevice, SimRequest, SimResponse, SimServer,
 };
+use defcon::kernels::backend::BackendKind;
 use defcon::kernels::op::{OpFamily, SamplingMethod};
 use defcon::kernels::DeformLayerShape;
 use defcon_support::fault;
@@ -41,6 +42,7 @@ fn random_stream(seed: u64, n: usize) -> Vec<SimRequest> {
             layer: shapes[rng.gen_range(0..shapes.len())],
             kernel_family: families[rng.gen_range(0..families.len())],
             op_family: ops[rng.gen_range(0..ops.len())],
+            backend: BackendKind::Gpusim,
             policy: RequestPolicy {
                 max_blocks: 16,
                 seed: rng.gen_range(0u64..2),
